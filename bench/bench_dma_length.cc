@@ -1,0 +1,53 @@
+// §2.5.1 ablation: DMA transaction length vs achievable TURBOchannel
+// bandwidth. Reproduces the paper's arithmetic exactly —
+//   reads  (transmit): n/(n+13) * 800 Mbps   44 B -> 367, 88 B -> 503
+//   writes (receive):  n/(n+8)  * 800 Mbps   44 B -> 463, 88 B -> 587
+// — and demonstrates the diminishing returns beyond double-cell DMA, plus
+// the measured end-to-end effect of the DMA-length choice.
+#include <cstdio>
+
+#include "osiris/harness.h"
+#include "osiris/node.h"
+#include "tc/turbochannel.h"
+
+namespace {
+
+using namespace osiris;
+
+double measured_rx(bool double_dma) {
+  NodeConfig c = make_3000_600_config();
+  c.board.double_cell_dma_rx = double_dma;
+  sim::Engine eng;
+  Node n(eng, c);
+  proto::StackConfig sc;
+  auto stack = n.make_stack(sc);
+  return harness::receive_throughput(n, *stack, 700, 64 * 1024, 24, sc).mbps;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("DMA length sweep (paper 2.5.1): TURBOchannel transaction bounds");
+  std::puts("");
+  std::puts("cells  bytes   read (transmit) Mbps   write (receive) Mbps   overhead(read)");
+  sim::Engine eng;
+  tc::TurboChannel bus(eng, tc::BusConfig{});
+  for (std::uint32_t cells = 1; cells <= 8; ++cells) {
+    const std::uint32_t bytes = cells * 44;
+    const double rd = static_cast<double>(bytes) * 8.0 /
+                      sim::to_ns(bus.dma_read_cost(bytes)) * 1000.0;
+    const double wr = static_cast<double>(bytes) * 8.0 /
+                      sim::to_ns(bus.dma_write_cost(bytes)) * 1000.0;
+    const double ov = 13.0 / (13.0 + static_cast<double>(bus.words(bytes))) * 100;
+    std::printf("  %u    %4u         %6.1f                 %6.1f            %5.1f%%\n",
+                cells, bytes, rd, wr, ov);
+  }
+  std::puts("");
+  std::puts("Paper checkpoints: 44 B -> 367/463; 88 B -> 503/587 Mbps; the");
+  std::puts("biggest gain is the first doubling (overhead 42% -> 26%).");
+  std::puts("");
+  std::printf("End-to-end receive throughput (3000/600, 64 KB messages):\n");
+  std::printf("  single-cell DMA: %6.1f Mbps\n", measured_rx(false));
+  std::printf("  double-cell DMA: %6.1f Mbps\n", measured_rx(true));
+  return 0;
+}

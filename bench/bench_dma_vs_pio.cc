@@ -1,0 +1,98 @@
+// §2.7 ablation: DMA vs programmed I/O, compared the way the paper argues
+// they should be — by how fast an APPLICATION can access the received
+// data, not by raw transfer rate.
+//
+//   * DMA on the 5000/200: data lands in memory uncached; the application
+//     pays a cache-miss stream to read it — but still beats PIO because
+//     word-sized TURBOchannel reads are so expensive.
+//   * DMA on the 3000/600: the crossbar + DMA cache update let the
+//     application read at full speed, concurrent with the transfer.
+//   * PIO: the CPU moves every word across the TURBOchannel itself
+//     (~15 cycles/word read) — the data does end up in the cache.
+#include <cstdio>
+
+#include "host/machine.h"
+#include "mem/cache.h"
+#include "mem/phys.h"
+#include "sim/engine.h"
+#include "tc/turbochannel.h"
+
+namespace {
+
+using namespace osiris;
+
+struct Rates {
+  double transfer_mbps;  // getting the data into host memory
+  double access_mbps;    // application reading it afterwards
+};
+
+Rates dma_path(const host::MachineConfig& mc, std::uint32_t bytes) {
+  sim::Engine eng;
+  mem::PhysicalMemory pm(1 << 22);
+  mem::DataCache cache(pm, mc.cache);
+  tc::TurboChannel bus(eng, mc.bus);
+  host::HostCpu cpu(eng, mc, bus);
+
+  // Transfer: 88-byte DMA writes back to back.
+  sim::Tick t = 0;
+  std::vector<std::uint8_t> chunk(88, 0xAB);
+  for (std::uint32_t off = 0; off < bytes; off += 88) {
+    t = bus.dma_write(t, 88);
+    cache.dma_write(off % (1 << 20), chunk);
+  }
+  const double transfer = sim::mbps(bytes, t);
+
+  // Application access: read it all through the cache.
+  std::vector<std::uint8_t> buf(bytes);
+  const mem::AccessCost cost = cache.cpu_read(0, buf);
+  const sim::Tick t2 =
+      cpu.exec(t, host::Work{mc.cache_cpu_time(cost, bytes, 0.0), cost.mem_words});
+  const double access = sim::mbps(bytes, t2 - t);
+  return {transfer, access};
+}
+
+Rates pio_path(const host::MachineConfig& mc, std::uint32_t bytes) {
+  sim::Engine eng;
+  mem::PhysicalMemory pm(1 << 22);
+  mem::DataCache cache(pm, mc.cache);
+  tc::TurboChannel bus(eng, mc.bus);
+  host::HostCpu cpu(eng, mc, bus);
+
+  // The CPU reads each word from the adaptor across the TURBOchannel and
+  // writes it to the application buffer (which lands in the cache).
+  const sim::Tick t = cpu.pio(0, bus.words(bytes), 0);
+  const double transfer = sim::mbps(bytes, t);
+
+  // Application access afterwards: the PIO loop stored through the CPU,
+  // so the destination lines are resident — model by filling them first.
+  std::vector<std::uint8_t> buf(bytes);
+  cache.cpu_read(0, buf);  // lines now resident (PIO landed via the CPU)
+  const mem::AccessCost cost = cache.cpu_read(0, buf);
+  const sim::Tick t2 =
+      cpu.exec(t, host::Work{mc.cache_cpu_time(cost, bytes, 0.0), cost.mem_words});
+  const double access = sim::mbps(bytes, t2 - t);
+  return {transfer, access};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("DMA vs PIO, by application access rate (paper 2.7)");
+  std::puts("");
+  const std::uint32_t kBytes = 32 * 1024;
+  for (const auto& mc :
+       {host::decstation_5000_200(), host::dec_3000_600()}) {
+    const Rates dma = dma_path(mc, kBytes);
+    const Rates pio = pio_path(mc, kBytes);
+    std::printf("%s\n", mc.name.c_str());
+    std::printf("  DMA:  transfer %6.1f Mbps, then app reads at %6.1f Mbps\n",
+                dma.transfer_mbps, dma.access_mbps);
+    std::printf("  PIO:  transfer %6.1f Mbps, then app reads at %6.1f Mbps\n",
+                pio.transfer_mbps, pio.access_mbps);
+    std::puts("");
+  }
+  std::puts("Paper: on these DEC machines DMA wins — PIO word reads across the");
+  std::puts("TURBOchannel are too slow — but the verdict is machine-dependent:");
+  std::puts("PIO leaves data in the cache, DMA (on the 5000/200) does not.");
+  return 0;
+}

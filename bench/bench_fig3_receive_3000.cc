@@ -1,0 +1,43 @@
+// Reproduces Figure 3: DEC 3000/600 receive-side throughput. The crossbar
+// memory system lets DMA and CPU proceed concurrently and the cache is
+// DMA-coherent, so double-cell DMA approaches the full 516 Mbps link
+// payload bandwidth; UDP checksumming costs ~15% (paper: 438 Mbps).
+#include <cstdio>
+
+#include "osiris/harness.h"
+#include "osiris/node.h"
+
+namespace {
+
+using namespace osiris;
+
+double run(std::uint32_t msg_bytes, bool double_dma, bool cksum) {
+  NodeConfig c = make_3000_600_config();
+  c.board.double_cell_dma_rx = double_dma;
+  sim::Engine eng;
+  Node n(eng, c);
+  proto::StackConfig sc;
+  sc.udp_checksum = cksum;
+  auto stack = n.make_stack(sc);
+  const std::uint64_t msgs = msg_bytes >= 65536 ? 24 : (msg_bytes >= 8192 ? 48 : 96);
+  return harness::receive_throughput(n, *stack, 701, msg_bytes, msgs, sc).mbps;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Figure 3: DEC 3000/600 UDP/IP/OSIRIS receive-side throughput (Mbps)");
+  std::puts("");
+  std::puts("Msg size   double DMA   double+UDP-CS   single DMA   single+UDP-CS");
+  for (std::uint32_t kb = 1; kb <= 256; kb *= 2) {
+    const std::uint32_t bytes = kb * 1024;
+    std::printf("%4u KB      %6.1f        %6.1f        %6.1f        %6.1f\n", kb,
+                run(bytes, true, false), run(bytes, true, true),
+                run(bytes, false, false), run(bytes, false, true));
+  }
+  std::puts("");
+  std::puts("Paper: double-cell approaches the 516 Mbps link payload bandwidth");
+  std::puts("for 16 KB+ messages; with checksumming it drops to ~438 Mbps (the");
+  std::puts("data is read and checksummed at ~90% of link speed).");
+  return 0;
+}

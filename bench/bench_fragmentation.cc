@@ -1,0 +1,82 @@
+// §2.2 ablation: physical buffer fragmentation.
+//
+// Reproduces the paper's compounding example — a 16 KB message through
+// UDP/IP with a 4 KB MTU generates up to 14 physical buffers — and its two
+// mitigations: page-aligned application messages, and an MTU equal to a
+// page multiple plus the header size, so fragment boundaries land on page
+// boundaries. Also shows the best-effort contiguous allocation idea.
+#include <cstdio>
+
+#include "osiris/node.h"
+#include "proto/message.h"
+#include "proto/stack.h"
+
+namespace {
+
+using namespace osiris;
+
+struct Result {
+  double bufs_per_frag;
+  double total_bufs;
+  std::uint64_t frags;
+};
+
+Result run(std::uint32_t msg_bytes, std::uint32_t mtu, std::uint32_t align_off) {
+  Testbed tb(make_5000_200_config(), make_5000_200_config());
+  const std::uint16_t vci = tb.open_kernel_path();
+  proto::StackConfig sc;
+  sc.ip_mtu = mtu;
+  auto sa = tb.a.make_stack(sc);
+  auto sb = tb.b.make_stack(sc);
+  sb->set_sink([](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {});
+
+  std::vector<std::uint8_t> data(msg_bytes, 0x42);
+  proto::Message m =
+      proto::Message::from_payload(tb.a.kernel_space, data, align_off);
+  sa->send(0, vci, m);
+  tb.eng.run();
+
+  Result r;
+  r.frags = sa->buffers_per_pdu().count();
+  r.bufs_per_frag = sa->buffers_per_pdu().mean();
+  r.total_bufs = sa->buffers_per_pdu().sum();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Physical buffer fragmentation (paper 2.2)");
+  std::puts("16 KB message through UDP/IP; driver processes one descriptor per");
+  std::puts("physical buffer, so buffer count is the per-PDU cost driver.");
+  std::puts("");
+  std::puts("configuration                                  frags  total phys bufs");
+
+  const std::uint32_t kMsg = 16 * 1024;
+  struct Case {
+    const char* name;
+    std::uint32_t mtu;
+    std::uint32_t off;
+  };
+  // MTU 4 KB: fragment data of 4076 B never aligns with pages (the paper's
+  // extreme case). MTU 4096+28: fragment boundaries land on page
+  // boundaries when the message is page aligned.
+  const Case cases[] = {
+      {"MTU 4096, message unaligned (worst case)   ", 4096, 100},
+      {"MTU 4096, message page-aligned             ", 4096, 0},
+      {"MTU 4096+hdrs, message unaligned           ", 4096 + 28, 100},
+      {"MTU 4096+hdrs, message page-aligned (fix)  ", 4096 + 28, 0},
+      {"MTU 16K+hdrs (no fragmentation), aligned   ", 16 * 1024 + 28, 0},
+  };
+  for (const Case& c : cases) {
+    const Result r = run(kMsg, c.mtu, c.off);
+    std::printf("%s   %3llu       %4.0f\n", c.name,
+                static_cast<unsigned long long>(r.frags), r.total_bufs);
+  }
+  std::puts("");
+  std::puts("Paper: the 4 KB-MTU worst case costs up to 14 physical buffers for");
+  std::puts("a single 16 KB message; aligning messages and choosing MTU = page");
+  std::puts("multiple + header size makes fragment boundaries coincide with");
+  std::puts("page boundaries.");
+  return 0;
+}

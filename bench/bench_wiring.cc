@@ -1,0 +1,73 @@
+// §2.4 ablation: page wiring on the transmit path.
+//
+// Every page handed to the board for DMA must be wired first. Mach's
+// standard wiring service protects the page-table pages too — far more
+// than DMA needs — which the paper found "surprisingly" expensive; the
+// driver switched to a low-level fast path. This bench shows the effect on
+// both the per-send latency and sustained transmit throughput.
+#include <cstdio>
+
+#include "osiris/harness.h"
+#include "osiris/node.h"
+#include "proto/message.h"
+
+namespace {
+
+using namespace osiris;
+
+double send_latency_us(bool alpha, mem::WiringMode mode, std::uint32_t bytes) {
+  NodeConfig cfg = alpha ? make_3000_600_config() : make_5000_200_config();
+  cfg.driver.wiring = mode;
+  Testbed tb(std::move(cfg),
+             alpha ? make_3000_600_config() : make_5000_200_config());
+  const std::uint16_t vci = tb.open_kernel_path();
+  auto sa = tb.a.make_stack(proto::StackConfig{});
+  auto sb = tb.b.make_stack(proto::StackConfig{});
+  sb->set_sink([](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {});
+  proto::Message m = proto::Message::from_payload(
+      tb.a.kernel_space, std::vector<std::uint8_t>(bytes, 0x31));
+  const sim::Tick done = sa->send(0, vci, m);
+  tb.eng.run();
+  return sim::to_us(done);
+}
+
+double tx_mbps(bool alpha, mem::WiringMode mode) {
+  NodeConfig cfg = alpha ? make_3000_600_config() : make_5000_200_config();
+  cfg.driver.wiring = mode;
+  Testbed tb(std::move(cfg), make_3000_600_config());
+  const std::uint16_t vci = tb.open_kernel_path();
+  auto sa = tb.a.make_stack(proto::StackConfig{});
+  auto sb = tb.b.make_stack(proto::StackConfig{});
+  return harness::transmit_throughput(tb, tb.a, *sa, *sb, vci, 64 * 1024, 20)
+      .mbps;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Page wiring: Mach standard service vs low-level fast path");
+  std::puts("(paper 2.4: wiring sits on the driver's critical path)");
+  std::puts("");
+  std::puts("machine    msg size   send CPU time, fast   send CPU time, Mach std");
+  for (const bool alpha : {false, true}) {
+    for (const std::uint32_t bytes : {4096u, 16 * 1024u, 64 * 1024u}) {
+      std::printf("%-9s  %5u KB       %7.1f us             %7.1f us\n",
+                  alpha ? "3000/600" : "5000/200", bytes / 1024,
+                  send_latency_us(alpha, mem::WiringMode::kFastPath, bytes),
+                  send_latency_us(alpha, mem::WiringMode::kMachStandard, bytes));
+    }
+  }
+  std::puts("");
+  std::puts("Sustained transmit throughput (64 KB messages):");
+  for (const bool alpha : {false, true}) {
+    std::printf("  %-9s fast path %6.1f Mbps;  Mach standard %6.1f Mbps\n",
+                alpha ? "3000/600" : "5000/200",
+                tx_mbps(alpha, mem::WiringMode::kFastPath),
+                tx_mbps(alpha, mem::WiringMode::kMachStandard));
+  }
+  std::puts("");
+  std::puts("The standard service wires page-table pages as well — stronger");
+  std::puts("guarantees than DMA needs; the low-level interface restores the");
+  std::puts("critical path (paper: \"acceptable performance\").");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Prioritized traffic under receiver overload (§3.1).
+//
+// Early demultiplexing gives each data path its own receive queue and
+// buffer pool on the board. When the receiver is overloaded, low-priority
+// queues run out of buffers first, so the BOARD drops those packets
+// before they consume any host cycles — while the high-priority path
+// keeps its service rate. This example builds two paths as separate
+// channels (as ADCs with different priorities), overloads the host, and
+// shows who got dropped and where.
+//
+//   $ ./priority_overload
+#include <cstdio>
+
+#include "adc/adc.h"
+#include "osiris/node.h"
+#include "proto/message.h"
+
+using namespace osiris;
+
+namespace {
+
+adc::Adc::Deps deps_of(Node& n) {
+  return adc::Adc::Deps{n.eng,   n.cfg.machine, n.cpu, n.intc, n.bus, n.pm,
+                        n.cache, n.frames,      n.ram, n.txp,  n.rxp};
+}
+
+}  // namespace
+
+int main() {
+  // Sender: fast Alpha. Receiver: slow DECstation, deliberately starved.
+  NodeConfig recv_cfg = make_5000_200_config();
+  Testbed tb(make_3000_600_config(), std::move(recv_cfg));
+
+  proto::StackConfig sc;
+  sc.mode = proto::StackMode::kRawAtm;
+
+  // Two application channels on the receiver: "video" (high priority, a
+  // generous buffer pool) and "bulk" (low priority, small pool). On the
+  // sender, matching channels to originate the traffic.
+  adc::Adc video_tx(deps_of(tb.a), 1, {800}, 2, sc);
+  adc::Adc bulk_tx(deps_of(tb.a), 2, {801}, 1, sc);
+  adc::Adc video_rx(deps_of(tb.b), 1, {800}, 2, sc);
+  adc::Adc bulk_rx(deps_of(tb.b), 2, {801}, 1, sc);
+
+  // The high-priority consumer keeps up (its thread runs at a higher
+  // scheduling priority, modelled as a short service time); the bulk
+  // consumer lags badly, so ITS free queue drains and ITS packets are
+  // dropped on the board — without stealing anything from video.
+  std::uint64_t video_got = 0, bulk_got = 0;
+  video_rx.driver().set_rx_handler(
+      [&](sim::Tick at, host::RxPduView&) {
+        ++video_got;
+        return at + sim::us(60);
+      });
+  bulk_rx.driver().set_rx_handler(
+      [&](sim::Tick at, host::RxPduView&) {
+        ++bulk_got;
+        return at + sim::us(900);
+      });
+
+  std::vector<std::uint8_t> data(3000, 0x77);
+  proto::Message mv = proto::Message::from_payload(video_tx.space(), data);
+  proto::Message mb = proto::Message::from_payload(bulk_tx.space(), data);
+  video_tx.authorize(mv.scatter());
+  bulk_tx.authorize(mb.scatter());
+
+  constexpr int kMsgs = 60;
+  sim::Tick tv = 0, tb2 = 0;
+  for (int i = 0; i < kMsgs; ++i) {
+    tv = video_tx.send(tv, 800, mv);
+    tb2 = bulk_tx.send(tb2, 801, mb);
+  }
+  tb.eng.run();
+
+  const auto dropped_total =
+      tb.b.rxp.pdus_dropped_nobuf() + tb.b.rxp.pdus_dropped_recvfull();
+  std::puts("Receiver overload with per-path queues (paper 3.1)");
+  std::printf("  video (priority 2): %llu/%d delivered\n",
+              static_cast<unsigned long long>(video_got), kMsgs);
+  std::printf("  bulk  (priority 1): %llu/%d delivered\n",
+              static_cast<unsigned long long>(bulk_got), kMsgs);
+  std::printf("  PDUs dropped BY THE BOARD before consuming host cycles: %llu\n",
+              static_cast<unsigned long long>(dropped_total));
+  std::printf("  host interrupts fielded: %llu (not one per dropped PDU)\n",
+              static_cast<unsigned long long>(tb.b.intc.raised()));
+  std::puts("");
+  std::puts("Early demultiplexing is what makes this possible: the adaptor");
+  std::puts("knows each cell's path (VCI) before spending any host resources");
+  std::puts("on it, so overload sheds exactly the traffic whose consumers lag.");
+  return 0;
+}

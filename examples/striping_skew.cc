@@ -1,0 +1,70 @@
+// Striping and skew (§2.6): runs the same traffic over a clean link and a
+// badly skewed one, with both reassembly strategies, and shows cells being
+// reordered across lanes while PDUs still reassemble intact — plus the
+// cost: the double-cell DMA combining rate collapses.
+//
+//   $ ./striping_skew
+#include <cstdio>
+
+#include "osiris/node.h"
+#include "proto/message.h"
+
+using namespace osiris;
+
+namespace {
+
+void run_case(const char* strategy, double skew_us) {
+  NodeConfig ca = make_3000_600_config();
+  NodeConfig cb = make_3000_600_config();
+  ca.board.reassembly = strategy;
+  cb.board.reassembly = strategy;
+  if (skew_us > 0) ca.link = link::skewed_config(skew_us, 7);
+  Testbed tb(std::move(ca), std::move(cb));
+  const std::uint16_t vci = tb.open_kernel_path();
+  auto sa = tb.a.make_stack(proto::StackConfig{});
+  auto sb = tb.b.make_stack(proto::StackConfig{});
+
+  std::uint64_t ok = 0, bad = 0;
+  std::vector<std::uint8_t> expect(24 * 1024);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  }
+  sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
+    (d == expect ? ok : bad)++;
+  });
+
+  proto::Message m = proto::Message::from_payload(tb.a.kernel_space, expect);
+  sim::Tick t = 0;
+  for (int i = 0; i < 10; ++i) t = sa->send(t, vci, m);
+  tb.eng.run();
+
+  std::printf("  strategy=%-4s skew=%3.0f us: %llu/10 intact, %llu corrupt, "
+              "combine fraction %.2f\n",
+              strategy, skew_us, static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(bad),
+              tb.b.rxp.combine_fraction());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Cell striping over four 155 Mbps lanes, with skew (paper 2.6)");
+  std::puts("");
+  std::puts("Strategy A (\"seq\"): per-cell sequence numbers in the AAL header.");
+  std::puts("Strategy B (\"quad\"): four concurrent per-lane AAL5 reassemblies,");
+  std::puts("no sequence numbers, one extra last-cell framing bit.");
+  std::puts("");
+  std::puts("Clean link:");
+  run_case("seq", 0);
+  run_case("quad", 0);
+  std::puts("Heavily skewed link (path-length offsets + mux and switch jitter):");
+  run_case("seq", 60);
+  run_case("quad", 60);
+  std::puts("");
+  std::puts("Skew never corrupts data — cells stay ordered within each lane and");
+  std::puts("both strategies place payloads by construction — but successive");
+  std::puts("cells rarely arrive adjacent any more, so the 88-byte double-DMA");
+  std::puts("optimization (§2.5.1) stops firing. That is the paper's \"serious");
+  std::puts("disadvantage\" of striping.");
+  return 0;
+}

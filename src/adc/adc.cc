@@ -1,0 +1,79 @@
+#include "adc/adc.h"
+
+#include <stdexcept>
+
+namespace osiris::adc {
+
+Adc::Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
+         int priority, proto::StackConfig stack_cfg)
+    : pair_(pair_index), vcis_(std::move(vcis)) {
+  if (pair_index < 1 || pair_index >= static_cast<int>(dpram::kPagesPerHalf)) {
+    throw std::invalid_argument("Adc: pair index must be 1..15");
+  }
+  space_ = std::make_unique<mem::AddressSpace>(d.pm, d.frames,
+                                               "adc" + std::to_string(pair_index));
+
+  const dpram::ChannelLayout lay =
+      dpram::channel_layout(static_cast<std::uint32_t>(pair_index));
+
+  // The ADC channel driver: identical code to the kernel driver, with a
+  // page-sized buffer pool (applications cannot allocate physically
+  // contiguous multi-page buffers).
+  host::OsirisDriver::Config dcfg;
+  dcfg.rx_buffers = 32;
+  dcfg.rx_buffer_bytes = mem::kPageSize;
+  driver_ = std::make_unique<host::OsirisDriver>(
+      d.eng, d.mc, d.cpu, d.intc, d.bus, d.pm, d.cache, d.frames, d.ram, d.txp,
+      lay, dcfg);
+  driver_->attach(pair_index);
+
+  stack_ = std::make_unique<proto::ProtoStack>(d.eng, d.mc, d.cpu, d.cache,
+                                               d.pm, *driver_, stack_cfg);
+  stack_->attach();
+  // Protocol headers must come from registered pages too: give the
+  // app-linked stack a header arena and authorize it.
+  stack_->use_header_arena(*space_);
+  authorize(stack_->header_buffers());
+
+  // The receive pool the driver just allocated belongs to this ADC's
+  // authorized page list.
+  authorize(driver_->buffer_pool());
+  auto auth = [this](std::uint32_t addr, std::uint32_t len) {
+    return allowed(addr, len);
+  };
+
+  d.txp.add_queue(pair_index, lay.tx, priority, auth);
+  const int free_id = d.rxp.add_free_source(lay.free, auth, pair_index);
+  const int recv_idx = d.rxp.add_recv_channel(lay.recv, pair_index);
+  for (const std::uint16_t vci : vcis_) {
+    d.rxp.map_vci(vci, free_id, -1, recv_idx);
+  }
+
+  d.intc.add_handler(board::Irq::kAccessViolation,
+                     [this](sim::Tick done, int ch) {
+                       if (ch != pair_) return;
+                       ++violations_;
+                       if (violation_handler_) violation_handler_(done);
+                     });
+}
+
+void Adc::authorize(const std::vector<mem::PhysBuffer>& bufs) {
+  for (const auto& b : bufs) {
+    if (b.len == 0) continue;
+    for (std::uint32_t p = mem::page_of(b.addr);
+         p <= mem::page_of(b.addr + b.len - 1); ++p) {
+      auth_frames_.insert(p);
+    }
+  }
+}
+
+bool Adc::allowed(std::uint32_t addr, std::uint32_t len) const {
+  if (len == 0) return true;
+  for (std::uint32_t p = mem::page_of(addr); p <= mem::page_of(addr + len - 1);
+       ++p) {
+    if (!auth_frames_.contains(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace osiris::adc

@@ -1,0 +1,97 @@
+// Application device channels (ADCs) — §3.2, the paper's most novel idea.
+//
+// An ADC gives an application restricted but direct access to the network
+// adaptor, bypassing the OS kernel on the data path. The dual-port memory
+// is partitioned into sixteen page pairs; opening an ADC maps one transmit
+// page and one free/receive page pair into the application's address
+// space. Linked into the application are (a) an ADC channel driver —
+// literally the same driver code as the kernel's, reused here — and (b) a
+// replicated protocol stack.
+//
+// The OS assigns the ADC a set of VCIs, a priority (honoured by the
+// transmit processor), and a list of physical pages the channel may use
+// for DMA. A queued buffer outside that list makes the on-board processor
+// raise an interrupt, which the OS turns into an access-violation
+// exception in the offending process.
+//
+// Host interrupts are still fielded by the kernel (cost: one interrupt
+// service); the handler then signals the ADC channel-driver thread
+// directly — which is why ADC user-to-user latency matches kernel-to-
+// kernel latency within error margins (§4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "board/rx.h"
+#include "board/tx.h"
+#include "host/driver.h"
+#include "host/interrupts.h"
+#include "host/machine.h"
+#include "proto/stack.h"
+
+namespace osiris::adc {
+
+class Adc {
+ public:
+  struct Deps {
+    sim::Engine& eng;
+    const host::MachineConfig& mc;
+    host::HostCpu& cpu;
+    host::InterruptController& intc;
+    tc::TurboChannel& bus;
+    mem::PhysicalMemory& pm;
+    mem::DataCache& cache;
+    mem::FrameAllocator& frames;
+    dpram::DualPortRam& ram;
+    board::TxProcessor& txp;
+    board::RxProcessor& rxp;
+  };
+
+  /// Opens channel pair `pair_index` (1..15) with the given VCIs and
+  /// transmit priority. Registers the queues with both board processors,
+  /// guarded by this ADC's page-authorization predicate.
+  Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
+      int priority, proto::StackConfig stack_cfg);
+
+  /// The application's protection domain.
+  [[nodiscard]] mem::AddressSpace& space() { return *space_; }
+  [[nodiscard]] proto::ProtoStack& stack() { return *stack_; }
+  [[nodiscard]] host::OsirisDriver& driver() { return *driver_; }
+  [[nodiscard]] const std::vector<std::uint16_t>& vcis() const { return vcis_; }
+
+  /// Grants DMA permission for the pages backing `bufs` (the OS does this
+  /// when the application registers its buffers).
+  void authorize(const std::vector<mem::PhysBuffer>& bufs);
+
+  [[nodiscard]] bool allowed(std::uint32_t addr, std::uint32_t len) const;
+
+  /// Sends directly from user space: no syscall, no domain crossing.
+  sim::Tick send(sim::Tick at, std::uint16_t vci, const proto::Message& m) {
+    return stack_->send(at, vci, m);
+  }
+
+  void set_sink(proto::ProtoStack::Sink s) { stack_->set_sink(std::move(s)); }
+
+  /// Called when the board reports this channel DMAing outside its pages;
+  /// models the OS raising an exception in the process.
+  void set_violation_handler(std::function<void(sim::Tick)> h) {
+    violation_handler_ = std::move(h);
+  }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  int pair_;
+  std::vector<std::uint16_t> vcis_;
+  std::unordered_set<std::uint32_t> auth_frames_;
+  std::unique_ptr<mem::AddressSpace> space_;
+  std::unique_ptr<host::OsirisDriver> driver_;
+  std::unique_ptr<proto::ProtoStack> stack_;
+  std::function<void(sim::Tick)> violation_handler_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace osiris::adc

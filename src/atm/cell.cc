@@ -1,0 +1,28 @@
+#include "atm/cell.h"
+
+namespace osiris::atm {
+
+std::array<std::uint8_t, 8> serialize_header(const Cell& c) {
+  return {
+      static_cast<std::uint8_t>(c.vci >> 8),
+      static_cast<std::uint8_t>(c.vci & 0xFF),
+      static_cast<std::uint8_t>(c.pdu_id >> 8),
+      static_cast<std::uint8_t>(c.pdu_id & 0xFF),
+      static_cast<std::uint8_t>(c.seq >> 8),
+      static_cast<std::uint8_t>(c.seq & 0xFF),
+      c.flags,
+      c.len,
+  };
+}
+
+std::uint8_t header_check(const Cell& c) {
+  // Simple xor-rotate over the serialized header; adequate as an error
+  // *detector* stand-in for the ATM HEC in a simulation.
+  std::uint8_t h = 0x5A;
+  for (const std::uint8_t b : serialize_header(c)) {
+    h = static_cast<std::uint8_t>(((h << 1) | (h >> 7)) ^ b);
+  }
+  return h;
+}
+
+}  // namespace osiris::atm

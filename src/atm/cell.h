@@ -1,0 +1,68 @@
+// ATM cell model for the OSIRIS link.
+//
+// OSIRIS carries 44 bytes of payload per cell: the 48-byte ATM payload
+// minus 4 bytes of AAL overhead (paper §2.5). Our AAL header carries, per
+// cell: the VCI path (in the ATM header proper), a per-PDU cell sequence
+// number and PDU identifier (used by skew strategy A, §2.6), framing flags
+// (begin-of-message, per-lane end-of-message used by strategy B's four
+// concurrent AAL5 reassemblies, and the ATM-header "very last cell" bit the
+// paper proposes for short PDUs), and a payload length for partially filled
+// cells.
+//
+// The last cell of every PDU carries an 8-byte trailer (PDU length +
+// CRC-32) inside its payload, AAL5-style, so the trailer consumes real
+// link bandwidth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace osiris::atm {
+
+/// Data bytes per cell (48-byte ATM payload minus 4 bytes AAL overhead).
+constexpr std::uint32_t kCellPayload = 44;
+
+/// Bytes a cell occupies on the wire (5-byte ATM header + 48-byte payload).
+constexpr std::uint32_t kCellWire = 53;
+
+/// Number of striped 155 Mbps sublinks forming the 622 Mbps logical link.
+constexpr int kLanes = 4;
+
+/// AAL trailer: 32-bit PDU length + CRC-32, carried in the final 8 payload
+/// bytes of the last cell.
+constexpr std::uint32_t kTrailerBytes = 8;
+
+enum CellFlags : std::uint8_t {
+  kFlagBom = 1u << 0,       // first cell of a PDU
+  kFlagLaneEom = 1u << 1,   // last cell of this PDU on its lane (strategy B)
+  kFlagLastCell = 1u << 2,  // very last cell of the PDU (ATM-header bit)
+};
+
+struct Cell {
+  std::uint16_t vci = 0;
+  std::uint16_t pdu_id = 0;  // per-VCI PDU identifier (strategy A)
+  std::uint16_t seq = 0;     // cell index within the PDU (strategy A)
+  std::uint8_t flags = 0;
+  std::uint8_t len = 0;      // valid payload bytes, 1..44
+  std::uint8_t hec = 0;      // header checksum, set by seal()
+  std::array<std::uint8_t, kCellPayload> payload{};
+
+  [[nodiscard]] bool bom() const { return (flags & kFlagBom) != 0; }
+  [[nodiscard]] bool lane_eom() const { return (flags & kFlagLaneEom) != 0; }
+  [[nodiscard]] bool last_cell() const { return (flags & kFlagLastCell) != 0; }
+};
+
+/// Serializes the header fields (excluding hec) for HEC computation.
+std::array<std::uint8_t, 8> serialize_header(const Cell& c);
+
+/// 8-bit header checksum (stand-in for ATM HEC). A cell whose header was
+/// corrupted in flight fails this check and is dropped by the receiver.
+std::uint8_t header_check(const Cell& c);
+
+/// Stamps the header checksum. Called by the transmit firmware.
+inline void seal(Cell& c) { c.hec = header_check(c); }
+
+/// Verifies the header checksum on arrival.
+inline bool header_ok(const Cell& c) { return c.hec == header_check(c); }
+
+}  // namespace osiris::atm

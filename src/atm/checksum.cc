@@ -1,0 +1,47 @@
+#include "atm/checksum.h"
+
+#include <array>
+
+namespace osiris::atm {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  std::uint32_t c = state_;
+  for (const std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void InternetChecksum::update(std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    // Big-endian 16-bit words over the byte stream.
+    sum_ += odd_ ? static_cast<std::uint64_t>(b)
+                 : static_cast<std::uint64_t>(b) << 8;
+    odd_ = !odd_;
+  }
+}
+
+std::uint16_t InternetChecksum::value() const {
+  std::uint64_t s = sum_;
+  while ((s >> 16) != 0) s = (s & 0xFFFFu) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xFFFFu);
+}
+
+}  // namespace osiris::atm

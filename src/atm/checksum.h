@@ -1,0 +1,59 @@
+// Checksums used in the simulation.
+//
+//  * CRC-32 (IEEE 802.3 polynomial, as used by AAL5): protects each PDU on
+//    the wire; computed incrementally by the transmit firmware and verified
+//    wherever the data is touched.
+//  * Internet checksum (16-bit one's complement): the UDP-like protocol's
+//    checksum, the mechanism the paper's lazy cache invalidation leans on
+//    to detect stale cache data (§2.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace osiris::atm {
+
+/// Incremental IEEE CRC-32 (reflected, init 0xFFFFFFFF, final xor).
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+  static std::uint32_t of(std::span<const std::uint8_t> data) {
+    Crc32 c;
+    c.update(data);
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// Incremental 16-bit one's-complement Internet checksum.
+class InternetChecksum {
+ public:
+  /// Feeds bytes. May be called repeatedly; byte-stream position parity is
+  /// tracked so odd-length chunks compose correctly.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Final checksum value (one's complement of the running sum).
+  [[nodiscard]] std::uint16_t value() const;
+
+  void reset() {
+    sum_ = 0;
+    odd_ = false;
+  }
+
+  static std::uint16_t of(std::span<const std::uint8_t> data) {
+    InternetChecksum c;
+    c.update(data);
+    return c.value();
+  }
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;
+};
+
+}  // namespace osiris::atm

@@ -1,0 +1,184 @@
+#include "atm/reassembly.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace osiris::atm {
+
+// ---------------------------------------------------------------- SeqRouter
+
+void SeqRouter::on_cell(int /*lane*/, const Cell& c, std::vector<Placement>& place,
+                        std::vector<Completion>& done) {
+  auto [it, fresh] = pdus_.try_emplace(c.pdu_id);
+  Pdu& p = it->second;
+  if (fresh) p.key = next_key_++;
+
+  if (p.have.size() <= c.seq) p.have.resize(c.seq + 1, false);
+  if (p.have[c.seq]) {
+    ++dropped_;  // duplicate seq: corrupted or wrapped id space
+    return;
+  }
+  p.have[c.seq] = true;
+  ++p.received;
+  if (c.last_cell()) {
+    p.ncells = static_cast<std::uint32_t>(c.seq) + 1;
+    p.wire_bytes = static_cast<std::uint32_t>(c.seq) * kCellPayload + c.len;
+  }
+
+  place.push_back({p.key, static_cast<std::uint32_t>(c.seq) * kCellPayload, c});
+
+  if (p.ncells != 0 && p.received == p.ncells) {
+    done.push_back({p.key, p.wire_bytes});
+    pdus_.erase(it);
+  }
+}
+
+// --------------------------------------------------------------- QuadRouter
+//
+// Lane attribution. Every PDU starts on lane 0 (the transmit firmware
+// restarts its stripe rotation for each PDU), so cell `seq` travels on lane
+// `seq % 4` and lane 0 carries at least one cell of every PDU. Lane 0's
+// stream is therefore a complete, in-order sequence of PDU portions and is
+// always attributable. Higher lanes skip short PDUs entirely; a cell at the
+// start of a lane-l portion can be attributed to the lane's current PDU
+// only once we can prove that PDU has (min bound) or lacks (max bound) a
+// cell with seq == l. Bounds come from flags on already-placed cells:
+//
+//   placed cell seq s:            ncells >= s+1
+//   ... without kFlagLastCell:    ncells >= s+2
+//   ... with kFlagLastCell:       ncells == s+1 (exact)
+//   ... with kFlagLaneEom:        ncells <= s+4 (no further cell on lane)
+//   ... without kFlagLaneEom:     ncells >= s+5 (another cell on this lane)
+
+QuadRouter::Pdu& QuadRouter::pdu_state(std::uint64_t idx) { return pdus_[idx]; }
+
+std::size_t QuadRouter::inflight() const {
+  std::size_t n = 0;
+  for (const auto& [idx, p] : pdus_) {
+    if (!p.completed && p.received > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t QuadRouter::queued() const {
+  std::size_t n = 0;
+  for (const Lane& l : lanes_) n += l.queue.size();
+  return n;
+}
+
+void QuadRouter::place_cell(int lane, const Cell& c, std::uint64_t pdu_idx,
+                            std::uint32_t seq, std::vector<Placement>& place,
+                            std::vector<Completion>& done) {
+  Pdu& p = pdu_state(pdu_idx);
+  ++p.received;
+
+  // Tighten ncells bounds from this cell's flags.
+  p.min_cells = std::max(p.min_cells, seq + 1);
+  if (c.last_cell()) {
+    p.ncells = seq + 1;
+    p.min_cells = std::max(p.min_cells, p.ncells);
+    p.max_cells = std::min(p.max_cells, p.ncells);
+    p.wire_bytes = seq * kCellPayload + c.len;
+  } else {
+    p.min_cells = std::max(p.min_cells, seq + 2);
+  }
+  if (c.lane_eom()) {
+    p.max_cells = std::min(p.max_cells, seq + kLanes);
+  } else {
+    p.min_cells = std::max(p.min_cells, seq + kLanes + 1);
+  }
+
+  place.push_back({pdu_idx, seq * kCellPayload, c});
+
+  if (p.ncells != 0 && p.received == p.ncells) {
+    done.push_back({pdu_idx, p.wire_bytes});
+    p.completed = true;
+  }
+
+  // Advance this lane past the portion if it just ended.
+  Lane& l = lanes_[lane];
+  if (c.lane_eom()) {
+    l.pdu = pdu_idx + 1;
+    l.in_lane = 0;
+  } else {
+    l.in_lane = seq / kLanes + 1;
+  }
+
+  // Drop fully completed PDUs that no lane can still reference.
+  while (!pdus_.empty()) {
+    const auto it = pdus_.begin();
+    if (!it->second.completed) break;
+    bool referenced = false;
+    for (const Lane& ln : lanes_) {
+      if (ln.pdu <= it->first) referenced = true;
+    }
+    if (referenced) break;
+    pdus_.erase(it);
+  }
+}
+
+void QuadRouter::drain(std::vector<Placement>& place, std::vector<Completion>& done) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int lane = 0; lane < kLanes; ++lane) {
+      Lane& l = lanes_[lane];
+      while (!l.queue.empty()) {
+        const Cell head = l.queue.front();
+        if (l.in_lane > 0) {
+          // Mid-portion: unambiguous continuation of the current PDU.
+          l.queue.pop_front();
+          place_cell(lane, head, l.pdu,
+                     l.in_lane * kLanes + static_cast<std::uint32_t>(lane),
+                     place, done);
+          progress = true;
+          continue;
+        }
+        // Portion start: the head is the first lane-`lane` cell of l.pdu
+        // only if l.pdu provably has one; skip l.pdu if it provably lacks
+        // one; otherwise wait for more information.
+        if (lane == 0) {
+          // Every PDU has a lane-0 cell; always attributable.
+          l.queue.pop_front();
+          place_cell(lane, head, l.pdu, static_cast<std::uint32_t>(lane),
+                     place, done);
+          progress = true;
+          continue;
+        }
+        const Pdu& p = pdu_state(l.pdu);
+        if (p.min_cells > static_cast<std::uint32_t>(lane)) {
+          l.queue.pop_front();
+          place_cell(lane, head, l.pdu, static_cast<std::uint32_t>(lane),
+                     place, done);
+          progress = true;
+        } else if (p.max_cells <= static_cast<std::uint32_t>(lane)) {
+          // l.pdu has no cell on this lane; try the next PDU.
+          ++l.pdu;
+          progress = true;
+        } else {
+          break;  // ambiguous; wait for bounds to tighten
+        }
+      }
+    }
+  }
+}
+
+void QuadRouter::on_cell(int lane, const Cell& c, std::vector<Placement>& place,
+                         std::vector<Completion>& done) {
+  if (lane < 0 || lane >= kLanes) {
+    throw std::invalid_argument("QuadRouter: bad lane " + std::to_string(lane));
+  }
+  lanes_[lane].queue.push_back(c);
+  drain(place, done);
+}
+
+std::unique_ptr<CellRouter> make_router(const char* strategy) {
+  const std::string s = strategy;
+  if (s == "seq") return std::make_unique<SeqRouter>();
+  if (s == "quad") return std::make_unique<QuadRouter>();
+  throw std::invalid_argument("make_router: unknown strategy " + s);
+}
+
+}  // namespace osiris::atm

@@ -1,0 +1,110 @@
+#include "atm/sar.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace osiris::atm {
+
+std::array<std::uint8_t, kTrailerBytes> encode_trailer(const Trailer& t) {
+  return {
+      static_cast<std::uint8_t>(t.pdu_len >> 24),
+      static_cast<std::uint8_t>(t.pdu_len >> 16),
+      static_cast<std::uint8_t>(t.pdu_len >> 8),
+      static_cast<std::uint8_t>(t.pdu_len),
+      static_cast<std::uint8_t>(t.crc >> 24),
+      static_cast<std::uint8_t>(t.crc >> 16),
+      static_cast<std::uint8_t>(t.crc >> 8),
+      static_cast<std::uint8_t>(t.crc),
+  };
+}
+
+std::optional<Trailer> decode_trailer(std::span<const std::uint8_t> wire_pdu) {
+  if (wire_pdu.size() < kTrailerBytes) return std::nullopt;
+  const auto t = wire_pdu.subspan(wire_pdu.size() - kTrailerBytes);
+  Trailer out;
+  out.pdu_len = (static_cast<std::uint32_t>(t[0]) << 24) |
+                (static_cast<std::uint32_t>(t[1]) << 16) |
+                (static_cast<std::uint32_t>(t[2]) << 8) | t[3];
+  out.crc = (static_cast<std::uint32_t>(t[4]) << 24) |
+            (static_cast<std::uint32_t>(t[5]) << 16) |
+            (static_cast<std::uint32_t>(t[6]) << 8) | t[7];
+  return out;
+}
+
+std::uint32_t cells_for(std::uint32_t pdu_len) {
+  return (wire_len(pdu_len) + kCellPayload - 1) / kCellPayload;
+}
+
+Cell make_cell_header(std::uint16_t vci, std::uint16_t pdu_id, std::uint32_t seq,
+                      std::uint32_t ncells, std::uint32_t wire_bytes) {
+  if (seq >= ncells) throw std::invalid_argument("make_cell_header: seq >= ncells");
+  Cell c;
+  c.vci = vci;
+  c.pdu_id = pdu_id;
+  c.seq = static_cast<std::uint16_t>(seq);
+  c.flags = 0;
+  if (seq == 0) c.flags |= kFlagBom;
+  if (seq + kLanes >= ncells) c.flags |= kFlagLaneEom;  // last on its lane
+  if (seq + 1 == ncells) c.flags |= kFlagLastCell;
+  const std::uint32_t offset = seq * kCellPayload;
+  c.len = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(kCellPayload, wire_bytes - offset));
+  return c;
+}
+
+std::vector<Cell> segment(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+                          std::uint16_t pdu_id) {
+  Trailer t;
+  t.pdu_len = static_cast<std::uint32_t>(pdu.size());
+  t.crc = Crc32::of(pdu);
+  const auto trailer = encode_trailer(t);
+
+  // Wire byte stream = user bytes followed by trailer.
+  std::vector<std::uint8_t> wire(pdu.begin(), pdu.end());
+  wire.insert(wire.end(), trailer.begin(), trailer.end());
+
+  const std::uint32_t ncells = cells_for(t.pdu_len);
+  std::vector<Cell> out;
+  out.reserve(ncells);
+  for (std::uint32_t s = 0; s < ncells; ++s) {
+    Cell c = make_cell_header(vci, pdu_id, s, ncells,
+                              static_cast<std::uint32_t>(wire.size()));
+    std::copy_n(wire.begin() + s * kCellPayload, c.len, c.payload.begin());
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool PduAssembler::add(const Cell& c) {
+  const std::uint32_t offset = static_cast<std::uint32_t>(c.seq) * kCellPayload;
+  const std::uint32_t end = offset + c.len;
+  if (bytes_.size() < end) bytes_.resize(end);
+  if (have_.size() <= c.seq) have_.resize(c.seq + 1, false);
+  if (have_[c.seq]) {
+    // Duplicate delivery: accept only if identical.
+    return std::equal(c.payload.begin(), c.payload.begin() + c.len,
+                      bytes_.begin() + offset);
+  }
+  have_[c.seq] = true;
+  ++received_;
+  std::copy_n(c.payload.begin(), c.len, bytes_.begin() + offset);
+  wire_bytes_ = std::max(wire_bytes_, end);
+  if (c.last_cell()) ncells_ = static_cast<std::uint32_t>(c.seq) + 1;
+  return true;
+}
+
+bool PduAssembler::complete() const {
+  return ncells_.has_value() && received_ == *ncells_;
+}
+
+std::optional<std::vector<std::uint8_t>> PduAssembler::finish() const {
+  if (!complete()) return std::nullopt;
+  const auto trailer = decode_trailer({bytes_.data(), bytes_.size()});
+  if (!trailer) return std::nullopt;
+  if (trailer->pdu_len + kTrailerBytes != wire_bytes_) return std::nullopt;
+  std::vector<std::uint8_t> pdu(bytes_.begin(), bytes_.begin() + trailer->pdu_len);
+  if (Crc32::of(pdu) != trailer->crc) return std::nullopt;
+  return pdu;
+}
+
+}  // namespace osiris::atm

@@ -1,0 +1,83 @@
+// Segmentation and (in-memory) reassembly primitives.
+//
+// The transmit firmware segments a PDU's byte stream into cells; the
+// receive firmware maps cells back to byte offsets (see reassembly.h for
+// the skew-tolerant offset logic). This header holds the pure, fully
+// testable pieces: cell-boundary planning, trailer encode/decode, a
+// reference segmenter, and a reference assembler used by tests and by the
+// host-side verification path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "atm/cell.h"
+#include "atm/checksum.h"
+
+namespace osiris::atm {
+
+/// AAL trailer carried in the final 8 payload bytes of the last cell.
+struct Trailer {
+  std::uint32_t pdu_len = 0;  // user PDU bytes (excluding the trailer itself)
+  std::uint32_t crc = 0;      // CRC-32 over the user PDU bytes
+};
+
+/// Encodes `t` into 8 bytes (big-endian).
+std::array<std::uint8_t, kTrailerBytes> encode_trailer(const Trailer& t);
+
+/// Decodes a trailer from the last 8 bytes of `wire_pdu` (the byte stream
+/// as it appears on the link: user bytes followed by the trailer).
+std::optional<Trailer> decode_trailer(std::span<const std::uint8_t> wire_pdu);
+
+/// Number of cells needed for a PDU of `pdu_len` user bytes (the trailer
+/// adds kTrailerBytes to the wire length). `pdu_len` may be 0 (a trailer-
+/// only PDU still takes one cell).
+std::uint32_t cells_for(std::uint32_t pdu_len);
+
+/// Wire length (user bytes + trailer) of a PDU.
+constexpr std::uint32_t wire_len(std::uint32_t pdu_len) {
+  return pdu_len + kTrailerBytes;
+}
+
+/// Fills in the header of cell `seq` of a PDU with `ncells` cells total:
+/// sequence number, flags (BOM / per-lane EOM / last-cell), and payload
+/// length for the given wire length. Payload bytes are NOT filled.
+Cell make_cell_header(std::uint16_t vci, std::uint16_t pdu_id, std::uint32_t seq,
+                      std::uint32_t ncells, std::uint32_t wire_bytes);
+
+/// Reference segmenter: turns a user PDU into the full cell train,
+/// computing the CRC-32 and appending the trailer. The board's transmit
+/// firmware produces an identical train incrementally via DMA; tests
+/// compare the two.
+std::vector<Cell> segment(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+                          std::uint16_t pdu_id);
+
+/// Reference assembler: collects cells (any order, identified by seq),
+/// reconstructs the wire byte stream, verifies the trailer CRC, and
+/// returns the user PDU bytes.
+class PduAssembler {
+ public:
+  /// Adds one cell. Returns false if the cell is inconsistent (duplicate
+  /// seq with different content, overflow).
+  bool add(const Cell& c);
+
+  /// True once every cell of the PDU has arrived.
+  [[nodiscard]] bool complete() const;
+
+  /// Extracts the user PDU. Requires complete(); returns nullopt when the
+  /// CRC check fails.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> finish() const;
+
+  [[nodiscard]] std::uint32_t cells_received() const { return received_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::vector<bool> have_;            // per-seq arrival bitmap
+  std::uint32_t received_ = 0;
+  std::optional<std::uint32_t> ncells_;
+  std::uint32_t wire_bytes_ = 0;
+};
+
+}  // namespace osiris::atm

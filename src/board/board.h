@@ -1,0 +1,86 @@
+// OSIRIS board: shared firmware configuration and interrupt definitions.
+//
+// The board has two mostly independent halves — send and receive — each
+// controlled by an Intel 80960 (paper §1). Software on those processors
+// defines the host interface; this module is that software, driven by the
+// event engine. Each half owns a sim::Resource modelling its i960, so
+// firmware decision time pipelines against DMA and link time exactly as
+// the paper describes (e.g. reassembly sustains ~OC-12 in the common
+// case, §5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.h"
+
+namespace osiris::board {
+
+struct BoardConfig {
+  double i960_hz = 25e6;
+
+  // Firmware instruction budgets, as time per decision. The paper's §5
+  // observes reassembly ran at "approximately OC-12 speeds" in software: a
+  // 622 Mbps link delivers a cell every ~0.68 us, so per-cell firmware
+  // cost must sit just below that.
+  sim::Duration fw_tx_per_dma = sim::us(0.50);   // segmentation + DMA cmd
+  sim::Duration fw_tx_per_descriptor = sim::us(1.5);
+  sim::Duration fw_rx_per_dma = sim::us(0.60);   // reassembly + DMA cmd
+  sim::Duration fw_rx_per_pdu = sim::us(2.0);    // completion bookkeeping
+  sim::Duration poll_latency = sim::us(2.0);     // doorbell-to-service
+
+  // Extra TURBOchannel cycles per transmit DMA for command/descriptor
+  // fetch by the i960. This is why sustained transmit tops out near the
+  // paper's 325 Mbps rather than the 367 Mbps pure-DMA bound (§4, Fig 4).
+  std::uint32_t tx_dma_setup_cycles = 2;
+
+  // DMA length (§2.5.1): single (44 B) or double (88 B) cell payloads per
+  // transaction. The paper's receive-side double-cell change was done; the
+  // transmit-side change was "underway" — both are available here.
+  bool double_cell_dma_tx = false;
+  bool double_cell_dma_rx = true;
+
+  // §2.5.2: the DMA controller stops at page boundaries and accepts a
+  // second address to fill the rest of the cell.
+  bool page_boundary_stop = true;
+
+  // The ORIGINAL controller design §2.5.2 argues against: every transmit
+  // transfer moves exactly one full cell payload from a single address.
+  // A buffer that ends mid-cell keeps transferring — leaking whatever
+  // physical memory follows the buffer onto the wire (the paper's NFS
+  // page example / security risk), and putting partially-meaningful cells
+  // in the middle of multi-buffer PDUs (breaking interoperability).
+  bool fixed_length_dma_tx = false;
+
+  // Receive reassembly strategy for striping skew (§2.6): "seq" or "quad".
+  std::string reassembly = "quad";
+
+  // On-board receive header FIFO; overflow drops cells (receiver
+  // overload). 192 entries of per-cell header state is ~1.5 KB of
+  // hardware; the depth also absorbs the coarse-grained bus-arbitration
+  // model's worst-case DMA stall behind a host memory phase (see
+  // tc::TurboChannel::cpu_memory).
+  std::uint32_t rx_fifo_depth = 192;
+
+  // How long the receive firmware holds a DMA hoping to combine the next
+  // contiguous cell into a double-length transfer, in units of cell times.
+  double combine_wait_cell_times = 2.0;
+};
+
+/// Interrupts the board can assert (fielded by the kernel, §3.2).
+enum class Irq {
+  kRxNonEmpty,       // a receive queue went empty -> non-empty
+  kTxHalfEmpty,      // a previously-full transmit queue drained to half
+  kAccessViolation,  // an ADC queued a buffer outside its authorized pages
+};
+
+/// Callback into the host interrupt controller: (irq, channel index).
+using IrqSink = std::function<void(Irq, int)>;
+
+/// Authorization predicate for ADC channels: may the channel DMA to/from
+/// [addr, addr+len)? The kernel channel has no predicate (everything is
+/// allowed).
+using PageAuth = std::function<bool(std::uint32_t, std::uint32_t)>;
+
+}  // namespace osiris::board

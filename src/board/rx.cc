@@ -1,0 +1,402 @@
+#include "board/rx.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "atm/sar.h"
+
+namespace osiris::board {
+
+RxProcessor::RxProcessor(sim::Engine& eng, const BoardConfig& cfg,
+                         tc::TurboChannel& bus, mem::DataCache& cache,
+                         dpram::DualPortRam& ram)
+    : eng_(&eng),
+      cfg_(cfg),
+      bus_(&bus),
+      cache_(&cache),
+      ram_(&ram),
+      i960_(eng, "rx.i960") {}
+
+int RxProcessor::add_free_source(const dpram::QueueLayout& lay, PageAuth auth,
+                                 int channel_id) {
+  free_sources_.push_back(FreeSource{
+      dpram::QueueReader(*ram_, lay, dpram::Side::kBoard), std::move(auth),
+      channel_id});
+  return static_cast<int>(free_sources_.size()) - 1;
+}
+
+int RxProcessor::add_recv_channel(const dpram::QueueLayout& lay, int channel_id) {
+  recv_channels_.push_back(RecvChannel{
+      dpram::QueueWriter(*ram_, lay, dpram::Side::kBoard), channel_id, 0});
+  return static_cast<int>(recv_channels_.size()) - 1;
+}
+
+void RxProcessor::map_vci(std::uint16_t vci, int free_id, int fallback_free_id,
+                          int recv_idx) {
+  vci_map_[vci] = VciMap{free_id, fallback_free_id, recv_idx};
+}
+
+void RxProcessor::unmap_vci(std::uint16_t vci) {
+  vci_map_.erase(vci);
+  routers_.erase(vci);
+}
+
+atm::CellRouter& RxProcessor::router_for(std::uint16_t vci) {
+  auto it = routers_.find(vci);
+  if (it == routers_.end()) {
+    it = routers_.emplace(vci, atm::make_router(cfg_.reassembly.c_str())).first;
+  }
+  return *it->second;
+}
+
+std::size_t RxProcessor::fifo_occupancy() {
+  // A cell occupies the on-board FIFO from arrival until its payload's DMA
+  // completes (entries are pushed by issue_dma with per-cell completion
+  // times). The pending combine slot holds up to two more.
+  const sim::Tick now = eng_->now();
+  while (!inflight_.empty() && inflight_.front() <= now) inflight_.pop_front();
+  std::size_t n = inflight_.size();
+  if (pending_.valid) {
+    n += (pending_.bytes.size() + atm::kCellPayload - 1) / atm::kCellPayload;
+  }
+  return n;
+}
+
+void RxProcessor::on_cell(int lane, const atm::Cell& c) {
+  ++cells_received_;
+  if (!atm::header_ok(c)) {
+    // Header protection failed (or the cell was corrupted onto an unknown
+    // VCI); the cell is discarded here, and the PDU it belonged to will
+    // never complete.
+    ++cells_bad_header_;
+    return;
+  }
+  if (fifo_occupancy() >= cfg_.rx_fifo_depth) {
+    ++cells_fifo_dropped_;
+    sim::trace_event(trace_, eng_->now(), "rx", "fifo_drop", c.vci, c.seq);
+    return;
+  }
+  accept_cell(lane, c);
+}
+
+void RxProcessor::accept_cell(int lane, const atm::Cell& c) {
+  // Unmapped VCI: no reassembly state, no host buffers — drop.
+  if (!vci_map_.contains(c.vci)) {
+    ++cells_bad_header_;
+    return;
+  }
+  std::vector<atm::Placement> places;
+  std::vector<atm::Completion> dones;
+  router_for(c.vci).on_cell(lane, c, places, dones);
+  for (const auto& pl : places) handle_placement(c.vci, pl);
+  for (const auto& dn : dones) handle_completion(c.vci, dn);
+}
+
+RxProcessor::RxPdu* RxProcessor::pdu_for(std::uint16_t vci, std::uint64_t pdu,
+                                         std::uint64_t* key_out) {
+  const std::uint64_t key = pdu_map_key(vci, pdu);
+  if (key_out != nullptr) *key_out = key;
+  auto it = pdus_.find(key);
+  if (it == pdus_.end()) {
+    const auto& vm = vci_map_.at(vci);
+    RxPdu p;
+    p.recv_idx = vm.recv_idx;
+    p.free_id = vm.free_id;
+    p.fallback = vm.fallback;
+    p.started = eng_->now();
+    it = pdus_.emplace(key, std::move(p)).first;
+    key_vci_[key] = vci;
+  }
+  return &it->second;
+}
+
+bool RxProcessor::ensure_capacity(RxPdu& p, std::uint64_t need) {
+  while (p.alloc_cap < need) {
+    int src = p.free_id;
+    std::optional<dpram::Descriptor> d;
+    while (src >= 0) {
+      FreeSource& fs = free_sources_[static_cast<std::size_t>(src)];
+      d = fs.reader.pop();
+      if (d) {
+        // ADC authorization (§3.2): an unauthorized buffer is skipped and
+        // the OS is interrupted to raise an exception in the application.
+        if (fs.auth && !fs.auth(d->addr, d->len)) {
+          ++auth_violations_;
+          if (irq_) irq_(Irq::kAccessViolation, fs.channel_id);
+          d.reset();
+          continue;  // try the next descriptor from the same source
+        }
+        break;
+      }
+      // Source exhausted: fall back (cached fbuf queue -> uncached, §3.1).
+      src = (src == p.free_id && p.fallback != p.free_id) ? p.fallback : -1;
+    }
+    if (!d) return false;
+    i960_.reserve(cfg_.fw_rx_per_dma);  // free-queue pop firmware cost
+    p.bufs.push_back(PduBuf{d->addr, d->len, 0, d->user, false});
+    p.alloc_cap += d->len;
+  }
+  return true;
+}
+
+void RxProcessor::handle_placement(std::uint16_t vci, const atm::Placement& pl) {
+  const std::uint64_t key = pdu_map_key(vci, pl.pdu);
+
+  // Try to combine with the pending payload (§2.5.1): contiguous offsets
+  // of the same PDU, up to two cell payloads per DMA.
+  if (pending_.valid) {
+    const bool mergeable =
+        cfg_.double_cell_dma_rx && pending_.key == key &&
+        pl.offset == pending_.offset + pending_.bytes.size() &&
+        pending_.bytes.size() + pl.cell.len <= 2 * atm::kCellPayload;
+    if (mergeable) {
+      pending_.bytes.insert(pending_.bytes.end(), pl.cell.payload.begin(),
+                            pl.cell.payload.begin() + pl.cell.len);
+      flush_pending();  // two payloads: issue the double-length DMA now
+      return;
+    }
+    flush_pending();
+  }
+
+  pending_.valid = true;
+  pending_.key = key;
+  pending_.offset = pl.offset;
+  pending_.bytes.assign(pl.cell.payload.begin(),
+                        pl.cell.payload.begin() + pl.cell.len);
+  ++pending_.flush_gen;
+  if (!cfg_.double_cell_dma_rx) {
+    flush_pending();
+  } else {
+    schedule_flush_timer();
+  }
+}
+
+void RxProcessor::schedule_flush_timer() {
+  const std::uint64_t gen = pending_.flush_gen;
+  const auto wait = static_cast<sim::Duration>(cfg_.combine_wait_cell_times *
+                                               static_cast<double>(sim::ns(681.6)));
+  eng_->schedule(wait, [this, gen] {
+    if (pending_.valid && pending_.flush_gen == gen) flush_pending();
+  });
+}
+
+void RxProcessor::flush_pending() {
+  if (!pending_.valid) return;
+  pending_.valid = false;
+  // Create or find the PDU's reassembly state (key encodes the VCI).
+  const auto vci = static_cast<std::uint16_t>(pending_.key >> 48);
+  const std::uint64_t local = pending_.key & 0xFFFFFFFFFFFFull;
+  RxPdu* p = pdu_for(vci, local, nullptr);
+  if (p->dropped) return;
+  issue_dma(*p, pending_.offset, pending_.bytes);
+  if (!p->dropped) try_push(pending_.key, *p);
+}
+
+void RxProcessor::issue_dma(RxPdu& p, std::uint32_t offset,
+                            const std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t need = static_cast<std::uint64_t>(offset) + bytes.size();
+  if (!ensure_capacity(p, need)) {
+    p.dropped = true;
+    ++pdus_dropped_nobuf_;
+    sim::trace_event(trace_, eng_->now(), "rx", "drop_nobuf",
+                     static_cast<std::uint64_t>(p.recv_idx), need);
+    return;
+  }
+  // Firmware decision time (one per DMA command).
+  sim::Tick t = i960_.reserve(cfg_.fw_rx_per_dma);
+
+  // Split at buffer boundaries (buffers are physically contiguous, so no
+  // further page split is needed inside one).
+  std::uint64_t cursor = offset;
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    // Locate the buffer containing `cursor`.
+    std::uint64_t base = 0;
+    std::size_t bi = 0;
+    for (; bi < p.bufs.size(); ++bi) {
+      if (cursor < base + p.bufs[bi].cap) break;
+      base += p.bufs[bi].cap;
+    }
+    if (bi == p.bufs.size()) throw std::logic_error("RxProcessor: offset beyond buffers");
+    PduBuf& b = p.bufs[bi];
+    const auto inner = static_cast<std::uint32_t>(cursor - base);
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(bytes.size() - done, b.cap - inner));
+    t = bus_->dma_write(t, n);
+    cache_->dma_write(b.addr + inner, {bytes.data() + done, n});
+    b.filled += n;
+    ++dma_ops_;
+    if (n > atm::kCellPayload) ++combined_dma_ops_;
+    cursor += n;
+    done += n;
+  }
+  // The cells covered by this DMA leave the on-board FIFO when it lands.
+  const std::size_t cells =
+      (bytes.size() + atm::kCellPayload - 1) / atm::kCellPayload;
+  for (std::size_t i = 0; i < cells; ++i) inflight_.push_back(t);
+  p.last_dma = std::max(p.last_dma, t);
+}
+
+void RxProcessor::handle_completion(std::uint16_t vci, const atm::Completion& c) {
+  const std::uint64_t key = pdu_map_key(vci, c.pdu);
+  if (pending_.valid && pending_.key == key) flush_pending();
+  const auto it = pdus_.find(key);
+  if (it == pdus_.end()) return;
+  RxPdu& p = it->second;
+  if (p.dropped) {
+    pdus_.erase(it);
+    key_vci_.erase(key);
+    return;
+  }
+  p.complete = true;
+  p.wire_len = c.wire_bytes;
+  i960_.reserve(cfg_.fw_rx_per_pdu);
+  ++pdus_completed_;
+  sim::trace_event(trace_, eng_->now(), "rx", "pdu_done", vci, p.wire_len);
+  try_push(key, p);
+  pdus_.erase(it);
+  key_vci_.erase(key);
+}
+
+void RxProcessor::try_push(std::uint64_t key, RxPdu& p) {
+  if (p.dropped) return;
+  // Identify, once complete, the last buffer holding data.
+  std::size_t last_idx = 0;
+  if (p.complete) {
+    std::uint64_t base = 0;
+    for (std::size_t i = 0; i < p.bufs.size(); ++i) {
+      if (p.wire_len - 1 < base + p.bufs[i].cap) {
+        last_idx = i;
+        break;
+      }
+      base += p.bufs[i].cap;
+    }
+  }
+  const std::uint16_t vci = key_vci_.count(key) != 0 ? key_vci_[key]
+                                                     : static_cast<std::uint16_t>(key >> 48);
+  while (p.next_push < p.bufs.size()) {
+    const std::uint32_t i = p.next_push;
+    PduBuf& b = p.bufs[i];
+    const bool is_last = p.complete && i == last_idx;
+    if (b.filled == b.cap && !is_last) {
+      push_buffer(p, i, /*eop=*/false, key, vci, p.last_dma);
+      ++p.next_push;
+      continue;
+    }
+    if (is_last) {
+      push_buffer(p, i, /*eop=*/true, key, vci, p.last_dma);
+      ++p.next_push;
+      continue;
+    }
+    break;
+  }
+}
+
+void RxProcessor::push_buffer(RxPdu& p, std::uint32_t idx, bool eop,
+                              std::uint64_t pdu_tag, std::uint16_t vci,
+                              sim::Tick at) {
+  RecvChannel& ch = recv_channels_[static_cast<std::size_t>(p.recv_idx)];
+  const PduBuf& b = p.bufs[idx];
+  dpram::Descriptor d;
+  d.addr = b.addr;
+  d.len = b.filled;
+  d.vci = vci;
+  d.flags = rx_desc_flags(eop, pdu_tag);
+  d.user = b.user;
+
+  sim::Tick when = std::max(at, ch.push_horizon);
+  if (when < eng_->now()) when = eng_->now();
+  ch.push_horizon = when;
+  const int recv_idx = p.recv_idx;
+  eng_->schedule_at(when, [this, recv_idx, d] {
+    RecvChannel& c = recv_channels_[static_cast<std::size_t>(recv_idx)];
+    const bool was_empty = c.writer.size() == 0;
+    const auto res = c.writer.push(d);
+    if (!res.ok) {
+      ++pdus_dropped_recvfull_;
+      sim::trace_event(trace_, eng_->now(), "rx", "drop_recvfull",
+                       static_cast<std::uint64_t>(recv_idx), d.vci);
+      return;
+    }
+    if (was_empty && irq_) {
+      sim::trace_event(trace_, eng_->now(), "rx", "irq_nonempty",
+                       static_cast<std::uint64_t>(c.channel_id), d.vci);
+      irq_(Irq::kRxNonEmpty, c.channel_id);
+    }
+  });
+}
+
+std::uint64_t RxProcessor::purge_incomplete(sim::Duration max_age) {
+  const sim::Tick now = eng_->now();
+  std::uint64_t purged = 0;
+  for (auto it = pdus_.begin(); it != pdus_.end();) {
+    const RxPdu& p = it->second;
+    if (!p.complete && now >= p.started && now - p.started > max_age) {
+      if (pending_.valid && pending_.key == it->first) pending_.valid = false;
+      key_vci_.erase(it->first);
+      it = pdus_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+void RxProcessor::start_generator(std::uint16_t vci, std::vector<std::uint8_t> pdu,
+                                  std::uint64_t count, sim::Duration cell_period) {
+  start_generator_multi(vci, {std::move(pdu)}, count, cell_period);
+}
+
+void RxProcessor::start_generator_multi(
+    std::uint16_t vci, const std::vector<std::vector<std::uint8_t>>& pdus,
+    std::uint64_t count, sim::Duration cell_period) {
+  gen_trains_.clear();
+  for (const auto& p : pdus) {
+    gen_trains_.push_back(atm::segment({p.data(), p.size()}, vci, 0));
+  }
+  gen_vci_ = vci;
+  gen_remaining_ = count;
+  gen_train_idx_ = 0;
+  gen_cell_idx_ = 0;
+  gen_pdu_id_ = 0;
+  gen_period_ = cell_period == 0 ? sim::ns(681.6) : cell_period;
+  if (!gen_active_ && count > 0 && !gen_trains_.empty()) {
+    gen_active_ = true;
+    eng_->schedule(0, [this] { step_generator(); });
+  }
+}
+
+void RxProcessor::step_generator() {
+  if (gen_remaining_ == 0) {
+    gen_active_ = false;
+    return;
+  }
+  if (fifo_occupancy() >= cfg_.rx_fifo_depth) {
+    // Host can't absorb yet: stall the generator one cell period.
+    eng_->schedule(gen_period_, [this] { step_generator(); });
+    return;
+  }
+  atm::Cell c = gen_trains_[gen_train_idx_][gen_cell_idx_];
+  c.pdu_id = gen_pdu_id_;
+  atm::seal(c);
+  accept_cell(static_cast<int>(c.seq % atm::kLanes), c);
+  ++cells_received_;
+  ++gen_cell_idx_;
+  if (gen_cell_idx_ == gen_trains_[gen_train_idx_].size()) {
+    gen_cell_idx_ = 0;
+    ++gen_pdu_id_;
+    ++gen_train_idx_;
+    if (gen_train_idx_ == gen_trains_.size()) {
+      gen_train_idx_ = 0;
+      --gen_remaining_;
+      if (gen_remaining_ == 0) {
+        gen_active_ = false;
+        return;
+      }
+    }
+  }
+  eng_->schedule(gen_period_, [this] { step_generator(); });
+}
+
+}  // namespace osiris::board

@@ -1,0 +1,224 @@
+// Receive processor firmware.
+//
+// Cells arrive (from the striped link, or from the on-board fictitious-PDU
+// generator used for receive-side isolation experiments, §4). The firmware
+// reads VCI/AAL information, routes each cell through the configured
+// skew-reassembly strategy (§2.6) to obtain a byte offset within its PDU,
+// allocates host receive buffers from the free queue selected by early
+// demultiplexing on the VCI (§3.1), and issues DMA writes to place the
+// payload directly into host memory. When the on-board FIFO holds the next
+// cell and its payload would land contiguously, two payloads are combined
+// into a single 88-byte DMA (§2.5.1).
+//
+// A filled buffer — or the end of a PDU — is pushed onto the receive
+// queue; an interrupt is asserted only when the queue transitions from
+// empty to non-empty (§2.1.2). A free-queue underflow or a full receive
+// queue drops the PDU before it consumes host cycles, which is exactly the
+// overload behaviour §3.1 wants for low-priority traffic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "atm/cell.h"
+#include "atm/reassembly.h"
+#include "board/board.h"
+#include "dpram/dpram.h"
+#include "dpram/queue.h"
+#include "mem/cache.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "sim/trace.h"
+#include "tc/turbochannel.h"
+
+namespace osiris::board {
+
+/// High byte of the receive descriptor's flags carries a small PDU tag so
+/// the driver can demultiplex interleaved PDU buffer streams per VCI.
+constexpr std::uint16_t rx_desc_flags(bool eop, std::uint64_t pdu_key) {
+  return static_cast<std::uint16_t>((eop ? dpram::kDescEop : 0) |
+                                    ((pdu_key & 0x7F) << 8));
+}
+
+class RxProcessor {
+ public:
+  RxProcessor(sim::Engine& eng, const BoardConfig& cfg, tc::TurboChannel& bus,
+              mem::DataCache& cache, dpram::DualPortRam& ram);
+
+  void set_irq_sink(IrqSink sink) { irq_ = std::move(sink); }
+
+  /// Attaches an event trace (optional; null disables).
+  void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Registers a free-buffer queue; returns its id. `auth` guards ADC
+  /// buffers (§3.2); violations raise kAccessViolation and skip the buffer.
+  int add_free_source(const dpram::QueueLayout& lay, PageAuth auth = nullptr,
+                      int channel_id = 0);
+
+  /// Registers a receive queue; returns its index. `channel_id` identifies
+  /// it in interrupts.
+  int add_recv_channel(const dpram::QueueLayout& lay, int channel_id);
+
+  /// Early demultiplexing table: incoming PDUs on `vci` take buffers from
+  /// `free_id` (falling back to `fallback_free_id` when exhausted; pass -1
+  /// for none) and are delivered on `recv_idx`.
+  void map_vci(std::uint16_t vci, int free_id, int fallback_free_id, int recv_idx);
+  void unmap_vci(std::uint16_t vci);
+
+  /// Link sink: a cell arrived on `lane`.
+  void on_cell(int lane, const atm::Cell& c);
+
+  /// Receive-side isolation mode (§4, Figures 2 and 3): the receive
+  /// processor synthesizes `count` copies of `pdu` on `vci`, one cell every
+  /// `cell_period` (the link cell rate by default), throttled by the
+  /// on-board FIFO — i.e. as fast as the host can absorb them.
+  void start_generator(std::uint16_t vci, std::vector<std::uint8_t> pdu,
+                       std::uint64_t count, sim::Duration cell_period);
+
+  /// Multi-PDU variant: each generated "message" is the given sequence of
+  /// PDUs (e.g. the IP fragments of one large UDP message), repeated
+  /// `count` times.
+  void start_generator_multi(std::uint16_t vci,
+                             const std::vector<std::vector<std::uint8_t>>& pdus,
+                             std::uint64_t count, sim::Duration cell_period);
+  [[nodiscard]] bool generator_done() const { return !gen_active_; }
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t cells_received() const { return cells_received_; }
+  [[nodiscard]] std::uint64_t cells_bad_header() const { return cells_bad_header_; }
+  [[nodiscard]] std::uint64_t cells_fifo_dropped() const { return cells_fifo_dropped_; }
+  [[nodiscard]] std::uint64_t dma_ops() const { return dma_ops_; }
+  [[nodiscard]] std::uint64_t combined_dma_ops() const { return combined_dma_ops_; }
+  [[nodiscard]] std::uint64_t pdus_completed() const { return pdus_completed_; }
+  [[nodiscard]] std::uint64_t pdus_dropped_nobuf() const { return pdus_dropped_nobuf_; }
+  [[nodiscard]] std::uint64_t pdus_dropped_recvfull() const { return pdus_dropped_recvfull_; }
+  [[nodiscard]] std::uint64_t auth_violations() const { return auth_violations_; }
+  [[nodiscard]] sim::Resource& i960() { return i960_; }
+
+  /// Abandons reassembly state for PDUs that started more than `max_age`
+  /// ago and never completed (cells lost upstream). Returns the number of
+  /// PDUs discarded. Buffers already filled stay with the host (the
+  /// driver reclaims its partial accumulations via flush_partials()).
+  std::uint64_t purge_incomplete(sim::Duration max_age);
+
+  /// Fraction of DMA operations that moved more than one cell payload —
+  /// the §2.6 "combining probability" statistic.
+  [[nodiscard]] double combine_fraction() const {
+    return dma_ops_ == 0 ? 0.0
+                         : static_cast<double>(combined_dma_ops_) /
+                               static_cast<double>(dma_ops_);
+  }
+
+ private:
+  struct FreeSource {
+    dpram::QueueReader reader;
+    PageAuth auth;
+    int channel_id;
+  };
+  struct RecvChannel {
+    dpram::QueueWriter writer;
+    int channel_id;
+    sim::Tick push_horizon = 0;
+  };
+  struct VciMap {
+    int free_id;
+    int fallback;
+    int recv_idx;
+  };
+  struct PduBuf {
+    std::uint32_t addr = 0;
+    std::uint32_t cap = 0;
+    std::uint32_t filled = 0;
+    std::uint32_t user = 0;
+    bool pushed = false;
+  };
+  struct RxPdu {
+    int recv_idx = 0;
+    int free_id = 0;
+    int fallback = -1;
+    sim::Tick started = 0;
+    std::vector<PduBuf> bufs;
+    std::uint64_t alloc_cap = 0;  // sum of buffer capacities
+    bool complete = false;
+    bool dropped = false;
+    std::uint32_t wire_len = 0;
+    std::uint32_t next_push = 0;
+    sim::Tick last_dma = 0;
+  };
+  struct PendingDma {
+    bool valid = false;
+    std::uint64_t key = 0;  // (vci, pdu) key
+    std::uint32_t offset = 0;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t flush_gen = 0;
+  };
+
+  static std::uint64_t pdu_map_key(std::uint16_t vci, std::uint64_t pdu) {
+    return (static_cast<std::uint64_t>(vci) << 48) | (pdu & 0xFFFFFFFFFFFFull);
+  }
+
+  void accept_cell(int lane, const atm::Cell& c);
+  atm::CellRouter& router_for(std::uint16_t vci);
+  RxPdu* pdu_for(std::uint16_t vci, std::uint64_t pdu, std::uint64_t* key_out);
+  /// Ensures buffers cover byte range end `need`; pops from free queues.
+  bool ensure_capacity(RxPdu& p, std::uint64_t need);
+  void handle_placement(std::uint16_t vci, const atm::Placement& pl);
+  void handle_completion(std::uint16_t vci, const atm::Completion& c);
+  void flush_pending();
+  void schedule_flush_timer();
+  /// DMA-writes `bytes` at PDU offset `offset`; updates fill counts.
+  void issue_dma(RxPdu& p, std::uint32_t offset,
+                 const std::vector<std::uint8_t>& bytes);
+  void try_push(std::uint64_t key, RxPdu& p);
+  void push_buffer(RxPdu& p, std::uint32_t idx, bool eop, std::uint64_t pdu_tag,
+                   std::uint16_t vci, sim::Tick at);
+  void step_generator();
+  std::size_t fifo_occupancy();
+
+  sim::Engine* eng_;
+  BoardConfig cfg_;
+  tc::TurboChannel* bus_;
+  mem::DataCache* cache_;
+  dpram::DualPortRam* ram_;
+  sim::Resource i960_;
+  IrqSink irq_;
+  sim::Trace* trace_ = nullptr;
+
+  std::vector<FreeSource> free_sources_;
+  std::vector<RecvChannel> recv_channels_;
+  std::unordered_map<std::uint16_t, VciMap> vci_map_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<atm::CellRouter>> routers_;
+  std::unordered_map<std::uint64_t, RxPdu> pdus_;
+  std::unordered_map<std::uint64_t, std::uint16_t> key_vci_;
+  PendingDma pending_;
+  std::deque<sim::Tick> inflight_;  // decision completion times (FIFO model)
+  sim::Tick fw_horizon_ = 0;
+
+  // Generator state.
+  std::vector<std::vector<atm::Cell>> gen_trains_;  // one per fragment PDU
+  std::uint16_t gen_vci_ = 0;
+  std::uint64_t gen_remaining_ = 0;  // messages left
+  std::size_t gen_train_idx_ = 0;
+  std::size_t gen_cell_idx_ = 0;
+  std::uint16_t gen_pdu_id_ = 0;
+  sim::Duration gen_period_ = 0;
+  bool gen_active_ = false;
+
+  std::uint64_t cells_received_ = 0;
+  std::uint64_t cells_bad_header_ = 0;
+  std::uint64_t cells_fifo_dropped_ = 0;
+  std::uint64_t dma_ops_ = 0;
+  std::uint64_t combined_dma_ops_ = 0;
+  std::uint64_t pdus_completed_ = 0;
+  std::uint64_t pdus_dropped_nobuf_ = 0;
+  std::uint64_t pdus_dropped_recvfull_ = 0;
+  std::uint64_t auth_violations_ = 0;
+};
+
+}  // namespace osiris::board

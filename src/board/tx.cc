@@ -1,0 +1,394 @@
+#include "board/tx.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "atm/checksum.h"
+#include "atm/sar.h"
+#include "mem/paging.h"
+
+namespace osiris::board {
+
+namespace {
+// On-board cell FIFO between the DMA engine and the cell generator: how
+// many cells the DMA may run ahead of the link.
+constexpr std::size_t kTxFifoCells = 32;
+}  // namespace
+
+// Per-PDU transmission state. The firmware advances one DMA group (one or
+// two cells) per step, booking bus time as it goes, so transmit DMA reads
+// interleave with receive DMA writes on the shared TURBOchannel exactly as
+// hardware bus arbitration would interleave them.
+struct TxProcessor::Job {
+  std::size_t queue_idx = 0;
+  std::vector<dpram::Descriptor> chain;
+  std::vector<std::uint32_t> tails;      // tail value to publish per buffer
+  std::vector<sim::Tick> buf_done;       // when each buffer finished DMA
+  std::uint32_t pdu_len = 0;
+  std::uint32_t wire = 0;
+  std::uint32_t ncells = 0;
+  std::uint16_t vci = 0;
+  std::uint16_t pdu_id = 0;
+  // Stream cursor.
+  std::size_t di = 0;
+  std::uint32_t doff = 0;
+  std::uint32_t next_seq = 0;
+  sim::Tick handover_floor = 0;  // cell-generator handovers are in order
+  atm::Crc32 crc;
+  std::array<std::uint8_t, atm::kTrailerBytes> trailer{};
+  std::uint32_t trailer_off = 0;
+  bool trailer_ready = false;
+  std::deque<sim::Tick> departures;
+};
+
+TxProcessor::TxProcessor(sim::Engine& eng, const BoardConfig& cfg,
+                         tc::TurboChannel& bus, mem::PhysicalMemory& host_mem,
+                         dpram::DualPortRam& ram, link::StripedLink& link)
+    : eng_(&eng),
+      cfg_(cfg),
+      bus_(&bus),
+      host_mem_(&host_mem),
+      ram_(&ram),
+      link_(&link),
+      i960_(eng, "tx.i960") {}
+
+TxProcessor::~TxProcessor() = default;
+
+void TxProcessor::add_queue(int channel, const dpram::QueueLayout& lay,
+                            int priority, PageAuth auth) {
+  queues_.push_back(TxQueue{channel,
+                            dpram::QueueReader(*ram_, lay, dpram::Side::kBoard),
+                            priority, std::move(auth), 0});
+}
+
+void TxProcessor::kick() {
+  if (active_) return;
+  active_ = true;
+  eng_->schedule(cfg_.poll_latency, [this] { service(); });
+}
+
+void TxProcessor::service() {
+  if (!start_pdu()) active_ = false;
+}
+
+int TxProcessor::pick_queue() {
+  int best = -1;
+  for (std::size_t off = 0; off < queues_.size(); ++off) {
+    const std::size_t i = (rr_next_ + off) % queues_.size();
+    TxQueue& q = queues_[i];
+    // A queue is ready when it holds a complete PDU chain (EOP present).
+    bool ready = false;
+    for (std::uint32_t k = 0;; ++k) {
+      const auto d = q.reader.peek_at(k);
+      if (!d) break;
+      if ((d->flags & dpram::kDescEop) != 0) {
+        ready = true;
+        break;
+      }
+    }
+    if (!ready) continue;
+    if (best < 0 || q.priority > queues_[static_cast<std::size_t>(best)].priority) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) rr_next_ = static_cast<std::size_t>(best) + 1;
+  return best;
+}
+
+void TxProcessor::check_half_empty(TxQueue& q, sim::Tick /*at*/) {
+  const auto& lay = q.reader.layout();
+  const std::uint32_t ctrl = ram_->read(dpram::Side::kBoard, lay.ctrl_word());
+  if ((ctrl & dpram::kCtrlWantHalfEmptyIrq) == 0) return;
+  const std::uint32_t head = ram_->read(dpram::Side::kBoard, lay.head_word());
+  const std::uint32_t tail = ram_->read(dpram::Side::kBoard, lay.tail_word());
+  const std::uint32_t used = (head + lay.capacity - tail) % lay.capacity;
+  if (used <= lay.capacity / 2) {
+    ram_->write(dpram::Side::kBoard, lay.ctrl_word(),
+                ctrl & ~dpram::kCtrlWantHalfEmptyIrq);
+    if (irq_) irq_(Irq::kTxHalfEmpty, q.channel);
+  }
+}
+
+bool TxProcessor::start_pdu() {
+  const int qi = pick_queue();
+  if (qi < 0) return false;
+  TxQueue& q = queues_[static_cast<std::size_t>(qi)];
+
+  auto job = std::make_unique<Job>();
+  job->queue_idx = static_cast<std::size_t>(qi);
+  for (std::uint32_t k = 0;; ++k) {
+    const auto d = q.reader.peek_at(k);
+    if (!d) throw std::logic_error("TxProcessor: chain vanished");
+    job->chain.push_back(*d);
+    if ((d->flags & dpram::kDescEop) != 0) break;
+  }
+
+  // Firmware time for descriptor handling.
+  const sim::Tick fw_t = i960_.reserve(
+      cfg_.fw_tx_per_descriptor * static_cast<sim::Duration>(job->chain.size()));
+
+  // ADC page authorization (§3.2): a bad buffer aborts the PDU and raises
+  // an access-violation interrupt for the OS to turn into an exception.
+  if (q.auth) {
+    for (const auto& d : job->chain) {
+      if (!q.auth(d.addr, d.len)) {
+        const std::uint32_t tail =
+            q.reader.consume(static_cast<std::uint32_t>(job->chain.size()));
+        q.reader.publish(tail);
+        ++auth_violations_;
+        sim::trace_event(trace_, eng_->now(), "tx", "auth_violation",
+                         static_cast<std::uint64_t>(q.channel), d.addr);
+        if (irq_) irq_(Irq::kAccessViolation, q.channel);
+        eng_->schedule_at(fw_t, [this] { service(); });
+        return true;
+      }
+    }
+  }
+
+  for (const auto& d : job->chain) job->pdu_len += d.len;
+  job->wire = atm::wire_len(job->pdu_len);
+  if (cfg_.fixed_length_dma_tx) {
+    // Every buffer rounds up to whole cells (padded with leaked adjacent
+    // memory); the trailer takes its own final cell.
+    job->ncells = 1;
+    for (const auto& d : job->chain) {
+      job->ncells += (d.len + atm::kCellPayload - 1) / atm::kCellPayload;
+    }
+  } else {
+    job->ncells = atm::cells_for(job->pdu_len);
+  }
+  job->vci = job->chain[0].vci;
+  job->pdu_id = q.next_pdu_id++;
+
+  // Consume the chain now (so later peeks see fresh entries); the tail
+  // word — the host's completion signal — is published per buffer as its
+  // last byte leaves host memory.
+  job->tails.resize(job->chain.size());
+  for (std::size_t i = 0; i < job->chain.size(); ++i) {
+    job->tails[i] = q.reader.consume(1);
+  }
+  job->buf_done.assign(job->chain.size(), fw_t);
+
+  sim::trace_event(trace_, eng_->now(), "tx", "pdu_start", job->vci,
+                   job->ncells);
+  job_ = std::move(job);
+  if (cfg_.fixed_length_dma_tx) {
+    eng_->schedule_at(fw_t, [this] { step_job_fixed(); });
+  } else {
+    eng_->schedule_at(fw_t, [this] { step_job(); });
+  }
+  return true;
+}
+
+void TxProcessor::step_job() {
+  Job& j = *job_;
+  const std::uint32_t cells_per_dma = cfg_.double_cell_dma_tx ? 2 : 1;
+  const std::uint32_t group = std::min(cells_per_dma, j.ncells - j.next_seq);
+
+  // One firmware decision per DMA transaction group.
+  sim::Tick fw_t = i960_.reserve(cfg_.fw_tx_per_dma);
+  sim::Tick ready = fw_t;
+  if (j.departures.size() >= kTxFifoCells) {
+    ready = std::max(ready, j.departures[j.departures.size() - kTxFifoCells]);
+  }
+
+  std::vector<atm::Cell> cells;
+  cells.reserve(group);
+  std::vector<std::size_t> completed;  // descriptors finishing in this group
+  std::uint32_t pending_dma_bytes = 0;
+  std::uint64_t pending_end_addr = 0;
+  bool have_pending = false;
+  const auto flush_dma = [&] {
+    if (!have_pending) return;
+    ready = bus_->bus().reserve_at(
+        ready, bus_->dma_read_cost(pending_dma_bytes) +
+                   sim::cycles(cfg_.tx_dma_setup_cycles, bus_->config().clock_hz));
+    ++dma_ops_;
+    have_pending = false;
+    pending_dma_bytes = 0;
+  };
+  for (std::uint32_t g = 0; g < group; ++g) {
+    atm::Cell c = atm::make_cell_header(j.vci, j.pdu_id, j.next_seq + g,
+                                        j.ncells, j.wire);
+    std::uint32_t filled = 0;
+    while (filled < c.len) {
+      if (j.di < j.chain.size() && j.doff == j.chain[j.di].len) {
+        ++j.di;
+        j.doff = 0;
+        continue;
+      }
+      if (j.di >= j.chain.size()) {
+        // User bytes exhausted: emit trailer bytes (generated on board).
+        if (!j.trailer_ready) {
+          j.trailer = atm::encode_trailer({j.pdu_len, j.crc.value()});
+          j.trailer_ready = true;
+        }
+        const std::uint32_t n = std::min<std::uint32_t>(
+            c.len - filled, atm::kTrailerBytes - j.trailer_off);
+        std::copy_n(j.trailer.begin() + j.trailer_off, n,
+                    c.payload.begin() + filled);
+        j.trailer_off += n;
+        filled += n;
+        continue;
+      }
+      // Chunk bounded by cell space, buffer end, and the page boundary
+      // (§2.5.2's DMA-stop modification).
+      const std::uint32_t addr = j.chain[j.di].addr + j.doff;
+      std::uint32_t n = std::min(c.len - filled, j.chain[j.di].len - j.doff);
+      if (cfg_.page_boundary_stop) {
+        const std::uint32_t to_page = mem::kPageSize - mem::page_offset(addr);
+        if (to_page < n) n = to_page;
+      }
+      host_mem_->read(addr, {c.payload.data() + filled, n});
+      j.crc.update({c.payload.data() + filled, n});
+      // One DMA transaction per contiguous address run within the group;
+      // every break (buffer end, page boundary) costs a fresh transaction
+      // (§2.5.2's second-address mechanism).
+      if (have_pending && addr == pending_end_addr) {
+        pending_dma_bytes += n;
+      } else {
+        if (have_pending) {
+          flush_dma();
+          ++dma_splits_;
+        }
+        pending_dma_bytes = n;
+        have_pending = true;
+      }
+      pending_end_addr = static_cast<std::uint64_t>(addr) + n;
+      filled += n;
+      j.doff += n;
+      if (j.doff == j.chain[j.di].len) completed.push_back(j.di);
+    }
+    cells.push_back(c);
+  }
+  flush_dma();
+  for (const std::size_t idx : completed) j.buf_done[idx] = ready;
+
+  // Hand the cells to the link in order: a cell's handover to the cell
+  // generator never precedes an earlier cell's handover (but lanes still
+  // clock out in parallel).
+  const sim::Tick handover = std::max(ready, j.handover_floor);
+  j.handover_floor = handover;
+  sim::Tick dep = 0;
+  for (auto& c : cells) {
+    atm::seal(c);
+    dep = link_->submit(handover, c);
+    j.departures.push_back(dep);
+    ++cells_sent_;
+  }
+  j.next_seq += group;
+
+  if (j.next_seq < j.ncells) {
+    // The firmware prepares the next DMA command while the current one
+    // runs, but the controller's command queue is shallow: allow at most
+    // ~two transactions of bus time to be booked ahead.
+    const sim::Duration lookahead = 2 * bus_->dma_read_cost(group * atm::kCellPayload);
+    sim::Tick next = std::max(fw_t, ready > lookahead ? ready - lookahead : 0);
+    next = std::max(next, eng_->now());
+    eng_->schedule_at(next, [this] { step_job(); });
+    return;
+  }
+
+  finish_job(dep);
+}
+
+void TxProcessor::finish_job(sim::Tick last_dep) {
+  // PDU finished: publish tails in order at each buffer's completion.
+  Job& j = *job_;
+  const std::size_t qidx = j.queue_idx;
+  sim::Tick prev_pub = eng_->now();
+  for (std::size_t i = 0; i < j.chain.size(); ++i) {
+    sim::Tick at = std::max(j.buf_done[i], prev_pub);
+    if (at < eng_->now()) at = eng_->now();
+    prev_pub = at;
+    const std::uint32_t tail_val = j.tails[i];
+    eng_->schedule_at(at, [this, qidx, tail_val] {
+      queues_[qidx].reader.publish(tail_val);
+      check_half_empty(queues_[qidx], eng_->now());
+    });
+  }
+  ++pdus_sent_;
+  sim::trace_event(trace_, eng_->now(), "tx", "pdu_done", j.vci, j.pdu_len);
+  job_.reset();
+  eng_->schedule_at(std::max({last_dep, prev_pub, eng_->now()}),
+                    [this] { service(); });
+}
+
+void TxProcessor::step_job_fixed() {
+  Job& j = *job_;
+
+  sim::Tick fw_t = i960_.reserve(cfg_.fw_tx_per_dma);
+  sim::Tick ready = fw_t;
+  if (j.departures.size() >= kTxFifoCells) {
+    ready = std::max(ready, j.departures[j.departures.size() - kTxFifoCells]);
+  }
+
+  atm::Cell c;
+  c.vci = j.vci;
+  c.pdu_id = j.pdu_id;
+  c.seq = static_cast<std::uint16_t>(j.next_seq);
+  c.flags = 0;
+  if (j.next_seq == 0) c.flags |= atm::kFlagBom;
+  if (j.next_seq + atm::kLanes >= j.ncells) c.flags |= atm::kFlagLaneEom;
+  if (j.next_seq + 1 == j.ncells) c.flags |= atm::kFlagLastCell;
+
+  if (j.di < j.chain.size()) {
+    // One fixed-length transfer from a single address. If the buffer ends
+    // mid-cell the transfer keeps going into whatever physical memory
+    // follows it — the §2.5.2 security leak.
+    const dpram::Descriptor& buf = j.chain[j.di];
+    const std::uint32_t addr = buf.addr + j.doff;
+    const std::uint32_t have = buf.len - j.doff;
+    const std::uint32_t n = std::min<std::uint32_t>(have, atm::kCellPayload);
+    c.len = atm::kCellPayload;
+    host_mem_->read(addr, {c.payload.data(), n});
+    j.crc.update({c.payload.data(), n});
+    if (n < atm::kCellPayload) {
+      const std::uint32_t want = atm::kCellPayload - n;
+      const std::uint64_t end = static_cast<std::uint64_t>(buf.addr) + buf.len;
+      const auto leak = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          want, host_mem_->size() > end ? host_mem_->size() - end : 0));
+      if (leak > 0) {
+        host_mem_->read(static_cast<std::uint32_t>(end),
+                        {c.payload.data() + n, leak});
+      }
+      std::fill(c.payload.begin() + n + leak, c.payload.end(), 0);
+      ++leaked_cells_;
+      leaked_bytes_ += want;
+    }
+    ready = bus_->bus().reserve_at(
+        ready, bus_->dma_read_cost(atm::kCellPayload) +
+                   sim::cycles(cfg_.tx_dma_setup_cycles, bus_->config().clock_hz));
+    ++dma_ops_;
+    j.doff += n;
+    if (j.doff == buf.len) {
+      j.buf_done[j.di] = ready;
+      ++j.di;
+      j.doff = 0;
+    }
+  } else {
+    // Trailer cell (board-generated, no DMA).
+    const auto trailer = atm::encode_trailer({j.pdu_len, j.crc.value()});
+    c.len = atm::kTrailerBytes;
+    std::copy(trailer.begin(), trailer.end(), c.payload.begin());
+  }
+
+  atm::seal(c);
+  const sim::Tick handover = std::max(ready, j.handover_floor);
+  j.handover_floor = handover;
+  const sim::Tick dep = link_->submit(handover, c);
+  j.departures.push_back(dep);
+  ++cells_sent_;
+  ++j.next_seq;
+
+  if (j.next_seq < j.ncells) {
+    const sim::Duration lookahead = 2 * bus_->dma_read_cost(atm::kCellPayload);
+    sim::Tick next = std::max(fw_t, ready > lookahead ? ready - lookahead : 0);
+    next = std::max(next, eng_->now());
+    eng_->schedule_at(next, [this] { step_job_fixed(); });
+    return;
+  }
+  finish_job(dep);
+}
+
+}  // namespace osiris::board

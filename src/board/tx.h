@@ -1,0 +1,114 @@
+// Transmit processor firmware.
+//
+// The host queues PDUs as chains of physical-buffer descriptors (last
+// buffer flagged EOP) on one of up to 16 transmit queues (queue 0 belongs
+// to the kernel driver, others to ADCs, §3.2). The firmware repeatedly
+// picks the highest-priority non-empty queue, reads one PDU's descriptor
+// chain, segments it into ATM cells — gathering payload from host memory
+// with DMA reads that never cross a page boundary (§2.5.2) — computes the
+// AAL trailer CRC incrementally, and clocks cells onto the striped link.
+//
+// Transmit completion is signalled by advancing the queue's tail pointer
+// as each buffer finishes (no interrupt); the firmware raises an interrupt
+// only when the host has marked the queue's ctrl word after finding the
+// queue full, and the queue has drained to half empty (§2.1.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "atm/cell.h"
+#include "board/board.h"
+#include "dpram/dpram.h"
+#include "dpram/queue.h"
+#include "link/link.h"
+#include "mem/phys.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "sim/trace.h"
+#include "tc/turbochannel.h"
+
+namespace osiris::board {
+
+class TxProcessor {
+ public:
+  TxProcessor(sim::Engine& eng, const BoardConfig& cfg, tc::TurboChannel& bus,
+              mem::PhysicalMemory& host_mem, dpram::DualPortRam& ram,
+              link::StripedLink& link);
+  ~TxProcessor();
+
+  /// Registers a transmit queue. Higher `priority` wins; ties are served
+  /// round-robin. `auth` may be empty (kernel queue).
+  void add_queue(int channel, const dpram::QueueLayout& lay, int priority,
+                 PageAuth auth = nullptr);
+
+  void set_irq_sink(IrqSink sink) { irq_ = std::move(sink); }
+
+  /// Attaches an event trace (optional; null disables).
+  void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Doorbell: the host calls this after pushing descriptors.
+  void kick();
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t pdus_sent() const { return pdus_sent_; }
+  [[nodiscard]] std::uint64_t cells_sent() const { return cells_sent_; }
+  [[nodiscard]] std::uint64_t dma_ops() const { return dma_ops_; }
+  [[nodiscard]] std::uint64_t dma_splits() const { return dma_splits_; }
+  [[nodiscard]] std::uint64_t auth_violations() const { return auth_violations_; }
+  /// Fixed-length-DMA mode only: cells that carried bytes from beyond the
+  /// end of their source buffer (the §2.5.2 security leak).
+  [[nodiscard]] std::uint64_t leaked_cells() const { return leaked_cells_; }
+  [[nodiscard]] std::uint64_t leaked_bytes() const { return leaked_bytes_; }
+  [[nodiscard]] sim::Resource& i960() { return i960_; }
+
+ private:
+  struct TxQueue {
+    int channel;
+    dpram::QueueReader reader;
+    int priority;
+    PageAuth auth;
+    std::uint16_t next_pdu_id = 0;
+  };
+
+  struct Job;
+
+  void service();
+  /// Begins transmitting one PDU from the best queue. Returns false if no
+  /// queue had a complete PDU chain; otherwise schedules step_job().
+  bool start_pdu();
+  /// Advances the in-progress PDU by one DMA group (one or two cells).
+  void step_job();
+  /// Fixed-length-DMA variant: one full-cell transfer from one address.
+  void step_job_fixed();
+  void finish_job(sim::Tick last_dep);
+  int pick_queue();
+  void check_half_empty(TxQueue& q, sim::Tick at);
+
+  sim::Engine* eng_;
+  BoardConfig cfg_;
+  tc::TurboChannel* bus_;
+  mem::PhysicalMemory* host_mem_;
+  dpram::DualPortRam* ram_;
+  link::StripedLink* link_;
+  sim::Resource i960_;
+  IrqSink irq_;
+  sim::Trace* trace_ = nullptr;
+  std::vector<TxQueue> queues_;
+  std::size_t rr_next_ = 0;
+  bool active_ = false;
+  std::unique_ptr<Job> job_;
+
+  std::uint64_t pdus_sent_ = 0;
+  std::uint64_t cells_sent_ = 0;
+  std::uint64_t dma_ops_ = 0;
+  std::uint64_t dma_splits_ = 0;
+  std::uint64_t auth_violations_ = 0;
+  std::uint64_t leaked_cells_ = 0;
+  std::uint64_t leaked_bytes_ = 0;
+};
+
+}  // namespace osiris::board

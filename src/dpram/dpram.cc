@@ -1,0 +1,45 @@
+#include "dpram/dpram.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace osiris::dpram {
+
+std::uint32_t DualPortRam::read(Side side, std::uint32_t word_index) const {
+  if (word_index >= kDpramWords) {
+    throw std::out_of_range("DualPortRam: read past end: " + std::to_string(word_index));
+  }
+  (side == Side::kHost ? host_accesses_ : board_accesses_)++;
+  return words_[word_index];
+}
+
+void DualPortRam::write(Side side, std::uint32_t word_index, std::uint32_t value) {
+  if (word_index >= kDpramWords) {
+    throw std::out_of_range("DualPortRam: write past end: " + std::to_string(word_index));
+  }
+  (side == Side::kHost ? host_accesses_ : board_accesses_)++;
+  words_[word_index] = value;
+}
+
+ChannelLayout channel_layout(std::uint32_t index, std::uint32_t tx_capacity,
+                             std::uint32_t rx_capacity) {
+  if (index >= kPagesPerHalf) {
+    throw std::out_of_range("channel_layout: index " + std::to_string(index));
+  }
+  // Transmit half occupies words [0, 16K), receive half [16K, 32K).
+  const std::uint32_t tx_page = index * kPageWords;
+  const std::uint32_t rx_page = kPagesPerHalf * kPageWords + index * kPageWords;
+
+  // Max slots that fit: tx uses the whole page; free/recv split the rx page.
+  const std::uint32_t tx_max = (kPageWords - 3) / kDescriptorWords;
+  const std::uint32_t rx_max = (kPageWords / 2 - 3) / kDescriptorWords;
+
+  ChannelLayout cl;
+  cl.tx = {tx_page, std::min(tx_capacity, tx_max)};
+  cl.free = {rx_page, std::min(rx_capacity, rx_max)};
+  cl.recv = {rx_page + kPageWords / 2, std::min(rx_capacity, rx_max)};
+  return cl;
+}
+
+}  // namespace osiris::dpram

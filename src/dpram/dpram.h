@@ -1,0 +1,100 @@
+// The 128 KB dual-port memory through which host and board communicate.
+//
+// From the host's perspective the OSIRIS board looks like a 128 KB region
+// of memory; host software and on-board firmware jointly define its
+// structure (paper §1). The memory guarantees atomicity of individual
+// 32-bit loads and stores only (§2.1.1). Host-side accesses cross the
+// TURBOchannel and are expensive; both sides' access counts are tracked so
+// the drivers can charge the right costs and the benches can report "loads
+// and stores required to communicate" (§2.1 goal 1).
+//
+// The transmit half is divided into sixteen 4 KB pages, each holding a
+// transmit queue; the receive half likewise, each page holding a free
+// queue and a receive queue (§3.2). Pair 0 belongs to the kernel driver;
+// the rest are available for application device channels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osiris::dpram {
+
+constexpr std::uint32_t kDpramBytes = 128 * 1024;
+constexpr std::uint32_t kDpramWords = kDpramBytes / 4;
+constexpr std::uint32_t kPagesPerHalf = 16;
+constexpr std::uint32_t kPageWords = 4096 / 4;
+
+/// Which port an access comes through (for statistics/cost accounting).
+enum class Side { kHost, kBoard };
+
+class DualPortRam {
+ public:
+  DualPortRam() : words_(kDpramWords, 0) {}
+
+  std::uint32_t read(Side side, std::uint32_t word_index) const;
+  void write(Side side, std::uint32_t word_index, std::uint32_t value);
+
+  [[nodiscard]] std::uint64_t host_accesses() const { return host_accesses_; }
+  [[nodiscard]] std::uint64_t board_accesses() const { return board_accesses_; }
+  void reset_stats() { host_accesses_ = board_accesses_ = 0; }
+
+ private:
+  std::vector<std::uint32_t> words_;
+  mutable std::uint64_t host_accesses_ = 0;
+  mutable std::uint64_t board_accesses_ = 0;
+};
+
+/// A buffer descriptor as passed through the queues: physical address and
+/// length of one physical buffer (§2.2), the VCI it belongs to, and flags.
+struct Descriptor {
+  std::uint32_t addr = 0;
+  std::uint32_t len = 0;
+  std::uint16_t vci = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t user = 0;  // opaque cookie echoed back to the host
+
+  friend bool operator==(const Descriptor&, const Descriptor&) = default;
+};
+
+enum DescriptorFlags : std::uint16_t {
+  kDescEop = 1u << 0,  // last buffer of a PDU
+};
+
+constexpr std::uint32_t kDescriptorWords = 4;
+
+/// Where a queue lives inside the dual-port RAM.
+struct QueueLayout {
+  std::uint32_t base_word = 0;  // [base]=head, [base+1]=tail, [base+2]=ctrl
+  std::uint32_t capacity = 0;   // descriptor slots (holds capacity-1 entries)
+
+  [[nodiscard]] std::uint32_t head_word() const { return base_word; }
+  [[nodiscard]] std::uint32_t tail_word() const { return base_word + 1; }
+  [[nodiscard]] std::uint32_t ctrl_word() const { return base_word + 2; }
+  [[nodiscard]] std::uint32_t slot_word(std::uint32_t i) const {
+    return base_word + 3 + i * kDescriptorWords;
+  }
+  /// Words this layout occupies.
+  [[nodiscard]] std::uint32_t words() const { return 3 + capacity * kDescriptorWords; }
+};
+
+enum CtrlFlags : std::uint32_t {
+  // Host sets this after finding the transmit queue full; the transmit
+  // processor interrupts once the queue drains to half empty (§2.1.2).
+  kCtrlWantHalfEmptyIrq = 1u << 0,
+};
+
+/// Queue layouts for one transmit/receive page pair. Pair 0 is the kernel
+/// driver's; pairs 1..15 are mappable as application device channels.
+struct ChannelLayout {
+  QueueLayout tx;    // host -> board: buffers to transmit
+  QueueLayout free;  // host -> board: empty receive buffers
+  QueueLayout recv;  // board -> host: filled receive buffers
+};
+
+/// Computes the layout of pair `index` (0..15). `tx_capacity` and
+/// `rx_capacity` default to the paper's 64-entry queues and are clamped to
+/// what fits in a page.
+ChannelLayout channel_layout(std::uint32_t index, std::uint32_t tx_capacity = 64,
+                             std::uint32_t rx_capacity = 64);
+
+}  // namespace osiris::dpram

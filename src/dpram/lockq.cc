@@ -1,0 +1,66 @@
+#include "dpram/lockq.h"
+
+namespace osiris::dpram {
+namespace {
+
+// Lock-held work, in RAM accesses: test-and-set + read head + read tail,
+// then on success 4 descriptor words + pointer update + lock clear.
+constexpr std::uint32_t kProbeAccesses = 3;
+constexpr std::uint32_t kCommitAccesses = kDescriptorWords + 2;
+
+}  // namespace
+
+std::optional<sim::Tick> LockedQueue::push(Side side, sim::Tick from,
+                                           sim::Duration access_cost,
+                                           const Descriptor& d,
+                                           sim::Tick* fail_at) {
+  const std::uint32_t head = ram_->read(side, lay_.head_word());
+  const std::uint32_t tail = ram_->read(side, lay_.tail_word());
+  if ((head + 1) % lay_.capacity == tail) {
+    const auto g = lock_->acquire_at(from, access_cost * kProbeAccesses);
+    if (fail_at != nullptr) *fail_at = g.release;
+    return std::nullopt;
+  }
+  const auto g =
+      lock_->acquire_at(from, access_cost * (kProbeAccesses + kCommitAccesses));
+  const std::uint32_t w = lay_.slot_word(head);
+  ram_->write(side, w + 0, d.addr);
+  ram_->write(side, w + 1, d.len);
+  ram_->write(side, w + 2, (static_cast<std::uint32_t>(d.vci) << 16) | d.flags);
+  ram_->write(side, w + 3, d.user);
+  ram_->write(side, lay_.head_word(), (head + 1) % lay_.capacity);
+  return g.release;
+}
+
+std::optional<Descriptor> LockedQueue::pop(Side side, sim::Tick from,
+                                           sim::Duration access_cost,
+                                           sim::Tick* done) {
+  const std::uint32_t head = ram_->read(side, lay_.head_word());
+  const std::uint32_t tail = ram_->read(side, lay_.tail_word());
+  if (head == tail) {
+    const auto g = lock_->acquire_at(from, access_cost * kProbeAccesses);
+    if (done != nullptr) *done = g.release;
+    return std::nullopt;
+  }
+  const auto g =
+      lock_->acquire_at(from, access_cost * (kProbeAccesses + kCommitAccesses));
+  const std::uint32_t w = lay_.slot_word(tail);
+  Descriptor d;
+  d.addr = ram_->read(side, w + 0);
+  d.len = ram_->read(side, w + 1);
+  const std::uint32_t vf = ram_->read(side, w + 2);
+  d.vci = static_cast<std::uint16_t>(vf >> 16);
+  d.flags = static_cast<std::uint16_t>(vf & 0xFFFF);
+  d.user = ram_->read(side, w + 3);
+  ram_->write(side, lay_.tail_word(), (tail + 1) % lay_.capacity);
+  if (done != nullptr) *done = g.release;
+  return d;
+}
+
+std::uint32_t LockedQueue::size(Side side) const {
+  const std::uint32_t head = ram_->read(side, lay_.head_word());
+  const std::uint32_t tail = ram_->read(side, lay_.tail_word());
+  return (head + lay_.capacity - tail) % lay_.capacity;
+}
+
+}  // namespace osiris::dpram

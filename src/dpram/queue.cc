@@ -1,0 +1,113 @@
+#include "dpram/queue.h"
+
+namespace osiris::dpram {
+namespace {
+
+void write_descriptor(DualPortRam& ram, Side side, const QueueLayout& lay,
+                      std::uint32_t slot, const Descriptor& d) {
+  const std::uint32_t w = lay.slot_word(slot);
+  ram.write(side, w + 0, d.addr);
+  ram.write(side, w + 1, d.len);
+  ram.write(side, w + 2,
+            (static_cast<std::uint32_t>(d.vci) << 16) | d.flags);
+  ram.write(side, w + 3, d.user);
+}
+
+Descriptor read_descriptor(const DualPortRam& ram, Side side,
+                           const QueueLayout& lay, std::uint32_t slot) {
+  const std::uint32_t w = lay.slot_word(slot);
+  Descriptor d;
+  d.addr = ram.read(side, w + 0);
+  d.len = ram.read(side, w + 1);
+  const std::uint32_t vf = ram.read(side, w + 2);
+  d.vci = static_cast<std::uint16_t>(vf >> 16);
+  d.flags = static_cast<std::uint16_t>(vf & 0xFFFF);
+  d.user = ram.read(side, w + 3);
+  return d;
+}
+
+}  // namespace
+
+bool QueueWriter::full() const {
+  const std::uint32_t tail = ram_->read(side_, lay_.tail_word());
+  return (head_ + 1) % lay_.capacity == tail;
+}
+
+std::uint32_t QueueWriter::size() const {
+  const std::uint32_t tail = ram_->read(side_, lay_.tail_word());
+  return (head_ + lay_.capacity - tail) % lay_.capacity;
+}
+
+OpResult QueueWriter::push(const Descriptor& d) {
+  OpResult r;
+  const std::uint32_t tail = ram_->read(side_, lay_.tail_word());
+  ++r.ram_accesses;
+  if ((head_ + 1) % lay_.capacity == tail) return r;  // full
+  write_descriptor(*ram_, side_, lay_, head_, d);
+  r.ram_accesses += kDescriptorWords;
+  head_ = (head_ + 1) % lay_.capacity;
+  ram_->write(side_, lay_.head_word(), head_);
+  ++r.ram_accesses;
+  r.ok = true;
+  return r;
+}
+
+bool QueueReader::empty() const {
+  return ram_->read(side_, lay_.head_word()) == tail_;
+}
+
+std::uint32_t QueueReader::size() const {
+  const std::uint32_t head = ram_->read(side_, lay_.head_word());
+  return (head + lay_.capacity - tail_) % lay_.capacity;
+}
+
+std::optional<Descriptor> QueueReader::peek_at(std::uint32_t k, OpResult* res) const {
+  OpResult r;
+  const std::uint32_t head = ram_->read(side_, lay_.head_word());
+  ++r.ram_accesses;
+  const std::uint32_t avail = (head + lay_.capacity - tail_) % lay_.capacity;
+  if (k >= avail) {
+    if (res != nullptr) *res = r;
+    return std::nullopt;
+  }
+  const Descriptor d =
+      read_descriptor(*ram_, side_, lay_, (tail_ + k) % lay_.capacity);
+  r.ram_accesses += kDescriptorWords;
+  r.ok = true;
+  if (res != nullptr) *res = r;
+  return d;
+}
+
+void QueueReader::advance() {
+  tail_ = (tail_ + 1) % lay_.capacity;
+  ram_->write(side_, lay_.tail_word(), tail_);
+}
+
+std::uint32_t QueueReader::consume(std::uint32_t n) {
+  tail_ = (tail_ + n) % lay_.capacity;
+  return tail_;
+}
+
+void QueueReader::publish(std::uint32_t tail_value) {
+  ram_->write(side_, lay_.tail_word(), tail_value);
+}
+
+std::optional<Descriptor> QueueReader::pop(OpResult* res) {
+  OpResult r;
+  const std::uint32_t head = ram_->read(side_, lay_.head_word());
+  ++r.ram_accesses;
+  if (head == tail_) {
+    if (res != nullptr) *res = r;
+    return std::nullopt;
+  }
+  Descriptor d = read_descriptor(*ram_, side_, lay_, tail_);
+  r.ram_accesses += kDescriptorWords;
+  tail_ = (tail_ + 1) % lay_.capacity;
+  ram_->write(side_, lay_.tail_word(), tail_);
+  ++r.ram_accesses;
+  r.ok = true;
+  if (res != nullptr) *res = r;
+  return d;
+}
+
+}  // namespace osiris::dpram

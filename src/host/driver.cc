@@ -1,0 +1,339 @@
+#include "host/driver.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "board/rx.h"
+
+namespace osiris::host {
+
+namespace {
+// Dual-port-RAM word accesses per queue operation (see dpram/queue.cc):
+// push = 1 read (tail) + 5 writes; pop = 5 reads + 1 write.
+constexpr std::uint32_t kPushReads = 1, kPushWrites = 5;
+constexpr std::uint32_t kPopReads = 5, kPopWrites = 1;
+
+std::uint32_t kb_of(std::uint32_t bytes) { return (bytes + 1023) / 1024; }
+}  // namespace
+
+void RxPduView::read_raw(const mem::PhysicalMemory& pm, std::uint32_t off,
+                         std::span<std::uint8_t> out) const {
+  std::size_t done = 0;
+  std::uint32_t base = 0;
+  for (const RxBuffer& b : bufs) {
+    if (done == out.size()) break;
+    if (off < base + b.len) {
+      const std::uint32_t inner = off > base ? off - base : 0;
+      const auto n = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          out.size() - done, b.len - inner));
+      pm.read(b.pa + inner, out.subspan(done, n));
+      done += n;
+      off += n;
+    }
+    base += b.len;
+  }
+  if (done != out.size()) throw std::out_of_range("RxPduView::read_raw");
+}
+
+void RxPduView::read_cached(mem::DataCache& cache, std::uint32_t off,
+                            std::span<std::uint8_t> out,
+                            mem::AccessCost& cost) const {
+  std::size_t done = 0;
+  std::uint32_t base = 0;
+  for (const RxBuffer& b : bufs) {
+    if (done == out.size()) break;
+    if (off < base + b.len) {
+      const std::uint32_t inner = off > base ? off - base : 0;
+      const auto n = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          out.size() - done, b.len - inner));
+      cost += cache.cpu_read(b.pa + inner, out.subspan(done, n));
+      done += n;
+      off += n;
+    }
+    base += b.len;
+  }
+  if (done != out.size()) throw std::out_of_range("RxPduView::read_cached");
+}
+
+OsirisDriver::OsirisDriver(sim::Engine& eng, const MachineConfig& mc,
+                           HostCpu& cpu, InterruptController& intc,
+                           tc::TurboChannel& bus, mem::PhysicalMemory& pm,
+                           mem::DataCache& cache, mem::FrameAllocator& frames,
+                           dpram::DualPortRam& ram, board::TxProcessor& txp,
+                           const dpram::ChannelLayout& lay, Config cfg)
+    : eng_(&eng),
+      mc_(&mc),
+      cpu_(&cpu),
+      intc_(&intc),
+      bus_(&bus),
+      pm_(&pm),
+      cache_(&cache),
+      frames_(&frames),
+      ram_(&ram),
+      txp_(&txp),
+      lay_(lay),
+      cfg_(cfg),
+      tx_writer_(ram, lay.tx, dpram::Side::kHost),
+      free_writer_(ram, lay.free, dpram::Side::kHost),
+      recv_reader_(ram, lay.recv, dpram::Side::kHost) {}
+
+void OsirisDriver::attach(int adc_channel) {
+  // Allocate the receive buffer pool: physically contiguous buffers when
+  // the allocator can provide them (the driver's 16 KB buffers, §2.3),
+  // falling back to page-sized buffers otherwise (§2.2's limitation).
+  // One-time initialization: no time is charged (it happens at boot /
+  // channel-open, outside any measured path).
+  const std::uint32_t pages = (cfg_.rx_buffer_bytes + mem::kPageSize - 1) / mem::kPageSize;
+  for (std::uint32_t i = 0; i < cfg_.rx_buffers; ++i) {
+    if (free_writer_.full()) break;
+    if (auto base = frames_->alloc_contiguous(pages)) {
+      const auto id = static_cast<std::uint32_t>(buffers_.size());
+      buffers_.push_back(BufferInfo{*base, cfg_.rx_buffer_bytes, 0});
+      free_writer_.push({*base, cfg_.rx_buffer_bytes, 0, 0, id});
+    } else {
+      for (std::uint32_t p = 0; p < pages && !free_writer_.full(); ++p) {
+        const mem::PhysAddr pa = frames_->alloc();
+        const auto id = static_cast<std::uint32_t>(buffers_.size());
+        buffers_.push_back(BufferInfo{pa, mem::kPageSize, 0});
+        free_writer_.push({pa, mem::kPageSize, 0, 0, id});
+      }
+    }
+  }
+  source_to_writer_[0] = 0;  // default pool recycles to free_writer_
+
+  intc_->add_handler(board::Irq::kRxNonEmpty,
+                     [this, adc_channel](sim::Tick done, int ch) {
+                       if (ch == adc_channel) on_rx_interrupt(done);
+                     });
+  intc_->add_handler(board::Irq::kTxHalfEmpty,
+                     [this, adc_channel](sim::Tick done, int ch) {
+                       if (ch == adc_channel) on_tx_half_empty(done);
+                     });
+}
+
+void OsirisDriver::add_free_pool(const dpram::QueueLayout& lay, int source_tag,
+                                 const std::vector<mem::PhysBuffer>& bufs) {
+  extra_free_writers_.emplace_back(*ram_, lay, dpram::Side::kHost);
+  source_to_writer_[source_tag] = extra_free_writers_.size();  // 1-based
+  auto& w = extra_free_writers_.back();
+  // Setup path, like attach(): not charged.
+  for (const auto& b : bufs) {
+    const auto id = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(BufferInfo{b.addr, b.len, source_tag});
+    if (!w.push({b.addr, b.len, 0, 0, id}).ok) {
+      throw std::logic_error("add_free_pool: queue overflow");
+    }
+  }
+}
+
+sim::Tick OsirisDriver::reap_tx(sim::Tick at) {
+  // "The driver checks for this condition as part of other driver
+  // activity" (§2.1.2): tail advances tell us which buffers the board is
+  // done with; unwire their pages.
+  sim::Tick t = cpu_->pio(at, 1, 0);  // read the tail word
+  const std::uint32_t done_descs =
+      static_cast<std::uint32_t>(inflight_tx_.size()) -
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(inflight_tx_.size()),
+                              tx_writer_.size());
+  for (std::uint32_t i = 0; i < done_descs; ++i) {
+    const auto bufs = std::move(inflight_tx_.front());
+    inflight_tx_.pop_front();
+    std::uint32_t pages = 0;
+    for (const auto& b : bufs) {
+      pages += mem::page_of(b.addr + b.len - 1) - mem::page_of(b.addr) + 1;
+    }
+    wiring_.unwire_buffers(bufs);
+    const sim::Duration cost = (cfg_.wiring == mem::WiringMode::kFastPath
+                                    ? mc_->page_wire_fast
+                                    : mc_->page_wire_slow) *
+                               static_cast<sim::Duration>(pages) / 2;
+    t = cpu_->exec(t, Work{cost, 0});
+  }
+  return t;
+}
+
+sim::Tick OsirisDriver::push_chain(sim::Tick at, std::uint16_t vci,
+                                   const std::vector<mem::PhysBuffer>& bufs) {
+  sim::Tick t = at;
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    t = cpu_->pio(t, 1, 0);  // read tail: full check
+    if (tx_writer_.full()) {
+      // §2.1.2: suspend transmit activity, ask for the half-empty irq.
+      const std::uint32_t ctrl =
+          ram_->read(dpram::Side::kHost, lay_.tx.ctrl_word());
+      ram_->write(dpram::Side::kHost, lay_.tx.ctrl_word(),
+                  ctrl | dpram::kCtrlWantHalfEmptyIrq);
+      t = cpu_->pio(t, 1, 1);
+      tx_suspended_ = true;
+      ++tx_suspensions_;
+      sim::trace_event(trace_, eng_->now(), "drv", "tx_suspend", vci,
+                       pending_sends_.size());
+      pending_sends_.push_front(
+          PendingSend{vci, {bufs.begin() + static_cast<std::ptrdiff_t>(i),
+                            bufs.end()}});
+      return t;
+    }
+    dpram::Descriptor d;
+    d.addr = bufs[i].addr;
+    d.len = bufs[i].len;
+    d.vci = vci;
+    d.flags = (i + 1 == bufs.size()) ? dpram::kDescEop : 0;
+    tx_writer_.push(d);
+    t = cpu_->pio(t, kPushReads, kPushWrites);
+    inflight_tx_.push_back({bufs[i]});
+  }
+  // Doorbell.
+  t = cpu_->pio(t, 0, 1);
+  eng_->schedule_at(t, [this] { txp_->kick(); });
+  return t;
+}
+
+sim::Tick OsirisDriver::send(sim::Tick at, std::uint16_t vci,
+                             const std::vector<mem::PhysBuffer>& bufs) {
+  sim::Tick t = reap_tx(at);
+
+  // Wire every page the board will DMA from (§2.4).
+  std::uint32_t pages = 0;
+  for (const auto& b : bufs) {
+    pages += mem::page_of(b.addr + b.len - 1) - mem::page_of(b.addr) + 1;
+  }
+  wiring_.wire_buffers(bufs);
+  const sim::Duration wire_cost =
+      (cfg_.wiring == mem::WiringMode::kFastPath ? mc_->page_wire_fast
+                                                 : mc_->page_wire_slow) *
+      static_cast<sim::Duration>(pages);
+
+  std::uint32_t bytes = 0;
+  for (const auto& b : bufs) bytes += b.len;
+  const Work w{
+      mc_->driver_tx_pdu + wire_cost +
+          mc_->driver_tx_buffer * static_cast<sim::Duration>(bufs.size()) +
+          mc_->per_kb_compute * kb_of(bytes) / 2,
+      mc_->mem_words_fixed_tx +
+          static_cast<std::uint64_t>(mc_->mem_words_per_kb) * kb_of(bytes) / 2};
+  t = cpu_->exec(t, w);
+
+  ++pdus_sent_;
+  if (tx_suspended_) {
+    pending_sends_.push_back(PendingSend{vci, bufs});
+    return t;
+  }
+  return push_chain(t, vci, bufs);
+}
+
+void OsirisDriver::on_tx_half_empty(sim::Tick at) {
+  tx_suspended_ = false;
+  sim::Tick t = at;
+  while (!pending_sends_.empty() && !tx_suspended_) {
+    PendingSend ps = std::move(pending_sends_.front());
+    pending_sends_.pop_front();
+    t = push_chain(t, ps.vci, ps.bufs);
+  }
+  if (!tx_suspended_ && tx_resume_) {
+    auto cb = std::move(tx_resume_);
+    tx_resume_ = nullptr;
+    cb(t);
+  }
+}
+
+void OsirisDriver::on_rx_interrupt(sim::Tick at) {
+  if (draining_) return;  // thread already active
+  draining_ = true;
+  const sim::Tick t = cpu_->exec(at, Work{mc_->thread_dispatch, 0});
+  eng_->schedule_at(t, [this] { drain_step(eng_->now()); });
+}
+
+void OsirisDriver::drain_step(sim::Tick at) {
+  sim::Tick t = cpu_->pio(at, kPopReads, kPopWrites);
+  const auto d = recv_reader_.pop();
+  if (!d) {
+    draining_ = false;
+    return;
+  }
+  t = cpu_->exec(t, Work{mc_->driver_rx_buffer, 0});
+
+  const auto tag = static_cast<std::uint32_t>((d->flags >> 8) & 0x7F);
+  const std::uint32_t key = (static_cast<std::uint32_t>(d->vci) << 8) | tag;
+  Accum& acc = accum_[key];
+  acc.bufs.push_back(RxBuffer{d->addr, d->len, d->user});
+  acc.bytes += d->len;
+
+  if ((d->flags & dpram::kDescEop) != 0) {
+    Accum done = std::move(acc);
+    accum_.erase(key);
+    t = deliver(t, d->vci, std::move(done));
+  } else if (accum_.size() > 64) {
+    // Partial PDUs that never completed (dropped upstream): reclaim the
+    // oldest to avoid leaking the buffer pool.
+    const auto oldest = accum_.begin();
+    ++stale_partial_;
+    t = recycle(t, oldest->second.bufs);
+    accum_.erase(oldest);
+  }
+
+  eng_->schedule_at(t, [this] { drain_step(eng_->now()); });
+}
+
+sim::Tick OsirisDriver::deliver(sim::Tick at, std::uint16_t vci, Accum&& acc) {
+  sim::Tick t = at;
+  if (acc.bytes < atm::kTrailerBytes) {
+    ++crc_failures_;
+    return recycle(t, acc.bufs);
+  }
+  RxPduView view;
+  view.vci = vci;
+  view.wire_len = acc.bytes;
+  view.pdu_len = acc.bytes - atm::kTrailerBytes;
+  view.bufs = acc.bufs;
+
+  if (cfg_.eager_invalidate) {
+    // Figure 2's pessimistic mode: invalidate every received byte up
+    // front. Costs ~1 cycle/word plus the induced misses (§2.3).
+    std::uint64_t words = 0;
+    for (const auto& b : view.bufs) words += cache_->invalidate(b.pa, b.len);
+    t = cpu_->exec(
+        t, Work{mc_->cpu_cycles(static_cast<double>(words) *
+                                (mc_->invalidate_cycles_per_word +
+                                 mc_->invalidate_extra_cycles_per_word)),
+                0});
+  }
+
+  const std::uint32_t kb = kb_of(view.pdu_len);
+  t = cpu_->exec(t, Work{mc_->driver_rx_pdu + mc_->per_kb_compute * kb / 2,
+                         mc_->mem_words_fixed_rx +
+                             static_cast<std::uint64_t>(mc_->mem_words_per_kb) *
+                                 kb / 2});
+
+  ++pdus_received_;
+  sim::trace_event(trace_, eng_->now(), "drv", "deliver", vci, view.pdu_len);
+  if (rx_handler_) t = rx_handler_(t, view);
+  return recycle(t, view.bufs);  // empty if the handler retained them
+}
+
+sim::Tick OsirisDriver::recycle(sim::Tick at, const std::vector<RxBuffer>& bufs) {
+  sim::Tick t = at;
+  for (const RxBuffer& rb : bufs) {
+    if (rb.id >= buffers_.size()) throw std::logic_error("recycle: bad buffer id");
+    const BufferInfo& info = buffers_[rb.id];
+    const std::size_t widx = source_to_writer_.at(info.source_tag);
+    dpram::QueueWriter& w =
+        widx == 0 ? free_writer_ : extra_free_writers_[widx - 1];
+    t = cpu_->pio(t, kPushReads, kPushWrites);
+    if (!w.push({info.pa, info.cap, 0, 0, rb.id}).ok) {
+      throw std::logic_error("recycle: free queue overflow");
+    }
+  }
+  return t;
+}
+
+sim::Tick OsirisDriver::recover_stale(sim::Tick at, const RxPduView& pdu) {
+  std::uint64_t words = 0;
+  for (const auto& b : pdu.bufs) words += cache_->invalidate(b.pa, b.len);
+  ++crc_failures_;
+  return cpu_->exec(
+      at, Work{mc_->cpu_cycles(static_cast<double>(words) *
+                               mc_->invalidate_cycles_per_word),
+               0});
+}
+
+}  // namespace osiris::host

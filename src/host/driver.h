@@ -1,0 +1,231 @@
+// The OSIRIS device driver (kernel side).
+//
+// Implements the host half of the §2.1 communication discipline:
+//  * lock-free descriptor queues in the dual-port RAM, one transmit queue
+//    and one free/receive queue pair for the kernel (channel pair 0);
+//  * transmit completion detected by watching the tail pointer advance
+//    during other driver activity — no interrupt; when the transmit queue
+//    fills, the driver suspends, sets the queue's ctrl flag, and resumes
+//    on the half-empty interrupt (§2.1.2);
+//  * one receive interrupt per burst: the board interrupts only on the
+//    empty -> non-empty transition, and the driver thread drains until the
+//    queue is empty;
+//  * page wiring before DMA (§2.4), with the fast or the Mach-standard
+//    (slow) path;
+//  * lazy cache invalidation (§2.3): received data is NOT invalidated
+//    up front; a consumer that detects a checksum error calls
+//    recover_stale(), which invalidates and lets the data be re-read from
+//    memory. Eager invalidation (invalidate every buffer on receipt) is
+//    available for the Figure 2 comparison.
+//
+// The driver is also used, unchanged, as the ADC channel driver linked
+// into applications (§3.2) — only the channel pair, the buffer pool, and
+// the cost of reaching it differ.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "board/tx.h"
+#include "dpram/dpram.h"
+#include "dpram/queue.h"
+#include "host/interrupts.h"
+#include "host/machine.h"
+#include "mem/cache.h"
+#include "mem/paging.h"
+#include "mem/wiring.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace osiris::host {
+
+/// One receive buffer as handed to upper layers (physical address; data is
+/// read through the cache model).
+struct RxBuffer {
+  std::uint32_t pa = 0;
+  std::uint32_t len = 0;     // filled bytes
+  std::uint32_t id = 0;      // driver buffer id (for recycling)
+};
+
+/// A received PDU: the chain of buffers holding wire bytes (user PDU
+/// followed by the 8-byte AAL trailer).
+struct RxPduView {
+  std::uint16_t vci = 0;
+  std::uint32_t wire_len = 0;
+  std::uint32_t pdu_len = 0;  // wire_len - trailer
+  std::vector<RxBuffer> bufs;
+
+  /// Reads `n` bytes starting at PDU offset `off` directly from physical
+  /// memory (no cost model; used by tests and for CRC ground truth).
+  void read_raw(const mem::PhysicalMemory& pm, std::uint32_t off,
+                std::span<std::uint8_t> out) const;
+
+  /// Reads through the data cache, accumulating access costs (used by the
+  /// checksum path; may return STALE bytes on a non-coherent machine).
+  void read_cached(mem::DataCache& cache, std::uint32_t off,
+                   std::span<std::uint8_t> out, mem::AccessCost& cost) const;
+};
+
+class OsirisDriver {
+ public:
+  struct Config {
+    std::uint32_t rx_buffers = 64;             // paper §2.3
+    std::uint32_t rx_buffer_bytes = 16 * 1024; // paper §2.3
+    bool eager_invalidate = false;             // Figure 2's third curve
+    mem::WiringMode wiring = mem::WiringMode::kFastPath;
+  };
+
+  /// Upper-layer receive hook. Called when a complete PDU has been popped;
+  /// returns the time upper processing finishes. The driver recycles
+  /// whatever remains in pdu.bufs afterwards — a handler that needs the
+  /// buffers to outlive the call (e.g. until an end-to-end checksum has
+  /// been verified, §2.3) moves them out and later calls release().
+  using RxHandler = std::function<sim::Tick(sim::Tick at, RxPduView& pdu)>;
+
+  OsirisDriver(sim::Engine& eng, const MachineConfig& mc, HostCpu& cpu,
+               InterruptController& intc, tc::TurboChannel& bus,
+               mem::PhysicalMemory& pm, mem::DataCache& cache,
+               mem::FrameAllocator& frames, dpram::DualPortRam& ram,
+               board::TxProcessor& txp, const dpram::ChannelLayout& lay,
+               Config cfg);
+
+  /// Allocates and queues the receive buffer pool, and hooks interrupts.
+  /// `free_source_id` is the board-side id of the default free queue.
+  void attach(int adc_channel = 0);
+
+  void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
+
+  /// Attaches an event trace (optional; null disables).
+  void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Queues one PDU (a chain of physical buffers) for transmission on
+  /// `vci`, starting at `at`. Returns the time the host CPU is done (the
+  /// board proceeds asynchronously). Handles queue-full suspension.
+  sim::Tick send(sim::Tick at, std::uint16_t vci,
+                 const std::vector<mem::PhysBuffer>& bufs);
+
+  /// Returns retained receive buffers to their free pools. Each push costs
+  /// the usual dual-port-RAM PIO.
+  sim::Tick release(sim::Tick at, const std::vector<RxBuffer>& bufs) {
+    return recycle(at, bufs);
+  }
+
+  /// Reclaims all partial PDU accumulations (buffers received without an
+  /// EOP because cells were lost upstream). Returns completion time.
+  sim::Tick flush_partials(sim::Tick at) {
+    sim::Tick t = at;
+    for (auto& [key, acc] : accum_) {
+      ++stale_partial_;
+      t = recycle(t, acc.bufs);
+    }
+    accum_.clear();
+    return t;
+  }
+
+  /// §2.3 lazy-invalidation recovery: a consumer found a checksum error;
+  /// invalidate the PDU's cache lines so a re-read sees memory. Returns
+  /// completion time (invalidation costs ~1 cycle/word).
+  sim::Tick recover_stale(sim::Tick at, const RxPduView& pdu);
+
+  /// Registers `n` extra buffers of `bytes` each for an additional free
+  /// queue (used by the fbuf per-path pools). Returns descriptors pushed.
+  void add_free_pool(const dpram::QueueLayout& lay, int source_tag,
+                     const std::vector<mem::PhysBuffer>& bufs);
+
+  /// True while the transmit path is suspended on a full queue (§2.1.2).
+  [[nodiscard]] bool tx_suspended() const { return tx_suspended_; }
+
+  /// One-shot callback fired when a suspended transmit path has drained
+  /// its pending sends — how a blocking send() unblocks its caller.
+  void set_tx_resume(std::function<void(sim::Tick)> cb) {
+    tx_resume_ = std::move(cb);
+  }
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t pdus_sent() const { return pdus_sent_; }
+  [[nodiscard]] std::uint64_t pdus_received() const { return pdus_received_; }
+  [[nodiscard]] std::uint64_t tx_suspensions() const { return tx_suspensions_; }
+  [[nodiscard]] std::uint64_t stale_partial_pdus() const { return stale_partial_; }
+  [[nodiscard]] std::uint64_t crc_failures() const { return crc_failures_; }
+  [[nodiscard]] const mem::PageWiring& wiring() const { return wiring_; }
+  [[nodiscard]] const MachineConfig& machine() const { return *mc_; }
+
+  /// Exposes the kernel receive-queue reader fill level (tests).
+  [[nodiscard]] std::uint32_t recv_backlog() const { return recv_reader_.size(); }
+
+  /// All buffers this driver has registered (receive pool + extra pools);
+  /// used by ADCs to build their authorized-page lists.
+  [[nodiscard]] std::vector<mem::PhysBuffer> buffer_pool() const {
+    std::vector<mem::PhysBuffer> out;
+    out.reserve(buffers_.size());
+    for (const auto& b : buffers_) out.push_back({b.pa, b.cap});
+    return out;
+  }
+
+ private:
+  struct BufferInfo {
+    std::uint32_t pa = 0;
+    std::uint32_t cap = 0;
+    int source_tag = 0;  // which free queue it returns to
+  };
+  struct PendingSend {
+    std::uint16_t vci;
+    std::vector<mem::PhysBuffer> bufs;
+  };
+  struct Accum {
+    std::vector<RxBuffer> bufs;
+    std::uint32_t bytes = 0;
+  };
+
+  void on_rx_interrupt(sim::Tick at);
+  void on_tx_half_empty(sim::Tick at);
+  void drain_step(sim::Tick at);
+  sim::Tick deliver(sim::Tick at, std::uint16_t vci, Accum&& acc);
+  sim::Tick recycle(sim::Tick at, const std::vector<RxBuffer>& bufs);
+  /// Reclaims completed transmit descriptors (tail watch) and unwires.
+  sim::Tick reap_tx(sim::Tick at);
+  sim::Tick push_chain(sim::Tick at, std::uint16_t vci,
+                       const std::vector<mem::PhysBuffer>& bufs);
+
+  sim::Engine* eng_;
+  const MachineConfig* mc_;
+  HostCpu* cpu_;
+  InterruptController* intc_;
+  tc::TurboChannel* bus_;
+  mem::PhysicalMemory* pm_;
+  mem::DataCache* cache_;
+  mem::FrameAllocator* frames_;
+  dpram::DualPortRam* ram_;
+  board::TxProcessor* txp_;
+  dpram::ChannelLayout lay_;
+  Config cfg_;
+
+  dpram::QueueWriter tx_writer_;
+  dpram::QueueWriter free_writer_;
+  dpram::QueueReader recv_reader_;
+  std::vector<dpram::QueueWriter> extra_free_writers_;
+  std::map<int, std::size_t> source_to_writer_;  // tag -> index (0 = default)
+
+  RxHandler rx_handler_;
+  sim::Trace* trace_ = nullptr;
+  std::vector<BufferInfo> buffers_;          // by id
+  std::map<std::uint32_t, Accum> accum_;     // (vci<<16|pdu_tag) -> partial PDU
+  std::deque<PendingSend> pending_sends_;
+  std::deque<std::vector<mem::PhysBuffer>> inflight_tx_;  // for unwiring
+  bool draining_ = false;
+  bool tx_suspended_ = false;
+  std::function<void(sim::Tick)> tx_resume_;
+
+  std::uint64_t pdus_sent_ = 0;
+  std::uint64_t pdus_received_ = 0;
+  std::uint64_t tx_suspensions_ = 0;
+  std::uint64_t stale_partial_ = 0;
+  std::uint64_t crc_failures_ = 0;
+  mem::PageWiring wiring_;
+};
+
+}  // namespace osiris::host

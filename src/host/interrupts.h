@@ -1,0 +1,58 @@
+// Host interrupt dispatch.
+//
+// Every board interrupt is fielded by the kernel's handler — even those
+// destined for application device channels (§3.2): handling one costs
+// MachineConfig::interrupt_service of host CPU time (75 us on the
+// DECstation 5000/200, §2.1.2), after which the registered handler runs
+// (typically: dispatch the driver thread, or signal an ADC channel-driver
+// thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "board/board.h"
+#include "host/machine.h"
+#include "sim/engine.h"
+
+namespace osiris::host {
+
+class InterruptController {
+ public:
+  /// Handler invoked once the interrupt has been serviced; `done` is the
+  /// time the service routine finished, `channel` the board channel.
+  using Handler = std::function<void(sim::Tick done, int channel)>;
+
+  InterruptController(sim::Engine& eng, const MachineConfig& cfg, HostCpu& cpu)
+      : eng_(&eng), cfg_(&cfg), cpu_(&cpu) {}
+
+  /// Registers a handler; several may coexist (e.g. one per ADC), each
+  /// filtering on the channel argument.
+  void add_handler(board::Irq irq, Handler h) {
+    handlers_[static_cast<int>(irq)].push_back(std::move(h));
+  }
+
+  /// Board-side entry point (wired as the boards' IrqSink).
+  void raise(board::Irq irq, int channel) {
+    ++raised_;
+    const sim::Tick done = cpu_->exec(eng_->now(), Work{cfg_->interrupt_service, 0});
+    const auto it = handlers_.find(static_cast<int>(irq));
+    if (it == handlers_.end()) return;
+    for (const Handler& h : it->second) {
+      eng_->schedule_at(done, [h, done, channel] { h(done, channel); });
+    }
+  }
+
+  [[nodiscard]] std::uint64_t raised() const { return raised_; }
+  void reset_stats() { raised_ = 0; }
+
+ private:
+  sim::Engine* eng_;
+  const MachineConfig* cfg_;
+  HostCpu* cpu_;
+  std::unordered_map<int, std::vector<Handler>> handlers_;
+  std::uint64_t raised_ = 0;
+};
+
+}  // namespace osiris::host

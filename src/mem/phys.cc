@@ -1,0 +1,47 @@
+#include "mem/phys.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace osiris::mem {
+
+void PhysicalMemory::check(PhysAddr addr, std::size_t len) const {
+  if (static_cast<std::size_t>(addr) + len > data_.size()) {
+    throw std::out_of_range("PhysicalMemory: access [" + std::to_string(addr) +
+                            ", +" + std::to_string(len) + ") beyond " +
+                            std::to_string(data_.size()));
+  }
+}
+
+void PhysicalMemory::read(PhysAddr addr, std::span<std::uint8_t> dst) const {
+  check(addr, dst.size());
+  std::copy_n(data_.begin() + addr, dst.size(), dst.begin());
+}
+
+void PhysicalMemory::write(PhysAddr addr, std::span<const std::uint8_t> src) {
+  check(addr, src.size());
+  std::copy(src.begin(), src.end(), data_.begin() + addr);
+}
+
+std::uint8_t PhysicalMemory::byte(PhysAddr addr) const {
+  check(addr, 1);
+  return data_[addr];
+}
+
+void PhysicalMemory::set_byte(PhysAddr addr, std::uint8_t v) {
+  check(addr, 1);
+  data_[addr] = v;
+}
+
+std::span<const std::uint8_t> PhysicalMemory::view(PhysAddr addr, std::size_t len) const {
+  check(addr, len);
+  return {data_.data() + addr, len};
+}
+
+std::span<std::uint8_t> PhysicalMemory::view_mut(PhysAddr addr, std::size_t len) {
+  check(addr, len);
+  return {data_.data() + addr, len};
+}
+
+}  // namespace osiris::mem

@@ -1,0 +1,51 @@
+// Simulated host physical memory.
+//
+// A flat byte array addressed by 32-bit physical addresses. All network
+// payload in the simulation is real data stored here: DMA engines copy
+// bytes in and out of this array, protocol checksums are computed over it,
+// and tests verify end-to-end integrity through it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace osiris::mem {
+
+using PhysAddr = std::uint32_t;
+
+/// A contiguous run of physical memory: the unit of data exchanged between
+/// the host driver and the on-board processors (paper §2.2).
+struct PhysBuffer {
+  PhysAddr addr = 0;
+  std::uint32_t len = 0;
+
+  friend bool operator==(const PhysBuffer&, const PhysBuffer&) = default;
+};
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::size_t bytes) : data_(bytes, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Reads `dst.size()` bytes starting at `addr`. Bounds-checked.
+  void read(PhysAddr addr, std::span<std::uint8_t> dst) const;
+
+  /// Writes `src` starting at `addr`. Bounds-checked.
+  void write(PhysAddr addr, std::span<const std::uint8_t> src);
+
+  [[nodiscard]] std::uint8_t byte(PhysAddr addr) const;
+  void set_byte(PhysAddr addr, std::uint8_t v);
+
+  /// Direct view for the cache model and DMA engines (bounds-checked).
+  [[nodiscard]] std::span<const std::uint8_t> view(PhysAddr addr, std::size_t len) const;
+  [[nodiscard]] std::span<std::uint8_t> view_mut(PhysAddr addr, std::size_t len);
+
+ private:
+  void check(PhysAddr addr, std::size_t len) const;
+
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace osiris::mem

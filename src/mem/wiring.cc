@@ -1,0 +1,39 @@
+#include "mem/wiring.h"
+
+#include <stdexcept>
+
+namespace osiris::mem {
+
+void PageWiring::wire(PhysAddr pa) {
+  ++counts_[page_of(pa)];
+  ++wire_ops_;
+}
+
+void PageWiring::unwire(PhysAddr pa) {
+  const auto it = counts_.find(page_of(pa));
+  if (it == counts_.end()) throw std::logic_error("PageWiring: unwire of unwired page");
+  if (--it->second == 0) counts_.erase(it);
+  ++unwire_ops_;
+}
+
+void PageWiring::wire_buffers(const std::vector<PhysBuffer>& bufs) {
+  for (const auto& b : bufs) {
+    for (std::uint32_t p = page_of(b.addr); p <= page_of(b.addr + b.len - 1); ++p) {
+      wire(p << kPageShift);
+    }
+  }
+}
+
+void PageWiring::unwire_buffers(const std::vector<PhysBuffer>& bufs) {
+  for (const auto& b : bufs) {
+    for (std::uint32_t p = page_of(b.addr); p <= page_of(b.addr + b.len - 1); ++p) {
+      unwire(p << kPageShift);
+    }
+  }
+}
+
+bool PageWiring::is_wired(PhysAddr pa) const {
+  return counts_.contains(page_of(pa));
+}
+
+}  // namespace osiris::mem

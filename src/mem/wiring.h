@@ -1,0 +1,51 @@
+// Page wiring (pinning) bookkeeping — paper §2.4.
+//
+// Before a buffer's address is handed to the board for DMA, its pages must
+// be wired (excluded from page replacement). The paper found Mach's
+// standard wiring service surprisingly expensive because it also protects
+// the page-table pages needed to translate the wired page; a low-level
+// fast path avoids that. Both paths are modelled here; their costs live in
+// the machine config, this class tracks counts and enforces correctness
+// (DMA to an unwired page is a simulation error, caught by the board).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/paging.h"
+
+namespace osiris::mem {
+
+enum class WiringMode {
+  kMachStandard,  // wires the page and its page-table pages (slow)
+  kFastPath,      // low-level kernel interface (what the driver now uses)
+};
+
+class PageWiring {
+ public:
+  /// Wires the page frame containing `pa`. Nested wiring is counted.
+  void wire(PhysAddr pa);
+
+  /// Unwires one wiring of the frame containing `pa`.
+  void unwire(PhysAddr pa);
+
+  /// Wires every frame touched by the buffer list.
+  void wire_buffers(const std::vector<PhysBuffer>& bufs);
+  void unwire_buffers(const std::vector<PhysBuffer>& bufs);
+
+  [[nodiscard]] bool is_wired(PhysAddr pa) const;
+
+  /// Total wire operations performed (for cost accounting).
+  [[nodiscard]] std::uint64_t wire_ops() const { return wire_ops_; }
+  [[nodiscard]] std::uint64_t unwire_ops() const { return unwire_ops_; }
+
+  /// Number of distinct frames currently wired.
+  [[nodiscard]] std::size_t wired_frames() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> counts_;  // frame -> depth
+  std::uint64_t wire_ops_ = 0;
+  std::uint64_t unwire_ops_ = 0;
+};
+
+}  // namespace osiris::mem

@@ -1,0 +1,193 @@
+#include "osiris/harness.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "atm/checksum.h"
+#include "proto/message.h"
+
+namespace osiris::harness {
+
+LatencyResult ping_pong(Testbed& tb, proto::ProtoStack& sa,
+                        proto::ProtoStack& sb, std::uint16_t vci,
+                        std::uint32_t msg_bytes, int iterations) {
+  // One message per direction, reused across iterations (the test program
+  // sends the same buffer repeatedly).
+  std::vector<std::uint8_t> payload(msg_bytes);
+  for (std::uint32_t i = 0; i < msg_bytes; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  proto::Message ma =
+      proto::Message::from_payload(tb.a.kernel_space, payload, /*offset=*/0);
+  proto::Message mb =
+      proto::Message::from_payload(tb.b.kernel_space, payload, /*offset=*/0);
+
+  sim::Summary rtts;
+  int remaining = iterations;
+  sim::Tick send_started = 0;
+
+  const host::MachineConfig& mca = tb.a.cfg.machine;
+  const host::MachineConfig& mcb = tb.b.cfg.machine;
+
+  sb.set_sink([&](sim::Tick at, std::uint16_t v, std::vector<std::uint8_t>&&) {
+    // Echo server: consume and reply.
+    sim::Tick t = tb.b.cpu.exec(at, host::Work{mcb.app_recv, 0});
+    t = tb.b.cpu.exec(t, host::Work{mcb.app_send, 0});
+    sb.send(t, v, mb);
+  });
+  sa.set_sink([&](sim::Tick at, std::uint16_t v, std::vector<std::uint8_t>&&) {
+    const sim::Tick t = tb.a.cpu.exec(at, host::Work{mca.app_recv, 0});
+    rtts.add(sim::to_us(t - send_started));
+    if (--remaining > 0) {
+      send_started = t;
+      const sim::Tick t2 = tb.a.cpu.exec(t, host::Work{mca.app_send, 0});
+      sa.send(t2, v, ma);
+    }
+  });
+
+  send_started = tb.eng.now();
+  const sim::Tick t0 = tb.a.cpu.exec(tb.eng.now(), host::Work{mca.app_send, 0});
+  sa.send(t0, vci, ma);
+  tb.eng.run();
+
+  LatencyResult r;
+  r.rtt_us_mean = rtts.mean();
+  r.rtt_us_min = rtts.min();
+  r.rtt_us_max = rtts.max();
+  r.iterations = rtts.count();
+  return r;
+}
+
+std::vector<std::vector<std::uint8_t>> make_udp_fragments(
+    std::uint32_t msg_bytes, std::uint32_t ip_mtu, bool udp_checksum) {
+  if (ip_mtu <= proto::kIpHeader) throw std::invalid_argument("MTU too small");
+  std::vector<std::uint8_t> payload(msg_bytes);
+  for (std::uint32_t i = 0; i < msg_bytes; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + 3);
+  }
+  // UDP packet = 8-byte header + payload.
+  std::vector<std::uint8_t> pkt(proto::kUdpHeader + msg_bytes, 0);
+  std::copy(payload.begin(), payload.end(), pkt.begin() + proto::kUdpHeader);
+  if (udp_checksum) {
+    const std::uint16_t ck = atm::InternetChecksum::of(payload);
+    pkt[4] = static_cast<std::uint8_t>(ck >> 8);
+    pkt[5] = static_cast<std::uint8_t>(ck);
+  }
+
+  const std::uint32_t frag_data = ip_mtu - proto::kIpHeader;
+  const auto total = static_cast<std::uint32_t>(pkt.size());
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::uint32_t off = 0; off < total; off += frag_data) {
+    const std::uint32_t n = std::min(frag_data, total - off);
+    std::vector<std::uint8_t> frag(proto::kIpHeader + n);
+    const std::uint32_t flen = n + proto::kIpHeader;
+    frag[0] = static_cast<std::uint8_t>(flen >> 24);
+    frag[1] = static_cast<std::uint8_t>(flen >> 16);
+    frag[2] = static_cast<std::uint8_t>(flen >> 8);
+    frag[3] = static_cast<std::uint8_t>(flen);
+    frag[4] = 0;  // ip id (safe to reuse: messages are sequential)
+    frag[5] = 1;
+    frag[6] = static_cast<std::uint8_t>(off >> 24);
+    frag[7] = static_cast<std::uint8_t>(off >> 16);
+    frag[8] = static_cast<std::uint8_t>(off >> 8);
+    frag[9] = static_cast<std::uint8_t>(off);
+    frag[10] = (off + n < total) ? 1 : 0;
+    frag[11] = 17;
+    std::copy(pkt.begin() + off, pkt.begin() + off + n,
+              frag.begin() + proto::kIpHeader);
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+ThroughputResult receive_throughput(Node& n, proto::ProtoStack& stack,
+                                    std::uint16_t vci, std::uint32_t msg_bytes,
+                                    std::uint64_t n_msgs,
+                                    const proto::StackConfig& scfg) {
+  n.map_kernel_vci(vci);
+  const auto frags =
+      make_udp_fragments(msg_bytes, scfg.ip_mtu, scfg.udp_checksum);
+
+  std::uint64_t delivered = 0;
+  sim::Tick first = 0, last = 0;
+  const host::MachineConfig& mc = n.cfg.machine;
+  stack.set_sink([&](sim::Tick at, std::uint16_t, std::vector<std::uint8_t>&& d) {
+    if (d.size() != msg_bytes) throw std::logic_error("receive_throughput: size");
+    const sim::Tick t = n.cpu.exec(at, host::Work{mc.app_recv, 0});
+    if (delivered == 0) first = t;
+    last = t;
+    ++delivered;
+  });
+
+  n.intc.reset_stats();
+  n.rxp.start_generator_multi(vci, frags, n_msgs, 0);
+  n.eng.run();
+
+  ThroughputResult r;
+  r.messages = delivered;
+  r.interrupts = n.intc.raised();
+  r.pdus = n.driver.pdus_received();
+  r.interrupts_per_pdu =
+      r.pdus == 0 ? 0.0 : static_cast<double>(r.interrupts) / static_cast<double>(r.pdus);
+  if (delivered >= 2) {
+    r.duration_us = sim::to_us(last - first);
+    r.mbps = sim::mbps(static_cast<std::uint64_t>(msg_bytes) * (delivered - 1),
+                       last - first);
+  }
+  return r;
+}
+
+ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
+                                     proto::ProtoStack& s_tx,
+                                     proto::ProtoStack& s_rx,
+                                     std::uint16_t vci, std::uint32_t msg_bytes,
+                                     std::uint64_t n_msgs) {
+  std::vector<std::uint8_t> payload(msg_bytes);
+  for (std::uint32_t i = 0; i < msg_bytes; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 17 + 1);
+  }
+  proto::Message m =
+      proto::Message::from_payload(sender.kernel_space, payload, /*offset=*/0);
+
+  std::uint64_t delivered = 0;
+  sim::Tick first = 0, last = 0;
+  s_rx.set_sink([&](sim::Tick at, std::uint16_t, std::vector<std::uint8_t>&& d) {
+    if (d.size() != msg_bytes) throw std::logic_error("transmit_throughput: size");
+    if (delivered == 0) first = at;
+    last = at;
+    ++delivered;
+  });
+
+  // The sending test program issues the next send as soon as the previous
+  // one returns; a send that fills the transmit queue blocks the program
+  // until the driver's half-empty resume fires (§2.1.2).
+  const host::MachineConfig& mc = sender.cfg.machine;
+  auto pump = std::make_shared<std::function<void(sim::Tick, std::uint64_t)>>();
+  *pump = [&tb, &sender, &s_tx, &mc, &m, vci, n_msgs, pump](sim::Tick t,
+                                                            std::uint64_t i) {
+    while (i < n_msgs) {
+      t = sender.cpu.exec(t, host::Work{mc.app_send, 0});
+      t = s_tx.send(t, vci, m);
+      ++i;
+      if (sender.driver.tx_suspended()) {
+        const std::uint64_t next = i;
+        sender.driver.set_tx_resume(
+            [pump, next](sim::Tick rt) { (*pump)(rt, next); });
+        return;
+      }
+    }
+  };
+  (*pump)(tb.eng.now(), 0);
+  tb.eng.run();
+
+  ThroughputResult r;
+  r.messages = delivered;
+  if (delivered >= 2) {
+    r.duration_us = sim::to_us(last - first);
+    r.mbps = sim::mbps(static_cast<std::uint64_t>(msg_bytes) * (delivered - 1),
+                       last - first);
+  }
+  return r;
+}
+
+}  // namespace osiris::harness

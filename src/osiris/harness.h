@@ -1,0 +1,61 @@
+// Measurement harness reproducing the paper's §4 experiments.
+//
+// All measurements are taken between test programs "linked into the
+// kernel" (the paper's methodology): application-level send/receive costs
+// are charged on the host CPU, but no protection-domain crossing occurs
+// unless the experiment says so.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "osiris/node.h"
+#include "proto/stack.h"
+#include "sim/stats.h"
+
+namespace osiris::harness {
+
+struct LatencyResult {
+  double rtt_us_mean = 0;
+  double rtt_us_min = 0;
+  double rtt_us_max = 0;
+  std::uint64_t iterations = 0;
+};
+
+/// Kernel-to-kernel ping-pong of `msg_bytes` messages over `vci`,
+/// initiated by node `a`'s stack. Echo server runs on node `b`.
+LatencyResult ping_pong(Testbed& tb, proto::ProtoStack& sa,
+                        proto::ProtoStack& sb, std::uint16_t vci,
+                        std::uint32_t msg_bytes, int iterations);
+
+struct ThroughputResult {
+  double mbps = 0;            // user payload goodput
+  std::uint64_t messages = 0;
+  double duration_us = 0;     // first-to-last delivery
+  std::uint64_t interrupts = 0;
+  std::uint64_t pdus = 0;
+  double interrupts_per_pdu = 0;
+};
+
+/// Builds the on-the-wire fragment PDUs that the protocol stack would
+/// produce for one `msg_bytes` UDP message (used to drive the board's
+/// fictitious-PDU generator).
+std::vector<std::vector<std::uint8_t>> make_udp_fragments(
+    std::uint32_t msg_bytes, std::uint32_t ip_mtu, bool udp_checksum);
+
+/// Receive-side throughput in isolation (Figures 2 and 3): the board's
+/// receive processor generates messages as fast as the host absorbs them.
+ThroughputResult receive_throughput(Node& n, proto::ProtoStack& stack,
+                                    std::uint16_t vci, std::uint32_t msg_bytes,
+                                    std::uint64_t n_msgs,
+                                    const proto::StackConfig& scfg);
+
+/// Transmit-side throughput (Figure 4): sender pumps messages back to
+/// back; goodput measured at the receiver.
+ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
+                                     proto::ProtoStack& s_tx,
+                                     proto::ProtoStack& s_rx,
+                                     std::uint16_t vci, std::uint32_t msg_bytes,
+                                     std::uint64_t n_msgs);
+
+}  // namespace osiris::harness

@@ -1,0 +1,59 @@
+// x-kernel path management (§3.1).
+//
+// "The x-kernel provides a mechanism for establishing a path through the
+// protocol graph ... Each path is then bound to an unused VCI by the
+// device driver. This means that we treat VCIs as a fairly abundant
+// resource; each of the potentially hundreds of paths (connections) on a
+// given host is bound to a VCI for the duration of the path."
+//
+// PathManager owns that binding for a two-node testbed: it allocates VCIs,
+// maps them into both receive processors (plain kernel buffering, or a
+// per-path fbuf pool for early demultiplexing into pre-mapped buffers),
+// and tears them down on close.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fbuf/fbuf.h"
+#include "osiris/node.h"
+
+namespace osiris {
+
+class PathManager {
+ public:
+  explicit PathManager(Testbed& tb, std::uint16_t first_vci = 1000)
+      : tb_(&tb), next_vci_(first_vci) {}
+
+  /// Opens a bidirectional kernel-buffered path; returns its VCI.
+  std::uint16_t open();
+
+  /// Opens a path whose receive side (on each node) draws from a per-path
+  /// cached fbuf pool spanning `domains`. Returns its VCI.
+  std::uint16_t open_fbuf(fbuf::FbufPool& pool_a, fbuf::FbufPool& pool_b,
+                          const std::vector<fbuf::DomainId>& domains);
+
+  /// Unbinds the VCI on both nodes. Throws if the path is not open.
+  void close(std::uint16_t vci);
+
+  [[nodiscard]] bool is_open(std::uint16_t vci) const {
+    return paths_.contains(vci);
+  }
+  [[nodiscard]] std::size_t open_count() const { return paths_.size(); }
+  [[nodiscard]] std::uint64_t total_opened() const { return total_opened_; }
+
+ private:
+  struct PathInfo {
+    bool fbuf = false;
+  };
+
+  std::uint16_t alloc_vci();
+
+  Testbed* tb_;
+  std::uint16_t next_vci_;
+  std::map<std::uint16_t, PathInfo> paths_;
+  std::uint64_t total_opened_ = 0;
+};
+
+}  // namespace osiris

@@ -1,0 +1,72 @@
+#include "osiris/stats.h"
+
+#include <sstream>
+
+namespace osiris {
+
+NodeStats snapshot(Node& n) {
+  NodeStats s;
+  s.machine = n.cfg.machine.name;
+
+  s.pdus_sent = n.txp.pdus_sent();
+  s.cells_sent = n.txp.cells_sent();
+  s.tx_dma_ops = n.txp.dma_ops();
+  s.tx_dma_splits = n.txp.dma_splits();
+  s.tx_suspensions = n.driver.tx_suspensions();
+  s.tx_auth_violations = n.txp.auth_violations();
+
+  s.cells_received = n.rxp.cells_received();
+  s.cells_bad_header = n.rxp.cells_bad_header();
+  s.cells_fifo_dropped = n.rxp.cells_fifo_dropped();
+  s.rx_dma_ops = n.rxp.dma_ops();
+  s.combine_fraction = n.rxp.combine_fraction();
+  s.pdus_completed = n.rxp.pdus_completed();
+  s.pdus_dropped_nobuf = n.rxp.pdus_dropped_nobuf();
+  s.pdus_dropped_recvfull = n.rxp.pdus_dropped_recvfull();
+  s.rx_auth_violations = n.rxp.auth_violations();
+
+  s.interrupts = n.intc.raised();
+  s.driver_pdus_received = n.driver.pdus_received();
+  s.stale_partial_pdus = n.driver.stale_partial_pdus();
+  s.wired_frames = n.driver.wiring().wired_frames();
+  s.bus_utilization = n.bus.bus().utilization();
+  s.cpu_utilization = n.cpu.resource().utilization();
+  s.dpram_host_accesses = n.ram.host_accesses();
+  s.dpram_board_accesses = n.ram.board_accesses();
+  s.cache_stale_reads = n.cache.stale_reads();
+  s.cache_dma_stale_lines = n.cache.dma_stale_lines();
+  return s;
+}
+
+std::string format_stats(const NodeStats& s) {
+  std::ostringstream os;
+  os << s.machine << "\n";
+  os << "  tx: " << s.pdus_sent << " PDUs, " << s.cells_sent << " cells, "
+     << s.tx_dma_ops << " DMA reads (" << s.tx_dma_splits
+     << " boundary splits), " << s.tx_suspensions << " queue-full suspensions\n";
+  os << "  rx: " << s.cells_received << " cells in, " << s.pdus_completed
+     << " PDUs reassembled via " << s.rx_dma_ops << " DMA writes ("
+     << static_cast<int>(s.combine_fraction * 100) << "% double-cell)\n";
+  if (s.cells_bad_header + s.cells_fifo_dropped + s.pdus_dropped_nobuf +
+          s.pdus_dropped_recvfull >
+      0) {
+    os << "  drops: " << s.cells_bad_header << " bad-header cells, "
+       << s.cells_fifo_dropped << " fifo cells, " << s.pdus_dropped_nobuf
+       << " PDUs (no buffer), " << s.pdus_dropped_recvfull
+       << " PDUs (recv queue full)\n";
+  }
+  os << "  host: " << s.interrupts << " interrupts ("
+     << s.interrupts_per_pdu() << "/PDU), " << s.driver_pdus_received
+     << " PDUs delivered, " << s.dpram_host_accesses
+     << " dual-port RAM accesses (" << s.host_accesses_per_pdu()
+     << "/PDU)\n";
+  os << "  bus util " << s.bus_utilization << ", cpu util "
+     << s.cpu_utilization << ", wired frames " << s.wired_frames << "\n";
+  if (s.cache_dma_stale_lines > 0) {
+    os << "  cache: " << s.cache_dma_stale_lines << " lines made stale by DMA, "
+       << s.cache_stale_reads << " stale reads observed\n";
+  }
+  return os.str();
+}
+
+}  // namespace osiris

@@ -1,0 +1,69 @@
+// Consolidated per-node statistics snapshots: one struct gathering the
+// counters scattered across the board, driver, interrupt controller, bus
+// and cache — for examples, benches, and post-run assertions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "osiris/node.h"
+
+namespace osiris {
+
+struct NodeStats {
+  std::string machine;
+
+  // Transmit half.
+  std::uint64_t pdus_sent = 0;
+  std::uint64_t cells_sent = 0;
+  std::uint64_t tx_dma_ops = 0;
+  std::uint64_t tx_dma_splits = 0;
+  std::uint64_t tx_suspensions = 0;
+  std::uint64_t tx_auth_violations = 0;
+
+  // Receive half.
+  std::uint64_t cells_received = 0;
+  std::uint64_t cells_bad_header = 0;
+  std::uint64_t cells_fifo_dropped = 0;
+  std::uint64_t rx_dma_ops = 0;
+  double combine_fraction = 0;
+  std::uint64_t pdus_completed = 0;
+  std::uint64_t pdus_dropped_nobuf = 0;
+  std::uint64_t pdus_dropped_recvfull = 0;
+  std::uint64_t rx_auth_violations = 0;
+
+  // Host.
+  std::uint64_t interrupts = 0;
+  std::uint64_t driver_pdus_received = 0;
+  std::uint64_t stale_partial_pdus = 0;
+  std::uint64_t wired_frames = 0;
+  double bus_utilization = 0;
+  double cpu_utilization = 0;
+  std::uint64_t dpram_host_accesses = 0;
+  std::uint64_t dpram_board_accesses = 0;
+  std::uint64_t cache_stale_reads = 0;
+  std::uint64_t cache_dma_stale_lines = 0;
+
+  /// Per-PDU dual-port-RAM access rates (the paper's §2.1 goal 1 metric).
+  [[nodiscard]] double host_accesses_per_pdu() const {
+    const std::uint64_t pdus = pdus_sent + driver_pdus_received;
+    return pdus == 0 ? 0.0
+                     : static_cast<double>(dpram_host_accesses) /
+                           static_cast<double>(pdus);
+  }
+
+  [[nodiscard]] double interrupts_per_pdu() const {
+    const std::uint64_t pdus = pdus_completed;
+    return pdus == 0 ? 0.0
+                     : static_cast<double>(interrupts) /
+                           static_cast<double>(pdus);
+  }
+};
+
+/// Captures a snapshot of every counter on the node.
+NodeStats snapshot(Node& n);
+
+/// Multi-line human-readable rendering.
+std::string format_stats(const NodeStats& s);
+
+}  // namespace osiris

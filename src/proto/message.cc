@@ -1,0 +1,85 @@
+#include "proto/message.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace osiris::proto {
+
+Message Message::from_payload(mem::AddressSpace& space,
+                              std::span<const std::uint8_t> data,
+                              std::uint32_t offset_in_page) {
+  Message m(space);
+  const mem::VirtAddr va =
+      space.alloc(static_cast<std::uint32_t>(data.size()), offset_in_page);
+  space.write(va, data);
+  m.segs_.push_back({va, static_cast<std::uint32_t>(data.size())});
+  return m;
+}
+
+void Message::push_header(std::span<const std::uint8_t> hdr) {
+  const mem::VirtAddr va = space_->alloc(static_cast<std::uint32_t>(hdr.size()));
+  space_->write(va, hdr);
+  segs_.insert(segs_.begin(), {va, static_cast<std::uint32_t>(hdr.size())});
+}
+
+void Message::pop_bytes(std::uint32_t n) {
+  while (n > 0) {
+    if (segs_.empty()) throw std::out_of_range("Message::pop_bytes");
+    Segment& s = segs_.front();
+    const std::uint32_t take = std::min(n, s.len);
+    s.va += take;
+    s.len -= take;
+    n -= take;
+    if (s.len == 0) segs_.erase(segs_.begin());
+  }
+}
+
+Message Message::slice(std::uint32_t off, std::uint32_t len) const {
+  Message out(*space_);
+  std::uint32_t pos = 0;
+  for (const Segment& s : segs_) {
+    if (len == 0) break;
+    if (off < pos + s.len) {
+      const std::uint32_t inner = off > pos ? off - pos : 0;
+      const std::uint32_t take = std::min(len, s.len - inner);
+      out.segs_.push_back({s.va + inner, take});
+      off += take;
+      len -= take;
+    }
+    pos += s.len;
+  }
+  if (len != 0) throw std::out_of_range("Message::slice");
+  return out;
+}
+
+std::uint32_t Message::length() const {
+  std::uint32_t n = 0;
+  for (const Segment& s : segs_) n += s.len;
+  return n;
+}
+
+std::vector<mem::PhysBuffer> Message::scatter() const {
+  std::vector<mem::PhysBuffer> out;
+  for (const Segment& s : segs_) {
+    for (const mem::PhysBuffer& pb : space_->scatter(s.va, s.len)) {
+      if (!out.empty() && out.back().addr + out.back().len == pb.addr) {
+        out.back().len += pb.len;
+      } else {
+        out.push_back(pb);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Message::gather() const {
+  std::vector<std::uint8_t> out(length());
+  std::size_t done = 0;
+  for (const Segment& s : segs_) {
+    space_->read(s.va, {out.data() + done, s.len});
+    done += s.len;
+  }
+  return out;
+}
+
+}  // namespace osiris::proto

@@ -1,0 +1,79 @@
+// x-kernel-style messages: chains of discontiguous buffer views.
+//
+// §2.5.2's key lesson was the abstraction mismatch between "the host passes
+// contiguous buffers" (the hardware designer's view) and "the host passes a
+// PDU consisting of a chain of discontiguous buffers" (what the OS needs).
+// Message is that chain: a header portion lives in its own small buffer,
+// the data portion references the application's (generally unaligned,
+// physically scattered) pages — exactly Figure 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/paging.h"
+
+namespace osiris::proto {
+
+class Message {
+ public:
+  struct Segment {
+    mem::VirtAddr va;
+    std::uint32_t len;
+  };
+
+  explicit Message(mem::AddressSpace& space) : space_(&space) {}
+
+  /// Allocates backing pages for `data` and returns a message referencing
+  /// them. `offset_in_page` controls alignment of the first byte (paper
+  /// Figure 1: application data is "typically not aligned with page
+  /// boundaries").
+  static Message from_payload(mem::AddressSpace& space,
+                              std::span<const std::uint8_t> data,
+                              std::uint32_t offset_in_page = 0);
+
+  /// A message referencing `len` bytes of already-allocated (e.g.
+  /// registered/authorized) memory at `va`. No allocation, no copy.
+  static Message view(mem::AddressSpace& space, mem::VirtAddr va,
+                      std::uint32_t len) {
+    Message m(space);
+    m.segs_.push_back({va, len});
+    return m;
+  }
+
+  /// Prepends a header in a freshly allocated buffer (the "header portion"
+  /// of Figure 1 — one extra physical buffer).
+  void push_header(std::span<const std::uint8_t> hdr);
+
+  /// Prepends a view over already-allocated memory (e.g. a registered
+  /// header slot) without allocating.
+  void push_view(mem::VirtAddr va, std::uint32_t len) {
+    segs_.insert(segs_.begin(), {va, len});
+  }
+
+  /// Removes `n` leading bytes (splitting a segment if needed).
+  void pop_bytes(std::uint32_t n);
+
+  /// A sub-range view sharing the same address space (used by IP
+  /// fragmentation). No data is copied.
+  [[nodiscard]] Message slice(std::uint32_t off, std::uint32_t len) const;
+
+  [[nodiscard]] std::uint32_t length() const;
+
+  /// Physical buffer chain for the driver: one entry per physically
+  /// contiguous run. The count of these is the §2.2 fragmentation metric.
+  [[nodiscard]] std::vector<mem::PhysBuffer> scatter() const;
+
+  /// Copies the byte stream out (tests / checksum ground truth).
+  [[nodiscard]] std::vector<std::uint8_t> gather() const;
+
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segs_; }
+  [[nodiscard]] mem::AddressSpace& space() const { return *space_; }
+
+ private:
+  mem::AddressSpace* space_;
+  std::vector<Segment> segs_;
+};
+
+}  // namespace osiris::proto

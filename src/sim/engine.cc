@@ -1,0 +1,39 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace osiris::sim {
+
+void Engine::schedule_at(Tick t, Event fn) {
+  if (t < now_) throw std::logic_error("Engine::schedule_at: time in the past");
+  queue_.push(Item{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast on the handler
+  // only, which is safe because we pop immediately after.
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+  now_ = item.at;
+  ++dispatched_;
+  item.fn();
+  return true;
+}
+
+Tick Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Tick Engine::run_until(Tick deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace osiris::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a time-ordered queue of events; each event is a callback
+// that fires at an absolute tick. Actors (board processors, the host CPU,
+// link sublinks, ...) hold a reference to the engine and schedule their own
+// continuations. Events at equal ticks fire in scheduling order (stable
+// FIFO), which keeps runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace osiris::sim {
+
+class Engine {
+ public:
+  using Event = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ticks from now.
+  void schedule(Duration delay, Event fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at absolute time `t`. `t` must not be in the past.
+  void schedule_at(Tick t, Event fn);
+
+  /// Runs events until the queue drains. Returns the final time.
+  Tick run();
+
+  /// Runs events with timestamps <= `deadline`; leaves later events queued.
+  /// Advances now() to `deadline` even if the queue drains earlier.
+  Tick run_until(Tick deadline);
+
+  /// Fires the single earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Number of events currently queued.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total number of events dispatched since construction.
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Item {
+    Tick at;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    Event fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+};
+
+}  // namespace osiris::sim

@@ -1,0 +1,14 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace osiris::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF; clamp away from 0 to avoid log(0).
+  double u = uniform();
+  if (u < 1e-18) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+}  // namespace osiris::sim

@@ -1,0 +1,74 @@
+// Deterministic random number generation for skew/error injection.
+//
+// A thin wrapper over SplitMix64 + xoshiro256** so that simulation runs are
+// reproducible across platforms and standard-library versions (std::
+// distributions are not guaranteed to produce identical streams).
+#pragma once
+
+#include <cstdint>
+
+namespace osiris::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x05151994u /* SIGCOMM '94 */) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word (xoshiro256**).
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+#if defined(__SIZEOF_INT128__)
+    // Multiply-shift bounded draw (Lemire); bias negligible for sim use.
+    __extension__ using U128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<U128>(next()) * bound) >> 64);
+#else
+    return next() % bound;
+#endif
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace osiris::sim

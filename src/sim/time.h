@@ -1,0 +1,57 @@
+// Simulated time for the OSIRIS testbed.
+//
+// All simulation timestamps are in picoseconds. Picosecond resolution lets
+// us express a single 25 MHz TURBOchannel cycle (40 ns) and a 175 MHz Alpha
+// cycle (~5.714 ns) without accumulating rounding error over the billions of
+// cycles a throughput run covers: a 64-bit picosecond counter wraps after
+// ~213 days of simulated time, far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace osiris::sim {
+
+/// Absolute simulated time, in picoseconds since simulation start.
+using Tick = std::uint64_t;
+
+/// A duration, in picoseconds.
+using Duration = std::uint64_t;
+
+/// Converts nanoseconds to ticks.
+constexpr Duration ns(double v) { return static_cast<Duration>(v * 1e3); }
+
+/// Converts microseconds to ticks.
+constexpr Duration us(double v) { return static_cast<Duration>(v * 1e6); }
+
+/// Converts milliseconds to ticks.
+constexpr Duration ms(double v) { return static_cast<Duration>(v * 1e9); }
+
+/// Converts seconds to ticks.
+constexpr Duration sec(double v) { return static_cast<Duration>(v * 1e12); }
+
+/// Converts ticks back to double-precision microseconds (for reporting).
+constexpr double to_us(Duration t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts ticks back to double-precision nanoseconds (for reporting).
+constexpr double to_ns(Duration t) { return static_cast<double>(t) / 1e3; }
+
+/// Converts ticks back to double-precision seconds (for reporting).
+constexpr double to_sec(Duration t) { return static_cast<double>(t) / 1e12; }
+
+/// Duration of one cycle of a clock running at `hz`, in ticks.
+constexpr Duration cycle(double hz) {
+  return static_cast<Duration>(1e12 / hz);
+}
+
+/// Duration of `n` cycles of a clock running at `hz`, in ticks.
+constexpr Duration cycles(double n, double hz) {
+  return static_cast<Duration>(n * 1e12 / hz);
+}
+
+/// Throughput in Mbit/s given a byte count moved over a duration.
+constexpr double mbps(std::uint64_t bytes, Duration elapsed) {
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / (static_cast<double>(elapsed) / 1e6);
+}
+
+}  // namespace osiris::sim

@@ -1,0 +1,90 @@
+// Lightweight event tracing.
+//
+// A bounded ring of {time, component, event, a, b} records that the board
+// processors, driver and interrupt controller append to when a Trace is
+// attached (NodeConfig::trace). Tracing costs nothing when absent and is
+// cheap when present; the ring overwrites oldest entries, so it is safe to
+// leave on for long runs and inspect the tail after a failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace osiris::sim {
+
+struct TraceEvent {
+  Tick at = 0;
+  const char* component = "";  // static strings only
+  const char* event = "";
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096) : ring_(capacity) {}
+
+  void record(Tick at, const char* component, const char* event,
+              std::uint64_t a = 0, std::uint64_t b = 0) {
+    ring_[head_ % ring_.size()] = TraceEvent{at, component, event, a, b};
+    ++head_;
+  }
+
+  /// Events in chronological order (oldest surviving first).
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    const std::size_t n = head_ < ring_.size() ? head_ : ring_.size();
+    const std::size_t start = head_ < ring_.size() ? 0 : head_ % ring_.size();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  /// Total events recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const { return head_; }
+
+  /// Count of surviving events matching a predicate.
+  [[nodiscard]] std::size_t count(
+      const std::function<bool(const TraceEvent&)>& pred) const {
+    std::size_t n = 0;
+    for (const TraceEvent& e : events()) {
+      if (pred(e)) ++n;
+    }
+    return n;
+  }
+
+  /// Multi-line text dump of the surviving tail.
+  [[nodiscard]] std::string dump(std::size_t max_lines = 100) const {
+    std::ostringstream os;
+    const auto evs = events();
+    const std::size_t start = evs.size() > max_lines ? evs.size() - max_lines : 0;
+    for (std::size_t i = start; i < evs.size(); ++i) {
+      const TraceEvent& e = evs[i];
+      os << to_us(e.at) << "us " << e.component << "." << e.event << "(" << e.a
+         << ", " << e.b << ")\n";
+    }
+    return os.str();
+  }
+
+  void clear() { head_ = 0; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t head_ = 0;
+};
+
+/// Convenience: record only when a trace is attached.
+inline void trace_event(Trace* t, Tick at, const char* component,
+                        const char* event, std::uint64_t a = 0,
+                        std::uint64_t b = 0) {
+  if (t != nullptr) t->record(at, component, event, a, b);
+}
+
+}  // namespace osiris::sim

@@ -1,0 +1,138 @@
+// End-to-end integration: two machines, skewed striped link, both
+// reassembly strategies, integrity under stress.
+#include <gtest/gtest.h>
+
+#include "osiris/harness.h"
+#include "osiris/node.h"
+#include "proto/message.h"
+
+namespace osiris {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t s) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i * 23 + s);
+  return v;
+}
+
+struct SkewCase {
+  const char* strategy;
+  double skew_us;
+};
+
+class SkewE2E : public ::testing::TestWithParam<SkewCase> {};
+
+TEST_P(SkewE2E, IntegrityUnderSkew) {
+  const auto [strategy, skew] = GetParam();
+  NodeConfig ca = make_3000_600_config();
+  NodeConfig cb = make_3000_600_config();
+  ca.board.reassembly = strategy;
+  cb.board.reassembly = strategy;
+  ca.link = link::skewed_config(skew, 17);
+  cb.link = link::skewed_config(skew, 18);
+  Testbed tb(std::move(ca), std::move(cb));
+  const std::uint16_t vci = tb.open_kernel_path();
+  auto sa = tb.a.make_stack(proto::StackConfig{});
+  auto sb = tb.b.make_stack(proto::StackConfig{});
+
+  std::vector<std::vector<std::uint8_t>> got;
+  sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
+    got.push_back(std::move(d));
+  });
+
+  std::vector<std::vector<std::uint8_t>> sent;
+  sim::Tick t = 0;
+  for (std::uint32_t i = 0; i < 15; ++i) {
+    const auto data = pattern(50 + i * 700, static_cast<std::uint8_t>(i));
+    proto::Message m = proto::Message::from_payload(
+        tb.a.kernel_space, data, (i * 321) % mem::kPageSize);
+    t = sa->send(t, vci, m);
+    sent.push_back(data);
+  }
+  tb.eng.run();
+  ASSERT_EQ(got.size(), sent.size());
+  // Delivery may complete out of order under skew across messages with
+  // different sizes; compare as multisets.
+  std::sort(got.begin(), got.end());
+  std::sort(sent.begin(), sent.end());
+  EXPECT_EQ(got, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, SkewE2E,
+    ::testing::Values(SkewCase{"seq", 0.0}, SkewCase{"seq", 20.0},
+                      SkewCase{"seq", 80.0}, SkewCase{"quad", 0.0},
+                      SkewCase{"quad", 20.0}, SkewCase{"quad", 80.0}));
+
+TEST(EndToEnd, MixedMachinePairWorks) {
+  Testbed tb(make_5000_200_config(), make_3000_600_config());
+  const std::uint16_t vci = tb.open_kernel_path();
+  auto sa = tb.a.make_stack(proto::StackConfig{});
+  auto sb = tb.b.make_stack(proto::StackConfig{});
+  std::uint64_t n = 0;
+  sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) { ++n; });
+  proto::Message m =
+      proto::Message::from_payload(tb.a.kernel_space, pattern(20000, 9));
+  sim::Tick t = 0;
+  for (int i = 0; i < 5; ++i) t = sa->send(t, vci, m);
+  tb.eng.run();
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(EndToEnd, PingPongHarnessConverges) {
+  Testbed tb(make_3000_600_config(), make_3000_600_config());
+  const std::uint16_t vci = tb.open_kernel_path();
+  proto::StackConfig sc;
+  sc.mode = proto::StackMode::kRawAtm;
+  auto sa = tb.a.make_stack(sc);
+  auto sb = tb.b.make_stack(sc);
+  const auto r = harness::ping_pong(tb, *sa, *sb, vci, 1024, 20);
+  EXPECT_EQ(r.iterations, 20u);
+  EXPECT_GT(r.rtt_us_mean, 10.0);
+  EXPECT_LT(r.rtt_us_max - r.rtt_us_min, r.rtt_us_mean * 0.5)
+      << "steady-state ping-pong should be stable";
+}
+
+TEST(EndToEnd, GeneratorThroughputHarness) {
+  sim::Engine eng;
+  Node n(eng, make_3000_600_config());
+  proto::StackConfig sc;
+  auto stack = n.make_stack(sc);
+  const auto r = harness::receive_throughput(n, *stack, 600, 16 * 1024, 50, sc);
+  EXPECT_EQ(r.messages, 50u);
+  EXPECT_GT(r.mbps, 100.0);
+  EXPECT_LT(r.mbps, 600.0);
+  // Never worse than the traditional one interrupt per PDU (§2.1.2).
+  EXPECT_LE(r.interrupts_per_pdu, 1.0);
+}
+
+TEST(EndToEnd, InterruptsBatchUnderBursts) {
+  // Closely spaced small PDUs arrive faster than the slow machine's
+  // per-PDU service time, so several PDUs are drained per interrupt —
+  // "much lower than the traditional one-per-PDU" (§2.1.2). Under this
+  // deliberate overload the board may also shed PDUs at the free queue.
+  sim::Engine eng;
+  NodeConfig cfg = make_5000_200_config();
+  cfg.board.double_cell_dma_rx = false;
+  Node n(eng, cfg);
+  proto::StackConfig sc;
+  auto stack = n.make_stack(sc);
+  const auto r = harness::receive_throughput(n, *stack, 601, 2048, 100, sc);
+  EXPECT_GT(r.messages, 20u);
+  EXPECT_LT(r.interrupts_per_pdu, 0.5);
+}
+
+TEST(EndToEnd, TransmitThroughputHarness) {
+  Testbed tb(make_3000_600_config(), make_3000_600_config());
+  const std::uint16_t vci = tb.open_kernel_path();
+  auto sa = tb.a.make_stack(proto::StackConfig{});
+  auto sb = tb.b.make_stack(proto::StackConfig{});
+  const auto r =
+      harness::transmit_throughput(tb, tb.a, *sa, *sb, vci, 16 * 1024, 40);
+  EXPECT_EQ(r.messages, 40u);
+  EXPECT_GT(r.mbps, 100.0);
+  EXPECT_LT(r.mbps, 500.0);
+}
+
+}  // namespace
+}  // namespace osiris

@@ -1,0 +1,192 @@
+// §2.5.2: the original fixed-length DMA controller vs the page-boundary-
+// stop modification.
+//
+// With fixed-length transfers, a buffer ending mid-cell keeps the DMA
+// running into adjacent physical memory: bytes that do not belong to the
+// sending application go out on the wire (the paper's NFS-page security
+// example), and multi-buffer PDUs acquire padding in the middle that
+// breaks reassembly for standard receivers.
+#include <gtest/gtest.h>
+
+#include "osiris/node.h"
+#include "proto/message.h"
+
+namespace osiris {
+namespace {
+
+struct Loop {
+  sim::Engine eng;
+  std::unique_ptr<Node> node;
+  explicit Loop(NodeConfig cfg) {
+    node = std::make_unique<Node>(eng, cfg);
+    node->out.set_sink(
+        [this](int lane, const atm::Cell& c) { node->rxp.on_cell(lane, c); });
+  }
+};
+
+NodeConfig fixed_cfg() {
+  NodeConfig cfg = make_3000_600_config();
+  cfg.board.fixed_length_dma_tx = true;
+  return cfg;
+}
+
+TEST(FixedDma, LeaksAdjacentMemoryOntoTheWire) {
+  // Plant a secret in the physical page following the message buffer and
+  // watch it appear in a transmitted cell.
+  sim::Engine eng;
+  NodeConfig cfg = fixed_cfg();
+  cfg.interleave_frames = false;  // make "the next page" predictable
+  Node n(eng, cfg);
+
+  std::vector<atm::Cell> wire_cells;
+  n.out.set_sink([&](int, const atm::Cell& c) { wire_cells.push_back(c); });
+  n.map_kernel_vci(400);  // not used; cells only captured
+
+  // A 100-byte message: its single buffer ends mid-cell.
+  std::vector<std::uint8_t> data(100, 0x11);
+  const mem::VirtAddr va = n.kernel_space.alloc(100);
+  n.kernel_space.write(va, data);
+  const auto sc = n.kernel_space.scatter(va, 100);
+
+  // The secret lives directly after the buffer in physical memory.
+  const std::vector<std::uint8_t> secret{0xDE, 0xAD, 0xBE, 0xEF};
+  n.pm.write(sc[0].addr + sc[0].len, secret);
+
+  n.driver.send(0, 400, sc);
+  eng.run();
+
+  ASSERT_GE(wire_cells.size(), 3u);  // 3 data cells + trailer
+  EXPECT_GE(n.txp.leaked_cells(), 1u);
+  EXPECT_GE(n.txp.leaked_bytes(), 32u);  // 132 - 100
+  // Cell 2 holds bytes 88..131 of the "stream": 12 real + 32 leaked.
+  const atm::Cell& last_data = wire_cells[2];
+  EXPECT_EQ(last_data.payload[12], 0xDE);
+  EXPECT_EQ(last_data.payload[13], 0xAD);
+  EXPECT_EQ(last_data.payload[14], 0xBE);
+  EXPECT_EQ(last_data.payload[15], 0xEF);
+}
+
+TEST(FixedDma, PageBoundaryStopModeNeverLeaks) {
+  sim::Engine eng;
+  NodeConfig cfg = make_3000_600_config();  // modified controller
+  cfg.interleave_frames = false;
+  Node n(eng, cfg);
+  std::vector<atm::Cell> wire_cells;
+  n.out.set_sink([&](int, const atm::Cell& c) { wire_cells.push_back(c); });
+  n.map_kernel_vci(401);
+
+  std::vector<std::uint8_t> data(100, 0x11);
+  const mem::VirtAddr va = n.kernel_space.alloc(100);
+  n.kernel_space.write(va, data);
+  const auto sc = n.kernel_space.scatter(va, 100);
+  const std::vector<std::uint8_t> secret{0xDE, 0xAD, 0xBE, 0xEF};
+  n.pm.write(sc[0].addr + sc[0].len, secret);
+  n.driver.send(0, 401, sc);
+  eng.run();
+
+  EXPECT_EQ(n.txp.leaked_cells(), 0u);
+  for (const auto& c : wire_cells) {
+    for (std::size_t i = 0; i + 1 < c.len; ++i) {
+      EXPECT_FALSE(c.payload[i] == 0xDE && c.payload[i + 1] == 0xAD)
+          << "secret escaped";
+    }
+  }
+}
+
+TEST(FixedDma, SingleBufferPduStillDeliversWithTrailingGarbage) {
+  // The padding sits between the user bytes and the trailer; the PDU's
+  // own length field lets the consumer trim it — but the leaked bytes ARE
+  // in the delivered buffer.
+  Loop f(fixed_cfg());
+  Node& n = *f.node;
+  n.map_kernel_vci(402);
+
+  std::vector<std::uint8_t> got;
+  std::uint32_t got_pdu_len = 0;
+  n.driver.set_rx_handler([&](sim::Tick at, host::RxPduView& pdu) {
+    got.resize(pdu.pdu_len);
+    pdu.read_raw(n.pm, 0, got);
+    got_pdu_len = pdu.pdu_len;
+    return at;
+  });
+
+  std::vector<std::uint8_t> data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  const mem::VirtAddr va = n.kernel_space.alloc(100);
+  n.kernel_space.write(va, data);
+  n.driver.send(0, 402, n.kernel_space.scatter(va, 100));
+  f.eng.run();
+
+  // Delivered length is padded up to whole cells (132 = 3 x 44).
+  EXPECT_EQ(got_pdu_len, 132u);
+  ASSERT_GE(got.size(), 100u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), got.begin()))
+      << "user bytes intact before the padding";
+}
+
+TEST(FixedDma, MultiBufferPduGarblesMidStream) {
+  // Buffers of non-cell-multiple length put padding in the MIDDLE of the
+  // PDU; a standard reassembler produces a different byte stream — the
+  // paper's "makes interoperating with other systems impossible".
+  Loop f(fixed_cfg());
+  Node& n = *f.node;
+  n.map_kernel_vci(403);
+
+  std::vector<std::uint8_t> got;
+  n.driver.set_rx_handler([&](sim::Tick at, host::RxPduView& pdu) {
+    got.resize(pdu.pdu_len);
+    pdu.read_raw(n.pm, 0, got);
+    return at;
+  });
+
+  // Two buffers of 100 bytes each (chain of 2, EOP on the second).
+  std::vector<std::uint8_t> data(100, 0xAA);
+  const mem::VirtAddr v1 = n.kernel_space.alloc(100);
+  const mem::VirtAddr v2 = n.kernel_space.alloc(100);
+  n.kernel_space.write(v1, data);
+  n.kernel_space.write(v2, data);
+  auto sc = n.kernel_space.scatter(v1, 100);
+  const auto sc2 = n.kernel_space.scatter(v2, 100);
+  sc.insert(sc.end(), sc2.begin(), sc2.end());
+  n.driver.send(0, 403, sc);
+  f.eng.run();
+
+  // 200 true bytes became 6 cells + trailer = 264 padded bytes, with
+  // garbage at offsets 100..131 (mid-PDU).
+  ASSERT_EQ(got.size(), 264u);
+  EXPECT_FALSE(std::equal(data.begin(), data.end(), got.begin() + 100))
+      << "second buffer's bytes must NOT sit at offset 100 (padding does)";
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), got.begin() + 132))
+      << "second buffer lands at the next cell boundary instead";
+}
+
+TEST(FixedDma, UdpStackToleratesEndPaddingButCatchesMidStreamGarble) {
+  // End-padding (single-buffer fragments) is trimmed via the IP length;
+  // mid-stream padding shifts real bytes and fails the UDP checksum.
+  auto run = [](std::uint32_t payload_bytes, std::uint32_t offset_in_page) {
+    NodeConfig ca = fixed_cfg();
+    NodeConfig cb = make_3000_600_config();
+    Testbed tb(std::move(ca), std::move(cb));
+    const std::uint16_t vci = tb.open_kernel_path();
+    proto::StackConfig sc;
+    sc.udp_checksum = true;
+    auto sa = tb.a.make_stack(sc);
+    auto sb = tb.b.make_stack(sc);
+    std::uint64_t ok = 0;
+    sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) { ++ok; });
+    std::vector<std::uint8_t> data(payload_bytes, 0x3C);
+    proto::Message m =
+        proto::Message::from_payload(tb.a.kernel_space, data, offset_in_page);
+    sa->send(0, vci, m);
+    tb.eng.run();
+    return std::pair{ok, sb->checksum_failures()};
+  };
+  // Small message: header buffer + payload buffer -> mid-stream padding
+  // between them -> checksum failure, nothing delivered.
+  const auto [ok, fails] = run(500, 64);
+  EXPECT_EQ(ok, 0u);
+  EXPECT_EQ(fails, 1u);
+}
+
+}  // namespace
+}  // namespace osiris

@@ -1,0 +1,337 @@
+// Property and unit tests for the two §2.6 skew-reassembly strategies.
+//
+// Cells are striped lane = seq % 4 with each PDU restarting at lane 0
+// (what the transmit firmware does). Skew means: per-lane order is
+// preserved, cross-lane interleaving is arbitrary. Both routers must
+// reassemble correctly under ANY such interleaving.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "atm/reassembly.h"
+#include "atm/sar.h"
+#include "sim/rng.h"
+
+namespace osiris::atm {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint32_t tag) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 29 + tag * 101 + 13);
+  }
+  return v;
+}
+
+struct LanedCell {
+  int lane;
+  Cell cell;
+};
+
+/// Stripes a sequence of PDUs into per-lane streams.
+std::array<std::vector<Cell>, kLanes> stripe(const std::vector<std::vector<std::uint8_t>>& pdus) {
+  std::array<std::vector<Cell>, kLanes> lanes;
+  std::uint16_t pdu_id = 0;
+  for (const auto& p : pdus) {
+    const auto cells = segment(p, /*vci=*/7, pdu_id++);
+    for (const Cell& c : cells) lanes[c.seq % kLanes].push_back(c);
+  }
+  return lanes;
+}
+
+/// Random merge of the lane streams preserving per-lane order — i.e. an
+/// arbitrary bounded-skew interleaving.
+std::vector<LanedCell> random_merge(const std::array<std::vector<Cell>, kLanes>& lanes,
+                                    std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::array<std::size_t, kLanes> pos{};
+  std::size_t total = 0;
+  for (const auto& l : lanes) total += l.size();
+  std::vector<LanedCell> out;
+  out.reserve(total);
+  while (out.size() < total) {
+    const int lane = static_cast<int>(rng.below(kLanes));
+    const auto li = static_cast<std::size_t>(lane);
+    if (pos[li] < lanes[li].size()) {
+      out.push_back({lane, lanes[li][pos[li]++]});
+    }
+  }
+  return out;
+}
+
+/// Runs a router over the interleaving; returns reassembled PDUs in
+/// completion order.
+std::vector<std::vector<std::uint8_t>> run_router(CellRouter& r,
+                                                  const std::vector<LanedCell>& seq) {
+  std::map<std::uint64_t, std::vector<std::uint8_t>> bytes;
+  std::vector<std::vector<std::uint8_t>> completed;
+  std::vector<Placement> places;
+  std::vector<Completion> dones;
+  for (const LanedCell& lc : seq) {
+    places.clear();
+    dones.clear();
+    r.on_cell(lc.lane, lc.cell, places, dones);
+    for (const Placement& p : places) {
+      auto& buf = bytes[p.pdu];
+      if (buf.size() < p.offset + p.cell.len) buf.resize(p.offset + p.cell.len);
+      std::copy_n(p.cell.payload.begin(), p.cell.len, buf.begin() + p.offset);
+    }
+    for (const Completion& d : dones) {
+      auto it = bytes.find(d.pdu);
+      EXPECT_TRUE(it != bytes.end()) << "completion for unknown pdu";
+      if (it == bytes.end()) continue;
+      EXPECT_EQ(it->second.size(), d.wire_bytes);
+      // Strip the trailer and verify the CRC: end-to-end correctness.
+      const auto t = decode_trailer(it->second);
+      EXPECT_TRUE(t.has_value());
+      if (!t || t->pdu_len + kTrailerBytes != d.wire_bytes) {
+        ADD_FAILURE() << "bad trailer for pdu " << d.pdu;
+        bytes.erase(it);
+        continue;
+      }
+      std::vector<std::uint8_t> pdu(it->second.begin(),
+                                    it->second.begin() + t->pdu_len);
+      EXPECT_EQ(Crc32::of(pdu), t->crc);
+      completed.push_back(std::move(pdu));
+      bytes.erase(it);
+    }
+  }
+  return completed;
+}
+
+void expect_same_multiset(std::vector<std::vector<std::uint8_t>> got,
+                          std::vector<std::vector<std::uint8_t>> want) {
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+class RouterParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RouterParamTest, InOrderDelivery) {
+  std::vector<std::vector<std::uint8_t>> pdus;
+  for (std::uint32_t i = 0; i < 10; ++i) pdus.push_back(pattern(500 + i * 77, i));
+  const auto lanes = stripe(pdus);
+  // In-order = strict round robin.
+  std::vector<LanedCell> seq;
+  std::array<std::size_t, kLanes> pos{};
+  bool more = true;
+  while (more) {
+    more = false;
+    for (int l = 0; l < kLanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (pos[li] < lanes[li].size()) {
+        seq.push_back({l, lanes[li][pos[li]++]});
+        more = true;
+      }
+    }
+  }
+  // NOTE: strict per-slot round robin is not quite arrival order for
+  // mixed-size PDUs, but it is a valid bounded-skew interleaving.
+  auto r = make_router(GetParam());
+  expect_same_multiset(run_router(*r, seq), pdus);
+  EXPECT_EQ(r->dropped(), 0u);
+}
+
+TEST_P(RouterParamTest, RandomSkewManySeeds) {
+  std::vector<std::vector<std::uint8_t>> pdus;
+  for (std::uint32_t i = 0; i < 20; ++i) pdus.push_back(pattern(1 + i * 137 % 3000, i));
+  const auto lanes = stripe(pdus);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto r = make_router(GetParam());
+    expect_same_multiset(run_router(*r, random_merge(lanes, seed)), pdus);
+    EXPECT_EQ(r->inflight(), 0u) << "leftover state, seed " << seed;
+  }
+}
+
+TEST_P(RouterParamTest, ShortPdusUnderSkew) {
+  // PDUs of 1..5 cells are the hard case for the quad strategy (lanes with
+  // zero cells must be skipped via bounds).
+  std::vector<std::vector<std::uint8_t>> pdus;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    pdus.push_back(pattern((i % 5) * kCellPayload + 10, i));
+  }
+  const auto lanes = stripe(pdus);
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    auto r = make_router(GetParam());
+    expect_same_multiset(run_router(*r, random_merge(lanes, seed)), pdus);
+  }
+}
+
+TEST_P(RouterParamTest, SingleCellPdus) {
+  std::vector<std::vector<std::uint8_t>> pdus;
+  for (std::uint32_t i = 0; i < 10; ++i) pdus.push_back(pattern(20, i));
+  const auto lanes = stripe(pdus);
+  auto r = make_router(GetParam());
+  expect_same_multiset(run_router(*r, random_merge(lanes, 5)), pdus);
+}
+
+TEST_P(RouterParamTest, AdversarialLaneZeroLast) {
+  // All of lanes 1-3 arrive before any lane-0 cell: maximal skew against
+  // the lane that anchors attribution.
+  std::vector<std::vector<std::uint8_t>> pdus;
+  for (std::uint32_t i = 0; i < 8; ++i) pdus.push_back(pattern(300 + i * 50, i));
+  const auto lanes = stripe(pdus);
+  std::vector<LanedCell> seq;
+  for (int l = 1; l < kLanes; ++l) {
+    for (const Cell& c : lanes[static_cast<std::size_t>(l)]) seq.push_back({l, c});
+  }
+  for (const Cell& c : lanes[0]) seq.push_back({0, c});
+  auto r = make_router(GetParam());
+  expect_same_multiset(run_router(*r, seq), pdus);
+}
+
+TEST_P(RouterParamTest, LargePduAcrossManyCells) {
+  std::vector<std::vector<std::uint8_t>> pdus{pattern(64 * 1024, 1)};
+  const auto lanes = stripe(pdus);
+  auto r = make_router(GetParam());
+  expect_same_multiset(run_router(*r, random_merge(lanes, 9)), pdus);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, RouterParamTest,
+                         ::testing::Values("seq", "quad"));
+
+TEST(SeqRouter, DuplicateCellDropped) {
+  const auto pdu = pattern(500, 1);
+  const auto cells = segment(pdu, 7, 0);
+  SeqRouter r;
+  std::vector<Placement> pl;
+  std::vector<Completion> dn;
+  r.on_cell(0, cells[0], pl, dn);
+  r.on_cell(0, cells[0], pl, dn);  // duplicate
+  EXPECT_EQ(r.dropped(), 1u);
+}
+
+TEST(SeqRouter, PduIdReuseAfterCompletionIsSafe) {
+  // 16-bit pdu_id wraps; reuse after completion must start fresh state.
+  const auto p1 = pattern(100, 1);
+  const auto p2 = pattern(200, 2);
+  SeqRouter r;
+  std::vector<Placement> pl;
+  std::vector<Completion> dn;
+  for (const Cell& c : segment(p1, 7, 42)) r.on_cell(0, c, pl, dn);
+  ASSERT_EQ(dn.size(), 1u);
+  const auto key1 = dn[0].pdu;
+  pl.clear();
+  dn.clear();
+  for (const Cell& c : segment(p2, 7, 42)) r.on_cell(0, c, pl, dn);
+  ASSERT_EQ(dn.size(), 1u);
+  EXPECT_NE(dn[0].pdu, key1);  // fresh key despite the same pdu_id
+}
+
+TEST(QuadRouter, MakeRouterUnknownStrategyThrows) {
+  EXPECT_THROW(make_router("nope"), std::invalid_argument);
+}
+
+TEST(QuadRouter, NoSequenceNumbersAreConsulted) {
+  // Strategy B must work even when seq/pdu_id fields are zeroed (they are
+  // not on the wire in this strategy).
+  std::vector<std::vector<std::uint8_t>> pdus;
+  for (std::uint32_t i = 0; i < 12; ++i) pdus.push_back(pattern(100 + i * 333, i));
+  auto lanes = stripe(pdus);
+  std::array<std::vector<Cell>, kLanes> scrubbed;
+  for (int l = 0; l < kLanes; ++l) {
+    for (Cell c : lanes[static_cast<std::size_t>(l)]) {
+      const std::uint16_t keep_seq = c.seq;  // only used to compute lane above
+      (void)keep_seq;
+      c.pdu_id = 0;
+      c.seq = 0;
+      scrubbed[static_cast<std::size_t>(l)].push_back(c);
+    }
+  }
+  for (std::uint64_t seed = 7; seed < 17; ++seed) {
+    QuadRouter r;
+    expect_same_multiset(run_router(r, random_merge(scrubbed, seed)), pdus);
+  }
+}
+
+TEST(QuadRouter, TwoCellPduLastCellArrivesFirst) {
+  // The circular-looking case: the 2-cell PDU's LAST cell (lane 1) arrives
+  // before its BOM (lane 0). Attribution of the lane-1 cell needs a lower
+  // bound proving the PDU has a second cell — which only the lane-0 cell
+  // provides (it carries no LAST flag, so ncells >= 2).
+  const auto pdu = pattern(50, 1);  // wire 58 -> 2 cells
+  auto lanes = stripe({pdu});
+  ASSERT_EQ(lanes[0].size(), 1u);
+  ASSERT_EQ(lanes[1].size(), 1u);
+  QuadRouter r;
+  std::vector<Placement> pl;
+  std::vector<Completion> dn;
+  r.on_cell(1, lanes[1][0], pl, dn);  // LAST cell first
+  EXPECT_TRUE(pl.empty()) << "must wait: the PDU might have had one cell";
+  r.on_cell(0, lanes[0][0], pl, dn);
+  EXPECT_EQ(pl.size(), 2u);
+  ASSERT_EQ(dn.size(), 1u);
+  EXPECT_EQ(dn[0].wire_bytes, 58u);
+}
+
+TEST(QuadRouter, ThreeCellPduMiddleCellUnlocksLaneTwo) {
+  // ncells = 3: the LAST cell is on lane 2 and cannot attribute until the
+  // lane-1 cell (no LAST flag => ncells >= 3) has been placed.
+  const auto pdu = pattern(100, 2);  // wire 108 -> 3 cells
+  auto lanes = stripe({pdu});
+  QuadRouter r;
+  std::vector<Placement> pl;
+  std::vector<Completion> dn;
+  r.on_cell(2, lanes[2][0], pl, dn);  // LAST first: ambiguous
+  EXPECT_TRUE(pl.empty());
+  r.on_cell(0, lanes[0][0], pl, dn);  // min_cells -> 2: still ambiguous
+  EXPECT_EQ(pl.size(), 1u);
+  EXPECT_EQ(r.queued(), 1u);
+  r.on_cell(1, lanes[1][0], pl, dn);  // min_cells -> 3: unlocks lane 2
+  EXPECT_EQ(pl.size(), 3u);
+  EXPECT_EQ(dn.size(), 1u);
+  EXPECT_EQ(r.queued(), 0u);
+}
+
+TEST(QuadRouter, ShortPduSkippedOnHigherLanesViaExactCount) {
+  // PDU A has 1 cell (lane 0 only); PDU B has 5. B's lane-1 cell can reach
+  // the router before A's single cell; it must be attributed to B, not A —
+  // provable only once A's LAST cell fixes ncells(A) = 1.
+  const auto a = pattern(20, 3);   // 1 cell
+  const auto b = pattern(200, 4);  // 5 cells
+  auto lanes = stripe({a, b});
+  ASSERT_EQ(lanes[1].size(), 1u);  // only B has a lane-1 cell
+  QuadRouter r;
+  std::vector<Placement> pl;
+  std::vector<Completion> dn;
+  r.on_cell(1, lanes[1][0], pl, dn);  // B's cell 1, before anything else
+  EXPECT_TRUE(pl.empty()) << "could belong to A if A had 2+ cells";
+  r.on_cell(0, lanes[0][0], pl, dn);  // A's only cell: LAST -> ncells(A)=1
+  EXPECT_EQ(dn.size(), 1u);  // A completes
+  // Lane 1 now skips A, but its head is STILL ambiguous: it could belong
+  // to B or (if B were single-cell too) to a later PDU. Only B's lane-0
+  // cell (no LAST flag -> ncells(B) >= 2) resolves it.
+  EXPECT_EQ(pl.size(), 1u);
+  EXPECT_EQ(r.queued(), 1u);
+  r.on_cell(0, lanes[0][1], pl, dn);  // B's cell 0
+  EXPECT_EQ(pl.size(), 3u) << "B's queued lane-1 cell resolves";
+  EXPECT_EQ(r.queued(), 0u);
+  // Feed the rest of B.
+  r.on_cell(2, lanes[2][0], pl, dn);
+  r.on_cell(3, lanes[3][0], pl, dn);
+  r.on_cell(0, lanes[0][2], pl, dn);
+  ASSERT_EQ(dn.size(), 2u);
+  EXPECT_EQ(dn[1].wire_bytes, 208u);
+  EXPECT_EQ(r.inflight(), 0u);
+}
+
+TEST(QuadRouter, QueuedCellsAwaitAttribution) {
+  // A lane-1 cell arriving before anything else must wait (ambiguous).
+  const auto pdu = pattern(200, 3);  // 5 cells
+  auto lanes = stripe({pdu});
+  QuadRouter r;
+  std::vector<Placement> pl;
+  std::vector<Completion> dn;
+  r.on_cell(1, lanes[1][0], pl, dn);
+  EXPECT_TRUE(pl.empty());
+  EXPECT_EQ(r.queued(), 1u);
+  // Lane 0's first cell resolves it.
+  r.on_cell(0, lanes[0][0], pl, dn);
+  EXPECT_EQ(pl.size(), 2u);
+  EXPECT_EQ(r.queued(), 0u);
+}
+
+}  // namespace
+}  // namespace osiris::atm
