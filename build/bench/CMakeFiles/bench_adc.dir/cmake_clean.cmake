@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adc.dir/bench_adc.cc.o"
+  "CMakeFiles/bench_adc.dir/bench_adc.cc.o.d"
+  "bench_adc"
+  "bench_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dma_length.dir/bench_dma_length.cc.o"
+  "CMakeFiles/bench_dma_length.dir/bench_dma_length.cc.o.d"
+  "bench_dma_length"
+  "bench_dma_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dma_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

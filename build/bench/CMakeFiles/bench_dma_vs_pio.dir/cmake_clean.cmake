@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dma_vs_pio.dir/bench_dma_vs_pio.cc.o"
+  "CMakeFiles/bench_dma_vs_pio.dir/bench_dma_vs_pio.cc.o.d"
+  "bench_dma_vs_pio"
+  "bench_dma_vs_pio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dma_vs_pio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fbuf.dir/bench_fbuf.cc.o"
+  "CMakeFiles/bench_fbuf.dir/bench_fbuf.cc.o.d"
+  "bench_fbuf"
+  "bench_fbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

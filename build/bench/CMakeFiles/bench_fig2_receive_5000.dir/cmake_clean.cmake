@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_receive_5000.dir/bench_fig2_receive_5000.cc.o"
+  "CMakeFiles/bench_fig2_receive_5000.dir/bench_fig2_receive_5000.cc.o.d"
+  "bench_fig2_receive_5000"
+  "bench_fig2_receive_5000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_receive_5000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_receive_3000.dir/bench_fig3_receive_3000.cc.o"
+  "CMakeFiles/bench_fig3_receive_3000.dir/bench_fig3_receive_3000.cc.o.d"
+  "bench_fig3_receive_3000"
+  "bench_fig3_receive_3000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_receive_3000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_transmit.dir/bench_fig4_transmit.cc.o"
+  "CMakeFiles/bench_fig4_transmit.dir/bench_fig4_transmit.cc.o.d"
+  "bench_fig4_transmit"
+  "bench_fig4_transmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_transmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixed_dma.dir/bench_fixed_dma.cc.o"
+  "CMakeFiles/bench_fixed_dma.dir/bench_fixed_dma.cc.o.d"
+  "bench_fixed_dma"
+  "bench_fixed_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixed_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fragmentation.dir/bench_fragmentation.cc.o"
+  "CMakeFiles/bench_fragmentation.dir/bench_fragmentation.cc.o.d"
+  "bench_fragmentation"
+  "bench_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interrupts.dir/bench_interrupts.cc.o"
+  "CMakeFiles/bench_interrupts.dir/bench_interrupts.cc.o.d"
+  "bench_interrupts"
+  "bench_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

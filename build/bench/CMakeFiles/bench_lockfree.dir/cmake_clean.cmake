@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lockfree.dir/bench_lockfree.cc.o"
+  "CMakeFiles/bench_lockfree.dir/bench_lockfree.cc.o.d"
+  "bench_lockfree"
+  "bench_lockfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wiring.dir/bench_wiring.cc.o"
+  "CMakeFiles/bench_wiring.dir/bench_wiring.cc.o.d"
+  "bench_wiring"
+  "bench_wiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbuf_paths.dir/fbuf_paths.cc.o"
+  "CMakeFiles/fbuf_paths.dir/fbuf_paths.cc.o.d"
+  "fbuf_paths"
+  "fbuf_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbuf_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

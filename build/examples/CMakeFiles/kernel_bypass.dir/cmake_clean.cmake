@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_bypass.dir/kernel_bypass.cc.o"
+  "CMakeFiles/kernel_bypass.dir/kernel_bypass.cc.o.d"
+  "kernel_bypass"
+  "kernel_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_overload.dir/priority_overload.cc.o"
+  "CMakeFiles/priority_overload.dir/priority_overload.cc.o.d"
+  "priority_overload"
+  "priority_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_over_adc.dir/rpc_over_adc.cc.o"
+  "CMakeFiles/rpc_over_adc.dir/rpc_over_adc.cc.o.d"
+  "rpc_over_adc"
+  "rpc_over_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_over_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_skew.dir/striping_skew.cc.o"
+  "CMakeFiles/striping_skew.dir/striping_skew.cc.o.d"
+  "striping_skew"
+  "striping_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

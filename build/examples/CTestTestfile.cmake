@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;osiris_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_striping_skew "/root/repo/build/examples/striping_skew")
+set_tests_properties(example_striping_skew PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;osiris_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kernel_bypass "/root/repo/build/examples/kernel_bypass")
+set_tests_properties(example_kernel_bypass PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;osiris_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_priority_overload "/root/repo/build/examples/priority_overload")
+set_tests_properties(example_priority_overload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;osiris_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fbuf_paths "/root/repo/build/examples/fbuf_paths")
+set_tests_properties(example_fbuf_paths PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;osiris_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rpc_over_adc "/root/repo/build/examples/rpc_over_adc")
+set_tests_properties(example_rpc_over_adc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;osiris_example;/root/repo/examples/CMakeLists.txt;0;")

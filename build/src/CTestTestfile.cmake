@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("atm")
+subdirs("tc")
+subdirs("dpram")
+subdirs("link")
+subdirs("board")
+subdirs("host")
+subdirs("proto")
+subdirs("fbuf")
+subdirs("adc")
+subdirs("osiris")

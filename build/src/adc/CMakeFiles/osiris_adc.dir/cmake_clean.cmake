@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_adc.dir/adc.cc.o"
+  "CMakeFiles/osiris_adc.dir/adc.cc.o.d"
+  "libosiris_adc.a"
+  "libosiris_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for osiris_adc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/cell.cc" "src/atm/CMakeFiles/osiris_atm.dir/cell.cc.o" "gcc" "src/atm/CMakeFiles/osiris_atm.dir/cell.cc.o.d"
+  "/root/repo/src/atm/checksum.cc" "src/atm/CMakeFiles/osiris_atm.dir/checksum.cc.o" "gcc" "src/atm/CMakeFiles/osiris_atm.dir/checksum.cc.o.d"
+  "/root/repo/src/atm/reassembly.cc" "src/atm/CMakeFiles/osiris_atm.dir/reassembly.cc.o" "gcc" "src/atm/CMakeFiles/osiris_atm.dir/reassembly.cc.o.d"
+  "/root/repo/src/atm/sar.cc" "src/atm/CMakeFiles/osiris_atm.dir/sar.cc.o" "gcc" "src/atm/CMakeFiles/osiris_atm.dir/sar.cc.o.d"
+  "/root/repo/src/atm/wire.cc" "src/atm/CMakeFiles/osiris_atm.dir/wire.cc.o" "gcc" "src/atm/CMakeFiles/osiris_atm.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/osiris_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

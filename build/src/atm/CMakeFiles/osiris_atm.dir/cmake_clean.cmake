@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_atm.dir/cell.cc.o"
+  "CMakeFiles/osiris_atm.dir/cell.cc.o.d"
+  "CMakeFiles/osiris_atm.dir/checksum.cc.o"
+  "CMakeFiles/osiris_atm.dir/checksum.cc.o.d"
+  "CMakeFiles/osiris_atm.dir/reassembly.cc.o"
+  "CMakeFiles/osiris_atm.dir/reassembly.cc.o.d"
+  "CMakeFiles/osiris_atm.dir/sar.cc.o"
+  "CMakeFiles/osiris_atm.dir/sar.cc.o.d"
+  "CMakeFiles/osiris_atm.dir/wire.cc.o"
+  "CMakeFiles/osiris_atm.dir/wire.cc.o.d"
+  "libosiris_atm.a"
+  "libosiris_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/board/rx.cc" "src/board/CMakeFiles/osiris_board.dir/rx.cc.o" "gcc" "src/board/CMakeFiles/osiris_board.dir/rx.cc.o.d"
+  "/root/repo/src/board/tx.cc" "src/board/CMakeFiles/osiris_board.dir/tx.cc.o" "gcc" "src/board/CMakeFiles/osiris_board.dir/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/osiris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/osiris_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/osiris_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpram/CMakeFiles/osiris_dpram.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/osiris_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_board.dir/rx.cc.o"
+  "CMakeFiles/osiris_board.dir/rx.cc.o.d"
+  "CMakeFiles/osiris_board.dir/tx.cc.o"
+  "CMakeFiles/osiris_board.dir/tx.cc.o.d"
+  "libosiris_board.a"
+  "libosiris_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpram/dpram.cc" "src/dpram/CMakeFiles/osiris_dpram.dir/dpram.cc.o" "gcc" "src/dpram/CMakeFiles/osiris_dpram.dir/dpram.cc.o.d"
+  "/root/repo/src/dpram/lockq.cc" "src/dpram/CMakeFiles/osiris_dpram.dir/lockq.cc.o" "gcc" "src/dpram/CMakeFiles/osiris_dpram.dir/lockq.cc.o.d"
+  "/root/repo/src/dpram/queue.cc" "src/dpram/CMakeFiles/osiris_dpram.dir/queue.cc.o" "gcc" "src/dpram/CMakeFiles/osiris_dpram.dir/queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/osiris_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

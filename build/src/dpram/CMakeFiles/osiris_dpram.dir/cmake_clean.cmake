@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_dpram.dir/dpram.cc.o"
+  "CMakeFiles/osiris_dpram.dir/dpram.cc.o.d"
+  "CMakeFiles/osiris_dpram.dir/lockq.cc.o"
+  "CMakeFiles/osiris_dpram.dir/lockq.cc.o.d"
+  "CMakeFiles/osiris_dpram.dir/queue.cc.o"
+  "CMakeFiles/osiris_dpram.dir/queue.cc.o.d"
+  "libosiris_dpram.a"
+  "libosiris_dpram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_dpram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_fbuf.dir/fbuf.cc.o"
+  "CMakeFiles/osiris_fbuf.dir/fbuf.cc.o.d"
+  "libosiris_fbuf.a"
+  "libosiris_fbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_fbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

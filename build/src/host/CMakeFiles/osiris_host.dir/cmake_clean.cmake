@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_host.dir/driver.cc.o"
+  "CMakeFiles/osiris_host.dir/driver.cc.o.d"
+  "CMakeFiles/osiris_host.dir/machine.cc.o"
+  "CMakeFiles/osiris_host.dir/machine.cc.o.d"
+  "libosiris_host.a"
+  "libosiris_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_link.dir/link.cc.o"
+  "CMakeFiles/osiris_link.dir/link.cc.o.d"
+  "libosiris_link.a"
+  "libosiris_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

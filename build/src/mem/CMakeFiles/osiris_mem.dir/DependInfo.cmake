@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/osiris_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/osiris_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/paging.cc" "src/mem/CMakeFiles/osiris_mem.dir/paging.cc.o" "gcc" "src/mem/CMakeFiles/osiris_mem.dir/paging.cc.o.d"
+  "/root/repo/src/mem/phys.cc" "src/mem/CMakeFiles/osiris_mem.dir/phys.cc.o" "gcc" "src/mem/CMakeFiles/osiris_mem.dir/phys.cc.o.d"
+  "/root/repo/src/mem/wiring.cc" "src/mem/CMakeFiles/osiris_mem.dir/wiring.cc.o" "gcc" "src/mem/CMakeFiles/osiris_mem.dir/wiring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/osiris_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_mem.dir/cache.cc.o"
+  "CMakeFiles/osiris_mem.dir/cache.cc.o.d"
+  "CMakeFiles/osiris_mem.dir/paging.cc.o"
+  "CMakeFiles/osiris_mem.dir/paging.cc.o.d"
+  "CMakeFiles/osiris_mem.dir/phys.cc.o"
+  "CMakeFiles/osiris_mem.dir/phys.cc.o.d"
+  "CMakeFiles/osiris_mem.dir/wiring.cc.o"
+  "CMakeFiles/osiris_mem.dir/wiring.cc.o.d"
+  "libosiris_mem.a"
+  "libosiris_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_facade.dir/harness.cc.o"
+  "CMakeFiles/osiris_facade.dir/harness.cc.o.d"
+  "CMakeFiles/osiris_facade.dir/node.cc.o"
+  "CMakeFiles/osiris_facade.dir/node.cc.o.d"
+  "CMakeFiles/osiris_facade.dir/paths.cc.o"
+  "CMakeFiles/osiris_facade.dir/paths.cc.o.d"
+  "CMakeFiles/osiris_facade.dir/stats.cc.o"
+  "CMakeFiles/osiris_facade.dir/stats.cc.o.d"
+  "libosiris_facade.a"
+  "libosiris_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

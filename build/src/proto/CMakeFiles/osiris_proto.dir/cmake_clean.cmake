@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_proto.dir/message.cc.o"
+  "CMakeFiles/osiris_proto.dir/message.cc.o.d"
+  "CMakeFiles/osiris_proto.dir/rpc.cc.o"
+  "CMakeFiles/osiris_proto.dir/rpc.cc.o.d"
+  "CMakeFiles/osiris_proto.dir/stack.cc.o"
+  "CMakeFiles/osiris_proto.dir/stack.cc.o.d"
+  "libosiris_proto.a"
+  "libosiris_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_sim.dir/engine.cc.o"
+  "CMakeFiles/osiris_sim.dir/engine.cc.o.d"
+  "CMakeFiles/osiris_sim.dir/rng.cc.o"
+  "CMakeFiles/osiris_sim.dir/rng.cc.o.d"
+  "libosiris_sim.a"
+  "libosiris_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

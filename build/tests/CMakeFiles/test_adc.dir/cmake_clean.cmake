@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adc.dir/test_adc.cc.o"
+  "CMakeFiles/test_adc.dir/test_adc.cc.o.d"
+  "test_adc"
+  "test_adc.pdb"
+  "test_adc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

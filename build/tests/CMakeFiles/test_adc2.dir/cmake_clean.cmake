@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adc2.dir/test_adc2.cc.o"
+  "CMakeFiles/test_adc2.dir/test_adc2.cc.o.d"
+  "test_adc2"
+  "test_adc2.pdb"
+  "test_adc2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adc2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

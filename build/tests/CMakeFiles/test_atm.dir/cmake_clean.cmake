@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atm.dir/test_atm.cc.o"
+  "CMakeFiles/test_atm.dir/test_atm.cc.o.d"
+  "test_atm"
+  "test_atm.pdb"
+  "test_atm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

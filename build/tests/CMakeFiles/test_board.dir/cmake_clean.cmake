@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_board.dir/test_board.cc.o"
+  "CMakeFiles/test_board.dir/test_board.cc.o.d"
+  "test_board"
+  "test_board.pdb"
+  "test_board[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

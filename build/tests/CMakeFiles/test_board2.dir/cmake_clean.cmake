@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_board2.dir/test_board2.cc.o"
+  "CMakeFiles/test_board2.dir/test_board2.cc.o.d"
+  "test_board2"
+  "test_board2.pdb"
+  "test_board2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_board2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

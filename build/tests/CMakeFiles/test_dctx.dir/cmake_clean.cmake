@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dctx.dir/test_dctx.cc.o"
+  "CMakeFiles/test_dctx.dir/test_dctx.cc.o.d"
+  "test_dctx"
+  "test_dctx.pdb"
+  "test_dctx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpram.dir/test_dpram.cc.o"
+  "CMakeFiles/test_dpram.dir/test_dpram.cc.o.d"
+  "test_dpram"
+  "test_dpram.pdb"
+  "test_dpram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_matrix.dir/test_e2e_matrix.cc.o"
+  "CMakeFiles/test_e2e_matrix.dir/test_e2e_matrix.cc.o.d"
+  "test_e2e_matrix"
+  "test_e2e_matrix.pdb"
+  "test_e2e_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

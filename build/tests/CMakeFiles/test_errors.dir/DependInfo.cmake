@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_errors.cc" "tests/CMakeFiles/test_errors.dir/test_errors.cc.o" "gcc" "tests/CMakeFiles/test_errors.dir/test_errors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osiris/CMakeFiles/osiris_facade.dir/DependInfo.cmake"
+  "/root/repo/build/src/adc/CMakeFiles/osiris_adc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbuf/CMakeFiles/osiris_fbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/osiris_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/osiris_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/osiris_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/osiris_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpram/CMakeFiles/osiris_dpram.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/osiris_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/osiris_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osiris_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

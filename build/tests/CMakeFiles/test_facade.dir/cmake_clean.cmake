@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facade.dir/test_facade.cc.o"
+  "CMakeFiles/test_facade.dir/test_facade.cc.o.d"
+  "test_facade"
+  "test_facade.pdb"
+  "test_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

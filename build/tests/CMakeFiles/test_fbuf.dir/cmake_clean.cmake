@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fbuf.dir/test_fbuf.cc.o"
+  "CMakeFiles/test_fbuf.dir/test_fbuf.cc.o.d"
+  "test_fbuf"
+  "test_fbuf.pdb"
+  "test_fbuf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fbuf_path.dir/test_fbuf_path.cc.o"
+  "CMakeFiles/test_fbuf_path.dir/test_fbuf_path.cc.o.d"
+  "test_fbuf_path"
+  "test_fbuf_path.pdb"
+  "test_fbuf_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fbuf_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

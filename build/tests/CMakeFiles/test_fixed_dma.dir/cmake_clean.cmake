@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_dma.dir/test_fixed_dma.cc.o"
+  "CMakeFiles/test_fixed_dma.dir/test_fixed_dma.cc.o.d"
+  "test_fixed_dma"
+  "test_fixed_dma.pdb"
+  "test_fixed_dma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reassembly.dir/test_reassembly.cc.o"
+  "CMakeFiles/test_reassembly.dir/test_reassembly.cc.o.d"
+  "test_reassembly"
+  "test_reassembly.pdb"
+  "test_reassembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

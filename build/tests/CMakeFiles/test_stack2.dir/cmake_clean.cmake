@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack2.dir/test_stack2.cc.o"
+  "CMakeFiles/test_stack2.dir/test_stack2.cc.o.d"
+  "test_stack2"
+  "test_stack2.pdb"
+  "test_stack2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

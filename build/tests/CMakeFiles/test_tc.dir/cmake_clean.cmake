@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tc.dir/test_tc.cc.o"
+  "CMakeFiles/test_tc.dir/test_tc.cc.o.d"
+  "test_tc"
+  "test_tc.pdb"
+  "test_tc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

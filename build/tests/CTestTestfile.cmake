@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_atm[1]_include.cmake")
+include("/root/repo/build/tests/test_reassembly[1]_include.cmake")
+include("/root/repo/build/tests/test_dpram[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_board[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_fbuf[1]_include.cmake")
+include("/root/repo/build/tests/test_adc[1]_include.cmake")
+include("/root/repo/build/tests/test_endtoend[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_tc[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed_dma[1]_include.cmake")
+include("/root/repo/build/tests/test_errors[1]_include.cmake")
+include("/root/repo/build/tests/test_fbuf_path[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_dctx[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_facade[1]_include.cmake")
+include("/root/repo/build/tests/test_board2[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_stack2[1]_include.cmake")
+include("/root/repo/build/tests/test_adc2[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
