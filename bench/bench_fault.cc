@@ -1,0 +1,129 @@
+// Robustness ablation: what reliability costs above an unreliable adaptor.
+//
+// The paper's layering argument (§1) puts reliability in a protocol above
+// the driver, not in the device. This bench quantifies that choice two
+// ways:
+//   * simulated time: goodput and retransmission overhead of the ARQ
+//     layer as wire cell loss sweeps from 0 to 5% (graceful degradation,
+//     not a cliff);
+//   * wall clock: the cost of a FaultPlane hook — one pointer compare
+//     when no plane is attached, one branchy counter update when armed —
+//     i.e. what always-on fault instrumentation costs the simulator.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.h"
+#include "osiris/node.h"
+#include "proto/arq.h"
+#include "sim/time.h"
+
+namespace {
+
+using namespace osiris;
+
+constexpr std::uint32_t kMessages = 1000;
+constexpr std::size_t kBytes = 200;
+constexpr sim::Duration kGap = sim::us(50);
+
+void arq_loss_row(double loss) {
+  NodeConfig ca = make_3000_600_config();
+  ca.board.reassembly = "seq";  // loss-tolerant reassembly (see §2.6 tests)
+  ca.link.cell_loss_p = loss;
+  ca.link.seed = 7;
+  NodeConfig cb = make_3000_600_config();
+  cb.board.reassembly = "seq";
+  Testbed tb(ca, cb);
+  // The receiver's watchdog heartbeat also drives reassembly GC; without
+  // it, partial PDUs from lost EOM cells pin 16 KB receive buffers until
+  // the pool runs dry and the link collapses (the cliff this table would
+  // otherwise show at 2%).
+  tb.b.start_watchdog(sim::ms(1), sim::ms(5), /*until=*/sim::sec(1));
+  const std::uint16_t vci = tb.open_kernel_path();
+  proto::StackConfig sc;
+  sc.udp_checksum = true;
+  auto sa = tb.a.make_stack(sc);
+  auto sb = tb.b.make_stack(sc);
+
+  proto::ArqConfig ac;
+  ac.window = 16;
+  ac.rto = sim::ms(1);
+  ac.max_rto = sim::ms(10);
+  ac.max_retries = 30;
+  proto::ArqEndpoint arq_a(tb.eng, *sa, tb.a.kernel_space, tb.a.cpu,
+                           tb.a.cfg.machine, ac);
+  proto::ArqEndpoint arq_b(tb.eng, *sb, tb.b.kernel_space, tb.b.cpu,
+                           tb.b.cfg.machine, ac);
+  arq_a.bind(vci);
+  arq_b.bind(vci);
+
+  std::uint64_t delivered = 0;
+  sim::Tick last = 0;
+  arq_b.set_sink([&](sim::Tick at, std::uint16_t, std::vector<std::uint8_t>&&) {
+    ++delivered;
+    last = at;
+  });
+
+  const std::vector<std::uint8_t> payload(kBytes, 0x5A);
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    tb.eng.schedule_at(static_cast<sim::Tick>(i) * kGap, [&] {
+      arq_a.send(tb.eng.now(), vci, payload);
+    });
+  }
+  tb.eng.run();
+
+  const double goodput =
+      last > 0 ? sim::mbps(delivered * kBytes, last) : 0.0;
+  std::printf("  %4.1f%% | %5llu/%u | %6llu | %9.1f | %s\n", loss * 100.0,
+              static_cast<unsigned long long>(delivered), kMessages,
+              static_cast<unsigned long long>(arq_a.retransmissions()),
+              goodput, arq_a.dead(vci) ? "DEAD" : "alive");
+}
+
+void arq_loss_table() {
+  std::puts("ARQ goodput vs wire cell loss (simulated time)");
+  std::printf("  1000 x %zu B messages, one per %.0f us; window 16, "
+              "rto 1 ms, 30 retries\n\n",
+              kBytes, sim::to_us(kGap));
+  std::puts("   loss | delivered |    rtx | Mbit/s    | vci");
+  std::puts("  ------+-----------+--------+-----------+------");
+  for (const double loss : {0.0, 0.005, 0.01, 0.02, 0.05}) arq_loss_row(loss);
+  std::puts("");
+}
+
+// Wall-clock cost of the injection hooks themselves.
+void BM_HookNoPlane(benchmark::State& state) {
+  fault::FaultPlane* plane = nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::fires(plane, fault::Point::kDmaError));
+  }
+}
+BENCHMARK(BM_HookNoPlane);
+
+void BM_HookUnarmed(benchmark::State& state) {
+  fault::FaultPlane plane(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::fires(&plane, fault::Point::kDmaError));
+  }
+}
+BENCHMARK(BM_HookUnarmed);
+
+void BM_HookArmedProbabilistic(benchmark::State& state) {
+  fault::FaultPlane plane(1);
+  plane.arm(fault::Point::kDmaError, {.probability = 0.001});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::fires(&plane, fault::Point::kDmaError));
+  }
+}
+BENCHMARK(BM_HookArmedProbabilistic);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  arq_loss_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

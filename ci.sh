@@ -1,0 +1,19 @@
+#!/bin/sh
+# Builds and tests the tree twice: a plain RelWithDebInfo pass, then an
+# AddressSanitizer+UBSan pass (build-asan/). Either failing fails the script.
+set -eu
+
+cd "$(dirname "$0")"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitized build (address,undefined) =="
+cmake -B build-asan -S . -DOSIRIS_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== ci.sh: all green =="

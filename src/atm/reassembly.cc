@@ -13,7 +13,17 @@ void SeqRouter::on_cell(int /*lane*/, const Cell& c, std::vector<Placement>& pla
                         std::vector<Completion>& done) {
   auto [it, fresh] = pdus_.try_emplace(c.pdu_id);
   Pdu& p = it->second;
-  if (fresh) p.key = next_key_++;
+  if (fresh) {
+    p.key = next_key_++;
+  } else if (c.bom() && !p.have.empty() && p.have[0]) {
+    // Replacement BOM: a fresh PDU's first cell landed on a pdu_id whose
+    // previous reassembly never completed (its EOM was lost and the
+    // 16-bit id space wrapped). Reclaim the stale state instead of
+    // mistaking the new PDU's cells for duplicates.
+    dropped_ += p.received;
+    p = Pdu{};
+    p.key = next_key_++;
+  }
 
   if (p.have.size() <= c.seq) p.have.resize(c.seq + 1, false);
   if (p.have[c.seq]) {
@@ -33,6 +43,13 @@ void SeqRouter::on_cell(int /*lane*/, const Cell& c, std::vector<Placement>& pla
     done.push_back({p.key, p.wire_bytes});
     pdus_.erase(it);
   }
+}
+
+std::uint64_t SeqRouter::purge() {
+  const auto n = static_cast<std::uint64_t>(pdus_.size());
+  for (const auto& [id, p] : pdus_) dropped_ += p.received;
+  pdus_.clear();
+  return n;
 }
 
 // --------------------------------------------------------------- QuadRouter
@@ -163,6 +180,30 @@ void QuadRouter::drain(std::vector<Placement>& place, std::vector<Completion>& d
       }
     }
   }
+}
+
+std::uint64_t QuadRouter::purge() {
+  std::uint64_t abandoned = 0;
+  for (const auto& [idx, p] : pdus_) {
+    if (!p.completed && p.received > 0) {
+      ++abandoned;
+      dropped_ += p.received;
+    }
+  }
+  // Skip every lane past all state it might still reference; the next PDU
+  // index must exceed any previously used one (placements are keyed by it).
+  std::uint64_t next = 0;
+  for (const Lane& l : lanes_) next = std::max(next, l.pdu);
+  if (!pdus_.empty()) next = std::max(next, pdus_.rbegin()->first);
+  ++next;
+  for (Lane& l : lanes_) {
+    dropped_ += l.queue.size();
+    l.queue.clear();
+    l.pdu = next;
+    l.in_lane = 0;
+  }
+  pdus_.clear();
+  return abandoned;
 }
 
 void QuadRouter::on_cell(int lane, const Cell& c, std::vector<Placement>& place,

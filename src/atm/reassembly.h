@@ -66,6 +66,13 @@ class CellRouter {
   /// PDUs currently being reassembled (for stats / overload tests).
   [[nodiscard]] virtual std::size_t inflight() const = 0;
 
+  /// Garbage collection: discards all in-progress reassembly state (PDUs
+  /// whose EOM cell was lost upstream, queued unattributed cells), counts
+  /// the discarded cells into dropped(), and returns the number of
+  /// incomplete PDUs abandoned. PDU keys stay monotonic across a purge so
+  /// stale placements can never alias fresh ones.
+  virtual std::uint64_t purge() = 0;
+
   /// Cells dropped as inconsistent (duplicates, bad state).
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
@@ -80,6 +87,7 @@ class SeqRouter final : public CellRouter {
                std::vector<Completion>& done) override;
   [[nodiscard]] const char* name() const override { return "seq"; }
   [[nodiscard]] std::size_t inflight() const override { return pdus_.size(); }
+  std::uint64_t purge() override;
 
  private:
   struct Pdu {
@@ -101,6 +109,7 @@ class QuadRouter final : public CellRouter {
                std::vector<Completion>& done) override;
   [[nodiscard]] const char* name() const override { return "quad"; }
   [[nodiscard]] std::size_t inflight() const override;
+  std::uint64_t purge() override;
 
   /// Cells sitting in per-lane queues awaiting attribution (stats).
   [[nodiscard]] std::size_t queued() const;

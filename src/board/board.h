@@ -56,6 +56,13 @@ struct BoardConfig {
   // Receive reassembly strategy for striping skew (§2.6): "seq" or "quad".
   std::string reassembly = "quad";
 
+  // Firmware reassembly timeout: a PDU stuck incomplete longer than this
+  // lost cells upstream and will never finish; the heartbeat housekeeping
+  // loop abandons it and hands its buffers back to the host as aborted
+  // descriptors (else sustained loss pins the whole receive pool). Active
+  // only while the heartbeat runs; 0 disables.
+  sim::Duration reassembly_timeout = sim::ms(5);
+
   // On-board receive header FIFO; overflow drops cells (receiver
   // overload). 192 entries of per-cell header state is ~1.5 KB of
   // hardware; the depth also absorbs the coarse-grained bus-arbitration

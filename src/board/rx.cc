@@ -62,8 +62,67 @@ std::size_t RxProcessor::fifo_occupancy() {
   return n;
 }
 
+void RxProcessor::stall() {
+  if (stalled_) return;
+  stalled_ = true;
+  ++stalls_;
+  sim::trace_event(trace_, eng_->now(), "rx", "stall", epoch_, 0);
+}
+
+void RxProcessor::reset() {
+  ++epoch_;
+  stalled_ = false;
+  pdus_.clear();
+  key_vci_.clear();
+  routers_.clear();
+  pending_.valid = false;
+  pending_.bytes.clear();
+  inflight_.clear();
+  gen_active_ = false;
+  for (auto& fs : free_sources_) fs.reader.reset();
+  for (auto& ch : recv_channels_) {
+    ch.writer.reset();
+    ch.push_horizon = 0;
+  }
+  sim::trace_event(trace_, eng_->now(), "rx", "reset", epoch_, 0);
+}
+
+void RxProcessor::start_heartbeat(sim::Duration period, sim::Tick until) {
+  hb_period_ = period;
+  hb_until_ = until;
+  if (!hb_running_) {
+    hb_running_ = true;
+    eng_->schedule(0, [this] { heartbeat_step(); });
+  }
+}
+
+void RxProcessor::heartbeat_step() {
+  if (!hb_running_) return;
+  if (eng_->now() >= hb_until_) {
+    hb_running_ = false;
+    return;
+  }
+  // The timer keeps firing while stalled — only the word freezes (which is
+  // all the host watchdog can see) — so beating resumes after reset().
+  if (!stalled_) {
+    ram_->write(dpram::Side::kBoard, dpram::kRxHeartbeatWord, ++hb_count_);
+    // Firmware housekeeping rides the heartbeat: abandon reassemblies
+    // whose cells were lost upstream and return their buffers (a stalled
+    // firmware can't GC — exactly why the host watchdog must reset it).
+    if (cfg_.reassembly_timeout > 0) {
+      purge_incomplete(cfg_.reassembly_timeout);
+    }
+  }
+  eng_->schedule(hb_period_, [this] { heartbeat_step(); });
+}
+
 void RxProcessor::on_cell(int lane, const atm::Cell& c) {
   ++cells_received_;
+  if (fault::fires(faults_, fault::Point::kBoardRxStall)) stall();
+  if (stalled_) {
+    ++cells_stalled_;
+    return;
+  }
   if (!atm::header_ok(c)) {
     // Header protection failed (or the cell was corrupted onto an unknown
     // VCI); the cell is discarded here, and the PDU it belonged to will
@@ -83,6 +142,13 @@ void RxProcessor::accept_cell(int lane, const atm::Cell& c) {
   // Unmapped VCI: no reassembly state, no host buffers — drop.
   if (!vci_map_.contains(c.vci)) {
     ++cells_bad_header_;
+    return;
+  }
+  if (fault::fires(faults_, fault::Point::kBoardRxCellDrop)) {
+    // The SAR loop loses the cell after accepting it (e.g. a firmware
+    // buffering bug); its PDU completes only if the sender retries.
+    ++cells_sar_dropped_;
+    sim::trace_event(trace_, eng_->now(), "rx", "sar_drop", c.vci, c.seq);
     return;
   }
   std::vector<atm::Placement> places;
@@ -173,9 +239,11 @@ void RxProcessor::handle_placement(std::uint16_t vci, const atm::Placement& pl) 
 
 void RxProcessor::schedule_flush_timer() {
   const std::uint64_t gen = pending_.flush_gen;
+  const std::uint64_t ep = epoch_;
   const auto wait = static_cast<sim::Duration>(cfg_.combine_wait_cell_times *
                                                static_cast<double>(sim::ns(681.6)));
-  eng_->schedule(wait, [this, gen] {
+  eng_->schedule(wait, [this, gen, ep] {
+    if (ep != epoch_) return;
     if (pending_.valid && pending_.flush_gen == gen) flush_pending();
   });
 }
@@ -223,7 +291,14 @@ void RxProcessor::issue_dma(RxPdu& p, std::uint32_t offset,
     const auto n = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(bytes.size() - done, b.cap - inner));
     t = bus_->dma_write(t, n);
-    cache_->dma_write(b.addr + inner, {bytes.data() + done, n});
+    if (!cache_->dma_write(b.addr + inner, {bytes.data() + done, n})) {
+      // Transfer failed (injected DMA error, or the buffer address came
+      // from a corrupted descriptor). The firmware doesn't notice: the
+      // buffer region keeps whatever bytes it held, and the end-to-end
+      // checksum is what catches the damage.
+      ++dma_errors_;
+      sim::trace_event(trace_, eng_->now(), "rx", "dma_error", b.addr + inner, n);
+    }
     b.filled += n;
     ++dma_ops_;
     if (n > atm::kCellPayload) ++combined_dma_ops_;
@@ -294,21 +369,25 @@ void RxProcessor::try_push(std::uint64_t key, RxPdu& p) {
 
 void RxProcessor::push_buffer(RxPdu& p, std::uint32_t idx, bool eop,
                               std::uint64_t pdu_tag, std::uint16_t vci,
-                              sim::Tick at) {
+                              sim::Tick at, std::uint16_t extra_flags) {
   RecvChannel& ch = recv_channels_[static_cast<std::size_t>(p.recv_idx)];
   const PduBuf& b = p.bufs[idx];
   dpram::Descriptor d;
   d.addr = b.addr;
   d.len = b.filled;
   d.vci = vci;
-  d.flags = rx_desc_flags(eop, pdu_tag);
+  d.flags = static_cast<std::uint16_t>(rx_desc_flags(eop, pdu_tag) | extra_flags);
   d.user = b.user;
 
   sim::Tick when = std::max(at, ch.push_horizon);
   if (when < eng_->now()) when = eng_->now();
   ch.push_horizon = when;
   const int recv_idx = p.recv_idx;
-  eng_->schedule_at(when, [this, recv_idx, d] {
+  const std::uint64_t ep = epoch_;
+  eng_->schedule_at(when, [this, recv_idx, d, ep] {
+    // A completion scheduled before an adaptor reset must not leak a
+    // pre-reset buffer descriptor into the fresh receive queue.
+    if (ep != epoch_) return;
     RecvChannel& c = recv_channels_[static_cast<std::size_t>(recv_idx)];
     const bool was_empty = c.writer.size() == 0;
     const auto res = c.writer.push(d);
@@ -330,9 +409,23 @@ std::uint64_t RxProcessor::purge_incomplete(sim::Duration max_age) {
   const sim::Tick now = eng_->now();
   std::uint64_t purged = 0;
   for (auto it = pdus_.begin(); it != pdus_.end();) {
-    const RxPdu& p = it->second;
+    RxPdu& p = it->second;
     if (!p.complete && now >= p.started && now - p.started > max_age) {
       if (pending_.valid && pending_.key == it->first) pending_.valid = false;
+      // Hand the buffers this PDU is sitting on back to the host: each
+      // still-held buffer goes up as an aborted descriptor, which the
+      // driver recycles (together with any partial accumulation under the
+      // same tag) instead of delivering. Without this, sustained cell loss
+      // would pin the entire receive pool in dead reassemblies.
+      const std::uint16_t vci =
+          key_vci_.count(it->first) != 0
+              ? key_vci_[it->first]
+              : static_cast<std::uint16_t>(it->first >> 48);
+      for (std::uint32_t i = p.next_push;
+           i < static_cast<std::uint32_t>(p.bufs.size()); ++i) {
+        push_buffer(p, i, /*eop=*/true, it->first, vci, now,
+                    dpram::kDescAborted);
+      }
       key_vci_.erase(it->first);
       it = pdus_.erase(it);
       ++purged;
@@ -368,7 +461,7 @@ void RxProcessor::start_generator_multi(
 }
 
 void RxProcessor::step_generator() {
-  if (gen_remaining_ == 0) {
+  if (gen_remaining_ == 0 || stalled_) {
     gen_active_ = false;
     return;
   }

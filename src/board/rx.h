@@ -31,6 +31,7 @@
 #include "board/board.h"
 #include "dpram/dpram.h"
 #include "dpram/queue.h"
+#include "fault/fault.h"
 #include "mem/cache.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
@@ -55,6 +56,27 @@ class RxProcessor {
 
   /// Attaches an event trace (optional; null disables).
   void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Enables fault injection (not owned). Consults kBoardRxStall once per
+  /// arriving cell and kBoardRxCellDrop inside the SAR loop.
+  void set_fault_plane(fault::FaultPlane* f) { faults_ = f; }
+
+  /// Wedges the receive firmware loop: arriving cells are no longer
+  /// serviced and the heartbeat word stops advancing, until reset().
+  void stall();
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
+  /// Adaptor reset (host-initiated, via the driver's watchdog): clears the
+  /// wedge, abandons all reassembly and firmware queue state, resets the
+  /// board-side queue cursors, and bumps the epoch so completions already
+  /// scheduled from before the reset are discarded when they fire.
+  void reset();
+
+  /// Starts the firmware heartbeat: the dpram::kRxHeartbeatWord advances
+  /// every `period` until the simulation clock passes `until` (bounded so
+  /// the event queue always drains). A stalled firmware stops beating;
+  /// beating resumes automatically after reset().
+  void start_heartbeat(sim::Duration period, sim::Tick until);
 
   /// Registers a free-buffer queue; returns its id. `auth` guards ADC
   /// buffers (§3.2); violations raise kAccessViolation and skip the buffer.
@@ -99,6 +121,11 @@ class RxProcessor {
   [[nodiscard]] std::uint64_t pdus_dropped_nobuf() const { return pdus_dropped_nobuf_; }
   [[nodiscard]] std::uint64_t pdus_dropped_recvfull() const { return pdus_dropped_recvfull_; }
   [[nodiscard]] std::uint64_t auth_violations() const { return auth_violations_; }
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+  [[nodiscard]] std::uint64_t cells_stalled() const { return cells_stalled_; }
+  [[nodiscard]] std::uint64_t cells_sar_dropped() const { return cells_sar_dropped_; }
+  [[nodiscard]] std::uint64_t dma_errors() const { return dma_errors_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] sim::Resource& i960() { return i960_; }
 
   /// Abandons reassembly state for PDUs that started more than `max_age`
@@ -177,8 +204,10 @@ class RxProcessor {
                  const std::vector<std::uint8_t>& bytes);
   void try_push(std::uint64_t key, RxPdu& p);
   void push_buffer(RxPdu& p, std::uint32_t idx, bool eop, std::uint64_t pdu_tag,
-                   std::uint16_t vci, sim::Tick at);
+                   std::uint16_t vci, sim::Tick at,
+                   std::uint16_t extra_flags = 0);
   void step_generator();
+  void heartbeat_step();
   std::size_t fifo_occupancy();
 
   sim::Engine* eng_;
@@ -189,6 +218,16 @@ class RxProcessor {
   sim::Resource i960_;
   IrqSink irq_;
   sim::Trace* trace_ = nullptr;
+  fault::FaultPlane* faults_ = nullptr;
+
+  bool stalled_ = false;
+  std::uint64_t epoch_ = 0;
+
+  // Heartbeat state (see start_heartbeat()).
+  bool hb_running_ = false;
+  sim::Duration hb_period_ = 0;
+  sim::Tick hb_until_ = 0;
+  std::uint32_t hb_count_ = 0;
 
   std::vector<FreeSource> free_sources_;
   std::vector<RecvChannel> recv_channels_;
@@ -219,6 +258,10 @@ class RxProcessor {
   std::uint64_t pdus_dropped_nobuf_ = 0;
   std::uint64_t pdus_dropped_recvfull_ = 0;
   std::uint64_t auth_violations_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t cells_stalled_ = 0;
+  std::uint64_t cells_sar_dropped_ = 0;
+  std::uint64_t dma_errors_ = 0;
 };
 
 }  // namespace osiris::board

@@ -61,14 +61,56 @@ void TxProcessor::add_queue(int channel, const dpram::QueueLayout& lay,
                             priority, std::move(auth), 0});
 }
 
+void TxProcessor::stall() {
+  if (stalled_) return;
+  stalled_ = true;
+  ++stalls_;
+  sim::trace_event(trace_, eng_->now(), "tx", "stall", epoch_, 0);
+}
+
+void TxProcessor::reset() {
+  ++epoch_;
+  stalled_ = false;
+  active_ = false;
+  job_.reset();
+  for (TxQueue& q : queues_) q.reader.reset();
+  sim::trace_event(trace_, eng_->now(), "tx", "reset", epoch_, 0);
+}
+
+void TxProcessor::start_heartbeat(sim::Duration period, sim::Tick until) {
+  hb_period_ = period;
+  hb_until_ = until;
+  if (!hb_running_) {
+    hb_running_ = true;
+    eng_->schedule(0, [this] { heartbeat_step(); });
+  }
+}
+
+void TxProcessor::heartbeat_step() {
+  if (!hb_running_) return;
+  if (eng_->now() >= hb_until_) {
+    hb_running_ = false;
+    return;
+  }
+  // Keeps firing while stalled so beating resumes after reset(); only the
+  // word (what the host watchdog reads) freezes.
+  if (!stalled_) {
+    ram_->write(dpram::Side::kBoard, dpram::kTxHeartbeatWord, ++hb_count_);
+  }
+  eng_->schedule(hb_period_, [this] { heartbeat_step(); });
+}
+
 void TxProcessor::kick() {
-  if (active_) return;
+  if (active_ || stalled_) return;
   active_ = true;
-  eng_->schedule(cfg_.poll_latency, [this] { service(); });
+  const std::uint64_t ep = epoch_;
+  eng_->schedule(cfg_.poll_latency, [this, ep] {
+    if (ep == epoch_) service();
+  });
 }
 
 void TxProcessor::service() {
-  if (!start_pdu()) active_ = false;
+  if (stalled_ || !start_pdu()) active_ = false;
 }
 
 int TxProcessor::pick_queue() {
@@ -117,6 +159,13 @@ bool TxProcessor::start_pdu() {
   auto job = std::make_unique<Job>();
   job->queue_idx = static_cast<std::size_t>(qi);
   for (std::uint32_t k = 0;; ++k) {
+    if (fault::fires(faults_, fault::Point::kBoardTxStall)) {
+      // Firmware wedges mid-chain, before consuming anything: the queue
+      // stays non-empty with a frozen tail, which is the signature the
+      // host watchdog looks for.
+      stall();
+      return false;
+    }
     const auto d = q.reader.peek_at(k);
     if (!d) throw std::logic_error("TxProcessor: chain vanished");
     job->chain.push_back(*d);
@@ -139,7 +188,10 @@ bool TxProcessor::start_pdu() {
         sim::trace_event(trace_, eng_->now(), "tx", "auth_violation",
                          static_cast<std::uint64_t>(q.channel), d.addr);
         if (irq_) irq_(Irq::kAccessViolation, q.channel);
-        eng_->schedule_at(fw_t, [this] { service(); });
+        const std::uint64_t ep = epoch_;
+        eng_->schedule_at(fw_t, [this, ep] {
+          if (ep == epoch_) service();
+        });
         return true;
       }
     }
@@ -157,6 +209,22 @@ bool TxProcessor::start_pdu() {
   } else {
     job->ncells = atm::cells_for(job->pdu_len);
   }
+  if (job->ncells > 0xFFFF) {
+    // A corrupted length word can imply millions of cells; the 16-bit
+    // cell-sequence space bounds any legitimate PDU. Reject the chain
+    // rather than segmenting garbage forever.
+    const std::uint32_t tail =
+        q.reader.consume(static_cast<std::uint32_t>(job->chain.size()));
+    q.reader.publish(tail);
+    ++bad_chains_;
+    sim::trace_event(trace_, eng_->now(), "tx", "bad_chain",
+                     static_cast<std::uint64_t>(q.channel), job->ncells);
+    const std::uint64_t ep = epoch_;
+    eng_->schedule_at(fw_t, [this, ep] {
+      if (ep == epoch_) service();
+    });
+    return true;
+  }
   job->vci = job->chain[0].vci;
   job->pdu_id = q.next_pdu_id++;
 
@@ -172,10 +240,15 @@ bool TxProcessor::start_pdu() {
   sim::trace_event(trace_, eng_->now(), "tx", "pdu_start", job->vci,
                    job->ncells);
   job_ = std::move(job);
+  const std::uint64_t ep = epoch_;
   if (cfg_.fixed_length_dma_tx) {
-    eng_->schedule_at(fw_t, [this] { step_job_fixed(); });
+    eng_->schedule_at(fw_t, [this, ep] {
+      if (ep == epoch_) step_job_fixed();
+    });
   } else {
-    eng_->schedule_at(fw_t, [this] { step_job(); });
+    eng_->schedule_at(fw_t, [this, ep] {
+      if (ep == epoch_) step_job();
+    });
   }
   return true;
 }
@@ -239,7 +312,15 @@ void TxProcessor::step_job() {
         const std::uint32_t to_page = mem::kPageSize - mem::page_offset(addr);
         if (to_page < n) n = to_page;
       }
-      host_mem_->read(addr, {c.payload.data() + filled, n});
+      if (!host_mem_->dma_read(addr, {c.payload.data() + filled, n})) {
+        // Failed transfer (injected error, or an address from a corrupted
+        // descriptor): the cell goes out zero-filled. The AAL CRC is
+        // computed over what was actually sent, so only the end-to-end
+        // checksum can expose the damage.
+        std::fill_n(c.payload.begin() + filled, n, std::uint8_t{0});
+        ++dma_errors_;
+        sim::trace_event(trace_, eng_->now(), "tx", "dma_error", addr, n);
+      }
       j.crc.update({c.payload.data() + filled, n});
       // One DMA transaction per contiguous address run within the group;
       // every break (buffer end, page boundary) costs a fresh transaction
@@ -285,7 +366,10 @@ void TxProcessor::step_job() {
     const sim::Duration lookahead = 2 * bus_->dma_read_cost(group * atm::kCellPayload);
     sim::Tick next = std::max(fw_t, ready > lookahead ? ready - lookahead : 0);
     next = std::max(next, eng_->now());
-    eng_->schedule_at(next, [this] { step_job(); });
+    const std::uint64_t ep = epoch_;
+    eng_->schedule_at(next, [this, ep] {
+      if (ep == epoch_) step_job();
+    });
     return;
   }
 
@@ -302,7 +386,10 @@ void TxProcessor::finish_job(sim::Tick last_dep) {
     if (at < eng_->now()) at = eng_->now();
     prev_pub = at;
     const std::uint32_t tail_val = j.tails[i];
-    eng_->schedule_at(at, [this, qidx, tail_val] {
+    const std::uint64_t ep = epoch_;
+    eng_->schedule_at(at, [this, qidx, tail_val, ep] {
+      // A pre-reset publish would clobber the re-initialized tail word.
+      if (ep != epoch_) return;
       queues_[qidx].reader.publish(tail_val);
       check_half_empty(queues_[qidx], eng_->now());
     });
@@ -310,8 +397,11 @@ void TxProcessor::finish_job(sim::Tick last_dep) {
   ++pdus_sent_;
   sim::trace_event(trace_, eng_->now(), "tx", "pdu_done", j.vci, j.pdu_len);
   job_.reset();
+  const std::uint64_t ep = epoch_;
   eng_->schedule_at(std::max({last_dep, prev_pub, eng_->now()}),
-                    [this] { service(); });
+                    [this, ep] {
+                      if (ep == epoch_) service();
+                    });
 }
 
 void TxProcessor::step_job_fixed() {
@@ -341,7 +431,11 @@ void TxProcessor::step_job_fixed() {
     const std::uint32_t have = buf.len - j.doff;
     const std::uint32_t n = std::min<std::uint32_t>(have, atm::kCellPayload);
     c.len = atm::kCellPayload;
-    host_mem_->read(addr, {c.payload.data(), n});
+    if (!host_mem_->dma_read(addr, {c.payload.data(), n})) {
+      std::fill_n(c.payload.begin(), n, std::uint8_t{0});
+      ++dma_errors_;
+      sim::trace_event(trace_, eng_->now(), "tx", "dma_error", addr, n);
+    }
     j.crc.update({c.payload.data(), n});
     if (n < atm::kCellPayload) {
       const std::uint32_t want = atm::kCellPayload - n;
@@ -385,7 +479,10 @@ void TxProcessor::step_job_fixed() {
     const sim::Duration lookahead = 2 * bus_->dma_read_cost(atm::kCellPayload);
     sim::Tick next = std::max(fw_t, ready > lookahead ? ready - lookahead : 0);
     next = std::max(next, eng_->now());
-    eng_->schedule_at(next, [this] { step_job_fixed(); });
+    const std::uint64_t ep = epoch_;
+    eng_->schedule_at(next, [this, ep] {
+      if (ep == epoch_) step_job_fixed();
+    });
     return;
   }
   finish_job(dep);

@@ -24,6 +24,7 @@
 #include "board/board.h"
 #include "dpram/dpram.h"
 #include "dpram/queue.h"
+#include "fault/fault.h"
 #include "link/link.h"
 #include "mem/phys.h"
 #include "sim/engine.h"
@@ -50,6 +51,25 @@ class TxProcessor {
   /// Attaches an event trace (optional; null disables).
   void set_trace(sim::Trace* t) { trace_ = t; }
 
+  /// Enables fault injection (not owned). Consults kBoardTxStall once per
+  /// descriptor read while assembling a PDU chain.
+  void set_fault_plane(fault::FaultPlane* f) { faults_ = f; }
+
+  /// Wedges the transmit firmware loop: kicks are ignored, the in-progress
+  /// PDU (if any) never advances, and the heartbeat word stops, until
+  /// reset(). Queue tails freeze, which is what the host watchdog sees.
+  void stall();
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
+  /// Adaptor reset (host-initiated): clears the wedge, abandons the
+  /// in-progress PDU, resets the board-side queue cursors, and bumps the
+  /// epoch so stale scheduled steps and tail publishes are discarded.
+  void reset();
+
+  /// Starts the firmware heartbeat on dpram::kTxHeartbeatWord; see
+  /// RxProcessor::start_heartbeat for semantics.
+  void start_heartbeat(sim::Duration period, sim::Tick until);
+
   /// Doorbell: the host calls this after pushing descriptors.
   void kick();
 
@@ -63,6 +83,12 @@ class TxProcessor {
   /// end of their source buffer (the §2.5.2 security leak).
   [[nodiscard]] std::uint64_t leaked_cells() const { return leaked_cells_; }
   [[nodiscard]] std::uint64_t leaked_bytes() const { return leaked_bytes_; }
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+  [[nodiscard]] std::uint64_t dma_errors() const { return dma_errors_; }
+  /// Descriptor chains rejected as nonsensical (e.g. a corrupted length
+  /// word implying more cells than the 16-bit seq space can carry).
+  [[nodiscard]] std::uint64_t bad_chains() const { return bad_chains_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] sim::Resource& i960() { return i960_; }
 
  private:
@@ -87,6 +113,7 @@ class TxProcessor {
   void finish_job(sim::Tick last_dep);
   int pick_queue();
   void check_half_empty(TxQueue& q, sim::Tick at);
+  void heartbeat_step();
 
   sim::Engine* eng_;
   BoardConfig cfg_;
@@ -97,10 +124,19 @@ class TxProcessor {
   sim::Resource i960_;
   IrqSink irq_;
   sim::Trace* trace_ = nullptr;
+  fault::FaultPlane* faults_ = nullptr;
   std::vector<TxQueue> queues_;
   std::size_t rr_next_ = 0;
   bool active_ = false;
+  bool stalled_ = false;
+  std::uint64_t epoch_ = 0;
   std::unique_ptr<Job> job_;
+
+  // Heartbeat state (see start_heartbeat()).
+  bool hb_running_ = false;
+  sim::Duration hb_period_ = 0;
+  sim::Tick hb_until_ = 0;
+  std::uint32_t hb_count_ = 0;
 
   std::uint64_t pdus_sent_ = 0;
   std::uint64_t cells_sent_ = 0;
@@ -109,6 +145,9 @@ class TxProcessor {
   std::uint64_t auth_violations_ = 0;
   std::uint64_t leaked_cells_ = 0;
   std::uint64_t leaked_bytes_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t dma_errors_ = 0;
+  std::uint64_t bad_chains_ = 0;
 };
 
 }  // namespace osiris::board

@@ -11,6 +11,11 @@ std::uint32_t DualPortRam::read(Side side, std::uint32_t word_index) const {
     throw std::out_of_range("DualPortRam: read past end: " + std::to_string(word_index));
   }
   (side == Side::kHost ? host_accesses_ : board_accesses_)++;
+  if (fault::fires(faults_, fault::Point::kDpramStale) &&
+      prev_words_[word_index] != words_[word_index]) {
+    ++stale_reads_;
+    return prev_words_[word_index];
+  }
   return words_[word_index];
 }
 
@@ -19,7 +24,16 @@ void DualPortRam::write(Side side, std::uint32_t word_index, std::uint32_t value
     throw std::out_of_range("DualPortRam: write past end: " + std::to_string(word_index));
   }
   (side == Side::kHost ? host_accesses_ : board_accesses_)++;
+  prev_words_[word_index] = words_[word_index];
   words_[word_index] = value;
+}
+
+void DualPortRam::maybe_corrupt(Side side, std::uint32_t first_word,
+                                std::uint32_t nwords) {
+  if (!fault::fires(faults_, fault::Point::kDescCorrupt)) return;
+  const auto w = first_word + static_cast<std::uint32_t>(faults_->roll(nwords));
+  write(side, w, faults_->corrupt_word(words_[w]));
+  ++corrupted_words_;
 }
 
 ChannelLayout channel_layout(std::uint32_t index, std::uint32_t tx_capacity,

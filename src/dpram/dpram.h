@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
+
 namespace osiris::dpram {
 
 constexpr std::uint32_t kDpramBytes = 128 * 1024;
@@ -29,19 +31,36 @@ enum class Side { kHost, kBoard };
 
 class DualPortRam {
  public:
-  DualPortRam() : words_(kDpramWords, 0) {}
+  DualPortRam() : words_(kDpramWords, 0), prev_words_(kDpramWords, 0) {}
 
   std::uint32_t read(Side side, std::uint32_t word_index) const;
   void write(Side side, std::uint32_t word_index, std::uint32_t value);
 
+  /// Enables fault injection (not owned). With fault::Point::kDpramStale
+  /// armed, a read may return the value the word held before its most
+  /// recent write — the memory's 32-bit-atomicity guarantee degrading
+  /// under marginal timing. kDescCorrupt is consulted by the queue layer
+  /// through maybe_corrupt().
+  void set_fault_plane(fault::FaultPlane* plane) { faults_ = plane; }
+
+  /// Fault hook for descriptor writes: with kDescCorrupt armed, flips one
+  /// random bit in one of the `nwords` words starting at `first_word`.
+  void maybe_corrupt(Side side, std::uint32_t first_word, std::uint32_t nwords);
+
   [[nodiscard]] std::uint64_t host_accesses() const { return host_accesses_; }
   [[nodiscard]] std::uint64_t board_accesses() const { return board_accesses_; }
+  [[nodiscard]] std::uint64_t stale_reads() const { return stale_reads_; }
+  [[nodiscard]] std::uint64_t corrupted_words() const { return corrupted_words_; }
   void reset_stats() { host_accesses_ = board_accesses_ = 0; }
 
  private:
   std::vector<std::uint32_t> words_;
+  std::vector<std::uint32_t> prev_words_;  // pre-write values, for kDpramStale
+  fault::FaultPlane* faults_ = nullptr;
   mutable std::uint64_t host_accesses_ = 0;
   mutable std::uint64_t board_accesses_ = 0;
+  mutable std::uint64_t stale_reads_ = 0;
+  std::uint64_t corrupted_words_ = 0;
 };
 
 /// A buffer descriptor as passed through the queues: physical address and
@@ -57,7 +76,8 @@ struct Descriptor {
 };
 
 enum DescriptorFlags : std::uint16_t {
-  kDescEop = 1u << 0,  // last buffer of a PDU
+  kDescEop = 1u << 0,      // last buffer of a PDU
+  kDescAborted = 1u << 1,  // reassembly abandoned; recycle, don't deliver
 };
 
 constexpr std::uint32_t kDescriptorWords = 4;
@@ -82,6 +102,16 @@ enum CtrlFlags : std::uint32_t {
   // processor interrupts once the queue drains to half empty (§2.1.2).
   kCtrlWantHalfEmptyIrq = 1u << 0,
 };
+
+/// Firmware heartbeat words (proof-of-life for the host watchdog): the
+/// last word of each half's page 0, which no queue layout reaches — a
+/// full-page transmit queue uses 3 + 255*4 = 1023 of the 1024 words, and
+/// the receive half's page 0 splits into two sub-half-page queues. Each
+/// board processor increments its word on a bounded timer; a word that
+/// stops advancing means that half's firmware loop is wedged.
+constexpr std::uint32_t kTxHeartbeatWord = kPageWords - 1;
+constexpr std::uint32_t kRxHeartbeatWord =
+    kPagesPerHalf * kPageWords + kPageWords - 1;
 
 /// Queue layouts for one transmit/receive page pair. Pair 0 is the kernel
 /// driver's; pairs 1..15 are mappable as application device channels.

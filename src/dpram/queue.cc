@@ -44,12 +44,25 @@ OpResult QueueWriter::push(const Descriptor& d) {
   ++r.ram_accesses;
   if ((head_ + 1) % lay_.capacity == tail) return r;  // full
   write_descriptor(*ram_, side_, lay_, head_, d);
+  ram_->maybe_corrupt(side_, lay_.slot_word(head_), kDescriptorWords);
   r.ram_accesses += kDescriptorWords;
   head_ = (head_ + 1) % lay_.capacity;
   ram_->write(side_, lay_.head_word(), head_);
   ++r.ram_accesses;
   r.ok = true;
   return r;
+}
+
+void QueueWriter::reset() {
+  head_ = 0;
+  ram_->write(side_, lay_.head_word(), 0);
+  ram_->write(side_, lay_.tail_word(), 0);
+  ram_->write(side_, lay_.ctrl_word(), 0);
+}
+
+void QueueReader::reset() {
+  tail_ = 0;
+  ram_->write(side_, lay_.tail_word(), 0);
 }
 
 bool QueueReader::empty() const {

@@ -45,6 +45,11 @@ class QueueWriter {
   /// Entries currently in the queue (costs one RAM access).
   [[nodiscard]] std::uint32_t size() const;
 
+  /// Adaptor reset: zeroes the cached head and the RAM head/tail/ctrl
+  /// words. Both endpoints of a queue must be reset together — a cached
+  /// cursor surviving a RAM zero would corrupt the fresh queue.
+  void reset();
+
   [[nodiscard]] const QueueLayout& layout() const { return lay_; }
 
  private:
@@ -86,6 +91,10 @@ class QueueReader {
   void publish(std::uint32_t tail_value);
 
   [[nodiscard]] std::uint32_t size() const;
+
+  /// Adaptor reset: zeroes the cached tail and the RAM tail word (the
+  /// matching writer's reset zeroes the head).
+  void reset();
 
   [[nodiscard]] const QueueLayout& layout() const { return lay_; }
 

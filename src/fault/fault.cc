@@ -1,0 +1,64 @@
+#include "fault/fault.h"
+
+#include <sstream>
+
+namespace osiris::fault {
+
+const char* point_name(Point p) {
+  switch (p) {
+    case Point::kBoardRxStall: return "board_rx_stall";
+    case Point::kBoardTxStall: return "board_tx_stall";
+    case Point::kBoardRxCellDrop: return "board_rx_cell_drop";
+    case Point::kDmaError: return "dma_error";
+    case Point::kDescCorrupt: return "desc_corrupt";
+    case Point::kDpramStale: return "dpram_stale";
+    case Point::kIrqLost: return "irq_lost";
+    case Point::kIrqSpurious: return "irq_spurious";
+    case Point::kCount: break;
+  }
+  return "?";
+}
+
+void FaultPlane::arm(Point p, FaultSpec spec) {
+  Slot& s = slot(p);
+  s.spec = spec;
+  s.armed = true;
+  s.consulted = 0;
+  s.fired = 0;
+}
+
+void FaultPlane::disarm(Point p) { slot(p).armed = false; }
+
+bool FaultPlane::fires(Point p) {
+  Slot& s = slot(p);
+  if (!s.armed) return false;
+  ++s.consulted;
+  if (s.fired >= s.spec.budget) return false;
+  const bool hit = (s.spec.after != 0 && s.consulted == s.spec.after) ||
+                   (s.spec.probability > 0.0 && rng_.chance(s.spec.probability));
+  if (hit) ++s.fired;
+  return hit;
+}
+
+std::uint32_t FaultPlane::corrupt_word(std::uint32_t v) {
+  return v ^ (1u << rng_.below(32));
+}
+
+std::uint64_t FaultPlane::total_fired() const {
+  std::uint64_t n = 0;
+  for (const Slot& s : slots_) n += s.fired;
+  return n;
+}
+
+std::string FaultPlane::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.armed && s.fired == 0) continue;
+    os << point_name(static_cast<Point>(i)) << ": " << s.fired << "/"
+       << s.consulted << " fired/consulted\n";
+  }
+  return os.str();
+}
+
+}  // namespace osiris::fault

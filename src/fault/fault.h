@@ -1,0 +1,98 @@
+// Central fault-injection plane.
+//
+// The link layer already injects wire-level faults (cell loss, bit errors,
+// skew — see link/link.h). Everything above the wire, however, can also
+// misbehave in a real adaptor: firmware loops wedge, DMA transfers fail,
+// descriptor words get corrupted in the dual-port RAM, interrupts get lost
+// on the way to the host. The FaultPlane is a seeded registry of such
+// faults that every layer consults through cheap hook points: a layer
+// holds a `FaultPlane*` (null by default — hooks cost one pointer compare
+// when fault injection is off) and asks `fires(point)` at the moment the
+// corresponding hardware would fail.
+//
+// A fault can be probabilistic (fires with probability p at each
+// consultation), deterministic (fires on the Nth consultation — "stall
+// after N descriptors"), or both, and carries a budget bounding the total
+// number of firings so schedules stay finite and runs always drain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace osiris::fault {
+
+/// Hook points, one per injectable hardware failure.
+enum class Point : int {
+  kBoardRxStall = 0,  // receive firmware loop wedges (stops servicing cells)
+  kBoardTxStall,      // transmit firmware loop wedges (stops servicing PDUs)
+  kBoardRxCellDrop,   // cell discarded inside the SAR/reassembly loop
+  kDmaError,          // a DMA transfer fails; no bytes move
+  kDescCorrupt,       // a just-written descriptor word takes a bit flip
+  kDpramStale,        // a dual-port-RAM read returns the word's old value
+  kIrqLost,           // an asserted interrupt never reaches the host
+  kIrqSpurious,       // the host observes an interrupt with no cause
+  kCount,
+};
+
+[[nodiscard]] const char* point_name(Point p);
+
+/// When an armed fault fires.
+struct FaultSpec {
+  double probability = 0.0;  // chance of firing at each consultation
+  std::uint64_t after = 0;   // also fire on the Nth consultation (1-based; 0 = off)
+  std::uint64_t budget = ~0ull;  // maximum total firings
+};
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(std::uint64_t seed = 0xFA177) : rng_(seed) {}
+
+  void arm(Point p, FaultSpec spec);
+  void disarm(Point p);
+  [[nodiscard]] bool armed(Point p) const { return slot(p).armed; }
+
+  /// The hook: rolls the dice for `p`. Returns true when the fault fires
+  /// at this consultation (and counts it against the budget).
+  bool fires(Point p);
+
+  /// Flips one uniformly chosen bit of `v` (descriptor corruption).
+  std::uint32_t corrupt_word(std::uint32_t v);
+
+  /// Uniform draw in [0, bound) from the plane's stream — for hooks that
+  /// need to pick *which* word/bit to damage.
+  std::uint64_t roll(std::uint64_t bound) { return rng_.below(bound); }
+
+  // Per-point statistics.
+  [[nodiscard]] std::uint64_t consulted(Point p) const { return slot(p).consulted; }
+  [[nodiscard]] std::uint64_t fired(Point p) const { return slot(p).fired; }
+  [[nodiscard]] std::uint64_t total_fired() const;
+
+  /// One line per armed or fired point.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct Slot {
+    FaultSpec spec;
+    bool armed = false;
+    std::uint64_t consulted = 0;
+    std::uint64_t fired = 0;
+  };
+
+  [[nodiscard]] Slot& slot(Point p) { return slots_[static_cast<std::size_t>(p)]; }
+  [[nodiscard]] const Slot& slot(Point p) const {
+    return slots_[static_cast<std::size_t>(p)];
+  }
+
+  std::array<Slot, static_cast<std::size_t>(Point::kCount)> slots_{};
+  sim::Rng rng_;
+};
+
+/// Null-safe hook for layers holding an optional plane pointer.
+inline bool fires(FaultPlane* plane, Point p) {
+  return plane != nullptr && plane->fires(p);
+}
+
+}  // namespace osiris::fault

@@ -1,6 +1,7 @@
 #include "host/driver.h"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
 
 #include "board/rx.h"
@@ -135,6 +136,7 @@ sim::Tick OsirisDriver::reap_tx(sim::Tick at) {
       static_cast<std::uint32_t>(inflight_tx_.size()) -
       std::min<std::uint32_t>(static_cast<std::uint32_t>(inflight_tx_.size()),
                               tx_writer_.size());
+  tx_descs_retired_ += done_descs;
   for (std::uint32_t i = 0; i < done_descs; ++i) {
     const auto bufs = std::move(inflight_tx_.front());
     inflight_tx_.pop_front();
@@ -214,6 +216,7 @@ sim::Tick OsirisDriver::send(sim::Tick at, std::uint16_t vci,
   t = cpu_->exec(t, w);
 
   ++pdus_sent_;
+  tx_descs_accepted_ += bufs.size();
   if (tx_suspended_) {
     pending_sends_.push_back(PendingSend{vci, bufs});
     return t;
@@ -240,7 +243,10 @@ void OsirisDriver::on_rx_interrupt(sim::Tick at) {
   if (draining_) return;  // thread already active
   draining_ = true;
   const sim::Tick t = cpu_->exec(at, Work{mc_->thread_dispatch, 0});
-  eng_->schedule_at(t, [this] { drain_step(eng_->now()); });
+  const std::uint64_t gen = generation_;
+  eng_->schedule_at(t, [this, gen] {
+    if (gen == generation_) drain_step(eng_->now());
+  });
 }
 
 void OsirisDriver::drain_step(sim::Tick at) {
@@ -252,8 +258,48 @@ void OsirisDriver::drain_step(sim::Tick at) {
   }
   t = cpu_->exec(t, Work{mc_->driver_rx_buffer, 0});
 
+  // Sanity-check the descriptor against the driver's own buffer table: a
+  // corrupted id/addr/len would otherwise send upper layers reading (or
+  // the recycler pushing) memory the pool doesn't own.
+  const std::uint64_t gen0 = generation_;
+  if (d->user >= buffers_.size() ||
+      d->addr < buffers_[d->user].pa || d->len > buffers_[d->user].cap ||
+      static_cast<std::uint64_t>(d->addr) + d->len >
+          static_cast<std::uint64_t>(buffers_[d->user].pa) +
+              buffers_[d->user].cap) {
+    ++bad_descriptors_;
+    sim::trace_event(trace_, eng_->now(), "drv", "bad_desc", d->user, d->addr);
+    if (d->user < buffers_.size()) {
+      // The id is plausible: return the buffer it names to its pool.
+      t = recycle(t, {RxBuffer{buffers_[d->user].pa, 0, d->user}});
+    }
+    eng_->schedule_at(t, [this, gen0] {
+      if (gen0 == generation_) drain_step(eng_->now());
+    });
+    return;
+  }
+
   const auto tag = static_cast<std::uint32_t>((d->flags >> 8) & 0x7F);
   const std::uint32_t key = (static_cast<std::uint32_t>(d->vci) << 8) | tag;
+
+  if ((d->flags & dpram::kDescAborted) != 0) {
+    // The firmware abandoned this reassembly (cells lost upstream and the
+    // timeout expired): recycle the buffer — plus whatever partial
+    // accumulation already arrived under the same tag — without delivering.
+    ++stale_partial_;
+    std::vector<RxBuffer> give{RxBuffer{d->addr, 0, d->user}};
+    const auto ait = accum_.find(key);
+    if (ait != accum_.end()) {
+      give.insert(give.end(), ait->second.bufs.begin(), ait->second.bufs.end());
+      accum_.erase(ait);
+    }
+    t = recycle(t, give);
+    eng_->schedule_at(t, [this, gen0] {
+      if (gen0 == generation_) drain_step(eng_->now());
+    });
+    return;
+  }
+
   Accum& acc = accum_[key];
   acc.bufs.push_back(RxBuffer{d->addr, d->len, d->user});
   acc.bytes += d->len;
@@ -271,7 +317,9 @@ void OsirisDriver::drain_step(sim::Tick at) {
     accum_.erase(oldest);
   }
 
-  eng_->schedule_at(t, [this] { drain_step(eng_->now()); });
+  eng_->schedule_at(t, [this, gen0] {
+    if (gen0 == generation_) drain_step(eng_->now());
+  });
 }
 
 sim::Tick OsirisDriver::deliver(sim::Tick at, std::uint16_t vci, Accum&& acc) {
@@ -313,16 +361,173 @@ sim::Tick OsirisDriver::deliver(sim::Tick at, std::uint16_t vci, Accum&& acc) {
 sim::Tick OsirisDriver::recycle(sim::Tick at, const std::vector<RxBuffer>& bufs) {
   sim::Tick t = at;
   for (const RxBuffer& rb : bufs) {
-    if (rb.id >= buffers_.size()) throw std::logic_error("recycle: bad buffer id");
+    if (rb.id >= buffers_.size()) {
+      // Corrupted descriptor id: no way to know which buffer this names;
+      // count it and press on rather than wedging the driver thread.
+      ++bad_descriptors_;
+      sim::trace_event(trace_, eng_->now(), "drv", "bad_desc", rb.id, rb.len);
+      continue;
+    }
     const BufferInfo& info = buffers_[rb.id];
     const std::size_t widx = source_to_writer_.at(info.source_tag);
     dpram::QueueWriter& w =
         widx == 0 ? free_writer_ : extra_free_writers_[widx - 1];
     t = cpu_->pio(t, kPushReads, kPushWrites);
     if (!w.push({info.pa, info.cap, 0, 0, rb.id}).ok) {
-      throw std::logic_error("recycle: free queue overflow");
+      // Double-release (e.g. a handler returning buffers it retained from
+      // before an adaptor reset, after the pool was re-posted wholesale).
+      ++bad_descriptors_;
+      sim::trace_event(trace_, eng_->now(), "drv", "free_overflow", rb.id, 0);
     }
   }
+  return t;
+}
+
+void OsirisDriver::start_watchdog(const WatchdogConfig& cfg) {
+  wd_cfg_ = cfg;
+  wd_tx_hb_ = wd_rx_hb_ = 0;
+  wd_tx_seen_ = wd_rx_seen_ = false;
+  wd_tx_change_ = wd_rx_change_ = eng_->now();
+  wd_txtail_ = 0;
+  wd_txtail_change_ = eng_->now();
+  if (!wd_running_) {
+    wd_running_ = true;
+    eng_->schedule(0, [this] { watchdog_tick(); });
+  }
+}
+
+void OsirisDriver::watchdog_tick() {
+  if (!wd_running_) return;
+  const sim::Tick now = eng_->now();
+  if (now >= wd_cfg_.until) {
+    wd_running_ = false;
+    return;
+  }
+
+  // Four PIO reads over the TURBOchannel: both heartbeat words, the
+  // transmit tail, and the receive head (the poll's empty check).
+  sim::Tick t = cpu_->pio(now, 4, 0);
+  const std::uint32_t txhb =
+      ram_->read(dpram::Side::kHost, dpram::kTxHeartbeatWord);
+  const std::uint32_t rxhb =
+      ram_->read(dpram::Side::kHost, dpram::kRxHeartbeatWord);
+
+  // A heartbeat is only trusted once it has been seen to move: before the
+  // firmware's first beat a frozen zero is indistinguishable from boot.
+  const auto frozen = [&](std::uint32_t cur, std::uint32_t& last,
+                          sim::Tick& change, bool& seen) {
+    if (cur != last) {
+      last = cur;
+      change = now;
+      seen = true;
+      return false;
+    }
+    return seen && now - change > wd_cfg_.deadline;
+  };
+  const bool tx_hb_wedged = frozen(txhb, wd_tx_hb_, wd_tx_change_, wd_tx_seen_);
+  const bool rx_hb_wedged = frozen(rxhb, wd_rx_hb_, wd_rx_change_, wd_rx_seen_);
+
+  // Independent wedge signature: descriptors sitting in the transmit
+  // queue while the tail stops advancing (catches a firmware that still
+  // beats but no longer makes progress, e.g. a corrupted-EOP chain the
+  // priority scan can never complete).
+  const std::uint32_t txtail =
+      ram_->read(dpram::Side::kHost, lay_.tx.tail_word());
+  bool tx_tail_wedged = false;
+  if (txtail != wd_txtail_ || tx_writer_.size() == 0) {
+    wd_txtail_ = txtail;
+    wd_txtail_change_ = now;
+  } else if (now - wd_txtail_change_ > wd_cfg_.deadline) {
+    tx_tail_wedged = true;
+  }
+
+  if (fault::fires(faults_, fault::Point::kIrqSpurious)) {
+    ++spurious_irqs_;
+    sim::trace_event(trace_, now, "drv", "spurious_irq", generation_, 0);
+    on_rx_interrupt(t);
+  }
+
+  if (tx_hb_wedged || rx_hb_wedged || tx_tail_wedged) {
+    sim::trace_event(trace_, now, "drv", "wedge",
+                     (tx_hb_wedged ? 1u : 0u) | (rx_hb_wedged ? 2u : 0u) |
+                         (tx_tail_wedged ? 4u : 0u),
+                     txhb);
+    t = force_reset(t);
+  } else if (!draining_ && !recv_reader_.empty()) {
+    // Descriptors are waiting but no drain thread is running: the
+    // empty->non-empty interrupt was lost. Start the drain by hand.
+    ++watchdog_polls_;
+    sim::trace_event(trace_, now, "drv", "wd_poll", recv_reader_.size(), 0);
+    on_rx_interrupt(t);
+  }
+
+  eng_->schedule(wd_cfg_.period, [this] { watchdog_tick(); });
+}
+
+sim::Tick OsirisDriver::force_reset(sim::Tick at) {
+  ++watchdog_resets_;
+  ++generation_;
+  sim::trace_event(trace_, eng_->now(), "drv", "reset", generation_, 0);
+  if (trace_ != nullptr) {
+    last_postmortem_ = trace_->dump(wd_cfg_.trace_tail);
+    if (postmortem_os_ != nullptr) {
+      *postmortem_os_ << "osiris: adaptor reset (generation " << generation_
+                      << ", " << trace_->dropped_events()
+                      << " trace events dropped); last events:\n"
+                      << last_postmortem_;
+    }
+  }
+
+  // Reset both board halves, then reinitialize every host-side queue
+  // cursor (both ends cache positions in host registers; RAM words and
+  // caches must be cleared together or they disagree after the reset).
+  txp_->reset();
+  if (rxp_ != nullptr) rxp_->reset();
+  tx_writer_.reset();
+  free_writer_.reset();
+  for (auto& w : extra_free_writers_) w.reset();
+  recv_reader_.reset();
+
+  // Every in-flight transmit chain is gone with the board state. Their
+  // descriptors will never retire through the tail word, so credit them
+  // here or tx-completion watermarks would stall forever.
+  tx_descs_retired_ += inflight_tx_.size();
+  for (const auto& bufs : inflight_tx_) wiring_.unwire_buffers(bufs);
+  inflight_tx_.clear();
+  tx_suspended_ = false;
+  draining_ = false;
+  accum_.clear();
+
+  // Upper layers forget retained buffers and partial reassembly before
+  // the pool is re-posted wholesale below.
+  if (reset_hook_) reset_hook_(at);
+
+  sim::Tick t = cpu_->exec(at, Work{mc_->thread_dispatch, 0});
+  for (std::uint32_t id = 0; id < buffers_.size(); ++id) {
+    const BufferInfo& info = buffers_[id];
+    const std::size_t widx = source_to_writer_.at(info.source_tag);
+    dpram::QueueWriter& w =
+        widx == 0 ? free_writer_ : extra_free_writers_[widx - 1];
+    if (w.full()) continue;
+    t = cpu_->pio(t, kPushReads, kPushWrites);
+    w.push({info.pa, info.cap, 0, 0, id});
+  }
+
+  // Replay sends that were parked behind a full transmit queue. (Chains
+  // that were already in the queue are lost — ARQ's problem, not ours.)
+  std::deque<PendingSend> replay = std::move(pending_sends_);
+  pending_sends_.clear();
+  while (!replay.empty() && !tx_suspended_) {
+    PendingSend ps = std::move(replay.front());
+    replay.pop_front();
+    t = push_chain(t, ps.vci, ps.bufs);
+  }
+  for (auto& ps : replay) pending_sends_.push_back(std::move(ps));
+
+  // Fresh deadline for the rebooted firmware's first beat.
+  wd_tx_seen_ = wd_rx_seen_ = false;
+  wd_tx_change_ = wd_rx_change_ = wd_txtail_change_ = eng_->now();
+  wd_txtail_ = 0;
   return t;
 }
 

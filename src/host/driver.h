@@ -26,11 +26,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "board/tx.h"
+#include "fault/fault.h"
 #include "dpram/dpram.h"
 #include "dpram/queue.h"
 #include "host/interrupts.h"
@@ -40,6 +43,10 @@
 #include "mem/wiring.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
+
+namespace osiris::board {
+class RxProcessor;
+}  // namespace osiris::board
 
 namespace osiris::host {
 
@@ -136,6 +143,62 @@ class OsirisDriver {
   void add_free_pool(const dpram::QueueLayout& lay, int source_tag,
                      const std::vector<mem::PhysBuffer>& bufs);
 
+  // ---- Watchdog / adaptor reset --------------------------------------
+  //
+  // The adaptor has no hardware watchdog; the driver polls two heartbeat
+  // words the firmware advances in the dual-port RAM. A frozen heartbeat
+  // — or a non-empty transmit queue whose tail has stopped moving — past
+  // `deadline` means a wedged board half, and the driver performs a full
+  // adaptor reset: both processors and every queue are reinitialized, the
+  // receive buffer pool is re-posted, suspended sends are replayed, and a
+  // generation counter is bumped so completions scheduled before the
+  // reset are discarded when they fire. In-flight PDUs are lost; an upper
+  // layer wanting reliability runs ARQ (proto::ArqEndpoint) on top.
+
+  struct WatchdogConfig {
+    sim::Duration period = 0;    ///< polling interval
+    sim::Duration deadline = 0;  ///< staleness that declares a wedge
+    sim::Tick until = 0;         ///< stop polling past this tick (bounded)
+    std::size_t trace_tail = 32; ///< trace lines kept as the postmortem
+  };
+
+  /// Gives the watchdog reset access to the receive processor (the tx
+  /// processor is already a constructor dependency).
+  void bind_rx(board::RxProcessor* rxp) { rxp_ = rxp; }
+
+  /// Enables fault injection on the host paths (kIrqSpurious).
+  void set_fault_plane(fault::FaultPlane* f) { faults_ = f; }
+
+  /// Hook run during force_reset(), after queues are reinitialized and
+  /// before buffers are re-posted: upper layers must forget retained
+  /// receive buffers (the pool is re-posted wholesale) and discard any
+  /// partial reassembly state.
+  void set_reset_hook(std::function<void(sim::Tick)> h) {
+    reset_hook_ = std::move(h);
+  }
+
+  /// Optional stream for the human-readable reset postmortem (the trace
+  /// tail); also retained in last_postmortem().
+  void set_postmortem_stream(std::ostream* os) { postmortem_os_ = os; }
+
+  void start_watchdog(const WatchdogConfig& cfg);
+  void stop_watchdog() { wd_running_ = false; }
+
+  /// Immediate adaptor reset (what the watchdog fires; callable directly
+  /// by tests). Returns the time the host CPU finished recovery.
+  sim::Tick force_reset(sim::Tick at);
+
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::uint64_t watchdog_resets() const { return watchdog_resets_; }
+  /// Receive bursts recovered by the watchdog poll (lost interrupt).
+  [[nodiscard]] std::uint64_t watchdog_polls() const { return watchdog_polls_; }
+  [[nodiscard]] std::uint64_t spurious_irqs() const { return spurious_irqs_; }
+  /// Descriptors rejected as nonsensical (corrupted id/addr/len).
+  [[nodiscard]] std::uint64_t bad_descriptors() const { return bad_descriptors_; }
+  [[nodiscard]] const std::string& last_postmortem() const {
+    return last_postmortem_;
+  }
+
   /// True while the transmit path is suspended on a full queue (§2.1.2).
   [[nodiscard]] bool tx_suspended() const { return tx_suspended_; }
 
@@ -144,6 +207,25 @@ class OsirisDriver {
   void set_tx_resume(std::function<void(sim::Tick)> cb) {
     tx_resume_ = std::move(cb);
   }
+
+  /// Transmit-completion watermarks (§2.1.2 lazy reclaim): a send's DMA is
+  /// finished once tx_descs_retired() reaches the tx_descs_accepted() value
+  /// observed just after that send returned. Zero-copy senders (e.g. the
+  /// ARQ frame arena) use these to decide when a buffer may be rewritten;
+  /// reusing it earlier races the board's DMA reads. A watchdog reset
+  /// retires everything outstanding (lost chains never complete; replayed
+  /// parked chains are re-accepted), so post-reset reuse can race a replay
+  /// — the end-to-end checksum catches that window.
+  [[nodiscard]] std::uint64_t tx_descs_accepted() const {
+    return tx_descs_accepted_;
+  }
+  [[nodiscard]] std::uint64_t tx_descs_retired() const {
+    return tx_descs_retired_;
+  }
+
+  /// Polls the transmit tail word and retires completed descriptors now
+  /// (otherwise reclaim happens as a side effect of the next send()).
+  sim::Tick reclaim_tx(sim::Tick at) { return reap_tx(at); }
 
   // Statistics.
   [[nodiscard]] std::uint64_t pdus_sent() const { return pdus_sent_; }
@@ -184,6 +266,7 @@ class OsirisDriver {
   void on_rx_interrupt(sim::Tick at);
   void on_tx_half_empty(sim::Tick at);
   void drain_step(sim::Tick at);
+  void watchdog_tick();
   sim::Tick deliver(sim::Tick at, std::uint16_t vci, Accum&& acc);
   sim::Tick recycle(sim::Tick at, const std::vector<RxBuffer>& bufs);
   /// Reclaims completed transmit descriptors (tail watch) and unwires.
@@ -212,10 +295,27 @@ class OsirisDriver {
 
   RxHandler rx_handler_;
   sim::Trace* trace_ = nullptr;
+  board::RxProcessor* rxp_ = nullptr;
+  fault::FaultPlane* faults_ = nullptr;
+  std::function<void(sim::Tick)> reset_hook_;
+  std::ostream* postmortem_os_ = nullptr;
+
+  // Watchdog state.
+  WatchdogConfig wd_cfg_;
+  bool wd_running_ = false;
+  std::uint32_t wd_tx_hb_ = 0, wd_rx_hb_ = 0;
+  sim::Tick wd_tx_change_ = 0, wd_rx_change_ = 0;
+  bool wd_tx_seen_ = false, wd_rx_seen_ = false;
+  std::uint32_t wd_txtail_ = 0;
+  sim::Tick wd_txtail_change_ = 0;
+  std::uint64_t generation_ = 0;
+  std::string last_postmortem_;
   std::vector<BufferInfo> buffers_;          // by id
   std::map<std::uint32_t, Accum> accum_;     // (vci<<16|pdu_tag) -> partial PDU
   std::deque<PendingSend> pending_sends_;
   std::deque<std::vector<mem::PhysBuffer>> inflight_tx_;  // for unwiring
+  std::uint64_t tx_descs_accepted_ = 0;  // monotone; counted at send()
+  std::uint64_t tx_descs_retired_ = 0;   // monotone; tail-watch in reap_tx
   bool draining_ = false;
   bool tx_suspended_ = false;
   std::function<void(sim::Tick)> tx_resume_;
@@ -225,6 +325,10 @@ class OsirisDriver {
   std::uint64_t tx_suspensions_ = 0;
   std::uint64_t stale_partial_ = 0;
   std::uint64_t crc_failures_ = 0;
+  std::uint64_t watchdog_resets_ = 0;
+  std::uint64_t watchdog_polls_ = 0;
+  std::uint64_t spurious_irqs_ = 0;
+  std::uint64_t bad_descriptors_ = 0;
   mem::PageWiring wiring_;
 };
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "board/board.h"
+#include "fault/fault.h"
 #include "host/machine.h"
 #include "sim/engine.h"
 
@@ -33,8 +34,18 @@ class InterruptController {
     handlers_[static_cast<int>(irq)].push_back(std::move(h));
   }
 
+  /// Enables fault injection (not owned): kIrqLost makes a raised
+  /// interrupt vanish before the host ever sees it.
+  void set_fault_plane(fault::FaultPlane* f) { faults_ = f; }
+
   /// Board-side entry point (wired as the boards' IrqSink).
   void raise(board::Irq irq, int channel) {
+    if (fault::fires(faults_, fault::Point::kIrqLost)) {
+      // The interrupt line glitch is silent: no handler runs, no time is
+      // charged. Recovery relies on the driver's watchdog poll.
+      ++lost_;
+      return;
+    }
     ++raised_;
     const sim::Tick done = cpu_->exec(eng_->now(), Work{cfg_->interrupt_service, 0});
     const auto it = handlers_.find(static_cast<int>(irq));
@@ -45,14 +56,17 @@ class InterruptController {
   }
 
   [[nodiscard]] std::uint64_t raised() const { return raised_; }
+  [[nodiscard]] std::uint64_t lost() const { return lost_; }
   void reset_stats() { raised_ = 0; }
 
  private:
   sim::Engine* eng_;
   const MachineConfig* cfg_;
   HostCpu* cpu_;
+  fault::FaultPlane* faults_ = nullptr;
   std::unordered_map<int, std::vector<Handler>> handlers_;
   std::uint64_t raised_ = 0;
+  std::uint64_t lost_ = 0;
 };
 
 }  // namespace osiris::host

@@ -68,8 +68,8 @@ AccessCost DataCache::cpu_write(PhysAddr addr, std::span<const std::uint8_t> src
   return cost;
 }
 
-void DataCache::dma_write(PhysAddr addr, std::span<const std::uint8_t> src) {
-  pm_->write(addr, src);
+bool DataCache::dma_write(PhysAddr addr, std::span<const std::uint8_t> src) {
+  if (!pm_->dma_write(addr, src)) return false;
   // Walk the lines the transfer overlaps.
   const PhysAddr first = addr - (addr % cfg_.line_bytes);
   const PhysAddr end = addr + static_cast<PhysAddr>(src.size());
@@ -82,6 +82,7 @@ void DataCache::dma_write(PhysAddr addr, std::span<const std::uint8_t> src) {
       ++dma_stale_lines_;  // line now holds stale data
     }
   }
+  return true;
 }
 
 std::uint64_t DataCache::invalidate(PhysAddr addr, std::uint32_t len) {

@@ -61,7 +61,9 @@ class DataCache {
 
   /// DMA write into main memory. Under kNonCoherent, matching lines are
   /// left holding the old data (stale); under kUpdate they are refreshed.
-  void dma_write(PhysAddr addr, std::span<const std::uint8_t> src);
+  /// Returns false when the transfer failed (bad address from a corrupted
+  /// descriptor, or an injected DMA error) — no bytes move.
+  bool dma_write(PhysAddr addr, std::span<const std::uint8_t> src);
 
   /// Invalidates all lines overlapping [addr, addr+len). Returns the number
   /// of 32-bit words in the range (cost: ~1 CPU cycle/word, paper §2.3).

@@ -34,6 +34,27 @@ void PhysicalMemory::set_byte(PhysAddr addr, std::uint8_t v) {
   data_[addr] = v;
 }
 
+bool PhysicalMemory::dma_ok(PhysAddr addr, std::size_t len) {
+  if (static_cast<std::size_t>(addr) + len > data_.size() ||
+      fault::fires(faults_, fault::Point::kDmaError)) {
+    ++dma_errors_;
+    return false;
+  }
+  return true;
+}
+
+bool PhysicalMemory::dma_read(PhysAddr addr, std::span<std::uint8_t> dst) {
+  if (!dma_ok(addr, dst.size())) return false;
+  std::copy_n(data_.begin() + addr, dst.size(), dst.begin());
+  return true;
+}
+
+bool PhysicalMemory::dma_write(PhysAddr addr, std::span<const std::uint8_t> src) {
+  if (!dma_ok(addr, src.size())) return false;
+  std::copy(src.begin(), src.end(), data_.begin() + addr);
+  return true;
+}
+
 std::span<const std::uint8_t> PhysicalMemory::view(PhysAddr addr, std::size_t len) const {
   check(addr, len);
   return {data_.data() + addr, len};

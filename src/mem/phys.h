@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault.h"
+
 namespace osiris::mem {
 
 using PhysAddr = std::uint32_t;
@@ -38,14 +40,30 @@ class PhysicalMemory {
   [[nodiscard]] std::uint8_t byte(PhysAddr addr) const;
   void set_byte(PhysAddr addr, std::uint8_t v);
 
+  /// Enables fault injection on the DMA entry points (not owned).
+  void set_fault_plane(fault::FaultPlane* plane) { faults_ = plane; }
+
+  /// DMA-engine entry points. Unlike read()/write(), a transfer that falls
+  /// outside physical memory — e.g. the address came from a corrupted
+  /// descriptor — or an injected fault::Point::kDmaError does not throw:
+  /// the transfer is abandoned, no bytes move, and false is returned (the
+  /// controller's error bit; the firmware presses on regardless).
+  bool dma_read(PhysAddr addr, std::span<std::uint8_t> dst);
+  bool dma_write(PhysAddr addr, std::span<const std::uint8_t> src);
+
+  [[nodiscard]] std::uint64_t dma_errors() const { return dma_errors_; }
+
   /// Direct view for the cache model and DMA engines (bounds-checked).
   [[nodiscard]] std::span<const std::uint8_t> view(PhysAddr addr, std::size_t len) const;
   [[nodiscard]] std::span<std::uint8_t> view_mut(PhysAddr addr, std::size_t len);
 
  private:
   void check(PhysAddr addr, std::size_t len) const;
+  bool dma_ok(PhysAddr addr, std::size_t len);
 
   std::vector<std::uint8_t> data_;
+  fault::FaultPlane* faults_ = nullptr;
+  std::uint64_t dma_errors_ = 0;
 };
 
 }  // namespace osiris::mem

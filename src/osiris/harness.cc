@@ -163,16 +163,21 @@ ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
   // until the driver's half-empty resume fires (§2.1.2).
   const host::MachineConfig& mc = sender.cfg.machine;
   auto pump = std::make_shared<std::function<void(sim::Tick, std::uint64_t)>>();
-  *pump = [&tb, &sender, &s_tx, &mc, &m, vci, n_msgs, pump](sim::Tick t,
-                                                            std::uint64_t i) {
+  // The continuation captures itself only weakly: a strong self-capture
+  // would be a shared_ptr cycle, and the local `pump` already outlives the
+  // run() below.
+  std::weak_ptr<std::function<void(sim::Tick, std::uint64_t)>> wp = pump;
+  *pump = [&tb, &sender, &s_tx, &mc, &m, vci, n_msgs, wp](sim::Tick t,
+                                                          std::uint64_t i) {
     while (i < n_msgs) {
       t = sender.cpu.exec(t, host::Work{mc.app_send, 0});
       t = s_tx.send(t, vci, m);
       ++i;
       if (sender.driver.tx_suspended()) {
         const std::uint64_t next = i;
-        sender.driver.set_tx_resume(
-            [pump, next](sim::Tick rt) { (*pump)(rt, next); });
+        sender.driver.set_tx_resume([wp, next](sim::Tick rt) {
+          if (const auto p = wp.lock()) (*p)(rt, next);
+        });
         return;
       }
     }

@@ -24,6 +24,15 @@ Node::Node(sim::Engine& engine, NodeConfig c)
   txp.set_trace(cfg.trace);
   rxp.set_trace(cfg.trace);
   driver.set_trace(cfg.trace);
+  driver.bind_rx(&rxp);
+  if (cfg.faults != nullptr) {
+    pm.set_fault_plane(cfg.faults);
+    ram.set_fault_plane(cfg.faults);
+    txp.set_fault_plane(cfg.faults);
+    rxp.set_fault_plane(cfg.faults);
+    intc.set_fault_plane(cfg.faults);
+    driver.set_fault_plane(cfg.faults);
+  }
 
   txp.add_queue(0, kernel_layout.tx, /*priority=*/0, nullptr);
   kernel_free_id = rxp.add_free_source(kernel_layout.free, nullptr, 0);
@@ -54,6 +63,17 @@ int Node::open_fbuf_path(fbuf::FbufPool& pool, std::uint16_t vci,
   const int free_id = rxp.add_free_source(lay.free, nullptr, 0);
   rxp.map_vci(vci, free_id, kernel_free_id, kernel_recv_idx);
   return path;
+}
+
+void Node::start_watchdog(sim::Duration period, sim::Duration deadline,
+                          sim::Tick until) {
+  txp.start_heartbeat(period / 2, until);
+  rxp.start_heartbeat(period / 2, until);
+  host::OsirisDriver::WatchdogConfig wd;
+  wd.period = period;
+  wd.deadline = deadline;
+  wd.until = until;
+  driver.start_watchdog(wd);
 }
 
 std::unique_ptr<proto::ProtoStack> Node::make_stack(proto::StackConfig scfg) {

@@ -9,6 +9,7 @@
 #include "board/rx.h"
 #include "board/tx.h"
 #include "dpram/dpram.h"
+#include "fault/fault.h"
 #include "fbuf/fbuf.h"
 #include "host/driver.h"
 #include "host/interrupts.h"
@@ -33,6 +34,10 @@ struct NodeConfig {
   bool interleave_frames = true;
   std::uint64_t seed = 1;
   sim::Trace* trace = nullptr;  // optional event trace (not owned)
+  /// Optional fault-injection plane (not owned): wired into memory DMA,
+  /// the dual-port RAM, both board processors, the interrupt controller,
+  /// and the driver. Null disables every hook.
+  fault::FaultPlane* faults = nullptr;
 };
 
 /// One workstation: memory system, TURBOchannel, dual-port RAM, the two
@@ -62,6 +67,13 @@ class Node {
 
   /// Creates a protocol stack bound to the kernel driver.
   std::unique_ptr<proto::ProtoStack> make_stack(proto::StackConfig cfg);
+
+  /// Robustness plumbing: starts both firmware heartbeats (at period/2,
+  /// so the host sees at least one beat per poll) and the driver watchdog
+  /// that resets the adaptor when a heartbeat freezes longer than
+  /// `deadline`. Bounded by `until` so the event queue always drains.
+  void start_watchdog(sim::Duration period, sim::Duration deadline,
+                      sim::Tick until);
 
   sim::Engine& eng;
   NodeConfig cfg;

@@ -35,6 +35,19 @@ NodeStats snapshot(Node& n) {
   s.dpram_board_accesses = n.ram.board_accesses();
   s.cache_stale_reads = n.cache.stale_reads();
   s.cache_dma_stale_lines = n.cache.dma_stale_lines();
+
+  s.board_stalls = n.txp.stalls() + n.rxp.stalls();
+  s.cells_sar_dropped = n.rxp.cells_sar_dropped();
+  s.dma_errors = n.txp.dma_errors() + n.rxp.dma_errors();
+  s.bad_chains = n.txp.bad_chains();
+  s.bad_descriptors = n.driver.bad_descriptors();
+  s.dpram_stale_reads = n.ram.stale_reads();
+  s.dpram_corrupted_words = n.ram.corrupted_words();
+  s.irqs_lost = n.intc.lost();
+  s.spurious_irqs = n.driver.spurious_irqs();
+  s.watchdog_polls = n.driver.watchdog_polls();
+  s.watchdog_resets = n.driver.watchdog_resets();
+  s.generation = n.driver.generation();
   return s;
 }
 
@@ -65,6 +78,21 @@ std::string format_stats(const NodeStats& s) {
   if (s.cache_dma_stale_lines > 0) {
     os << "  cache: " << s.cache_dma_stale_lines << " lines made stale by DMA, "
        << s.cache_stale_reads << " stale reads observed\n";
+  }
+  if (s.board_stalls + s.cells_sar_dropped + s.dma_errors + s.bad_chains +
+          s.bad_descriptors + s.dpram_stale_reads + s.dpram_corrupted_words +
+          s.irqs_lost + s.spurious_irqs + s.watchdog_polls +
+          s.watchdog_resets >
+      0) {
+    os << "  faults: " << s.board_stalls << " stalls, " << s.cells_sar_dropped
+       << " SAR drops, " << s.dma_errors << " DMA errors, " << s.bad_chains
+       << " bad chains, " << s.bad_descriptors << " bad descriptors, "
+       << s.dpram_corrupted_words << " corrupted words, "
+       << s.dpram_stale_reads << " stale RAM reads, " << s.irqs_lost
+       << " lost irqs, " << s.spurious_irqs << " spurious irqs\n";
+    os << "  recovery: " << s.watchdog_polls << " watchdog polls, "
+       << s.watchdog_resets << " adaptor resets (generation " << s.generation
+       << ")\n";
   }
   return os.str();
 }

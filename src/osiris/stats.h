@@ -44,6 +44,20 @@ struct NodeStats {
   std::uint64_t cache_stale_reads = 0;
   std::uint64_t cache_dma_stale_lines = 0;
 
+  // Faults observed and recovery actions taken.
+  std::uint64_t board_stalls = 0;        // tx + rx firmware wedges
+  std::uint64_t cells_sar_dropped = 0;   // cells lost inside the SAR loop
+  std::uint64_t dma_errors = 0;          // failed transfers (tx + rx)
+  std::uint64_t bad_chains = 0;          // tx chains rejected as corrupt
+  std::uint64_t bad_descriptors = 0;     // rx descriptors rejected as corrupt
+  std::uint64_t dpram_stale_reads = 0;
+  std::uint64_t dpram_corrupted_words = 0;
+  std::uint64_t irqs_lost = 0;
+  std::uint64_t spurious_irqs = 0;
+  std::uint64_t watchdog_polls = 0;      // rx bursts recovered by polling
+  std::uint64_t watchdog_resets = 0;
+  std::uint64_t generation = 0;          // adaptor reset epoch
+
   /// Per-PDU dual-port-RAM access rates (the paper's §2.1 goal 1 metric).
   [[nodiscard]] double host_accesses_per_pdu() const {
     const std::uint64_t pdus = pdus_sent + driver_pdus_received;

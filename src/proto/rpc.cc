@@ -32,6 +32,15 @@ std::vector<mem::PhysBuffer> RpcEndpoint::arena_buffers() const {
 
 void RpcEndpoint::serve(Handler h) { handler_ = std::move(h); }
 
+void RpcEndpoint::use_arq(ArqEndpoint& arq) {
+  arq_ = &arq;
+  arq.attach();  // the ARQ layer owns the stack's sink from here on
+  arq.set_sink([this](sim::Tick at, std::uint16_t vci,
+                      std::vector<std::uint8_t>&& data) {
+    on_data(at, vci, std::move(data));
+  });
+}
+
 sim::Tick RpcEndpoint::send_framed(sim::Tick at, std::uint16_t vci,
                                    std::uint32_t id, bool response,
                                    const std::vector<std::uint8_t>& payload) {
@@ -42,11 +51,12 @@ sim::Tick RpcEndpoint::send_framed(sim::Tick at, std::uint16_t vci,
   framed[3] = static_cast<std::uint8_t>(id);
   framed[4] = response ? 1 : 0;
   std::copy(payload.begin(), payload.end(), framed.begin() + kRpcHeader);
+  if (arq_ != nullptr) return arq_->send(at, vci, std::move(framed));
   if (framed.size() <= kSlotBytes) {
     // Write into the next registered slot and send a view over it.
     const mem::VirtAddr slot = slots_[next_slot_];
     next_slot_ = (next_slot_ + 1) % kSlots;
-    space_->write(slot, framed);
+    stack_->write_through(*space_, slot, framed);
     return stack_->send(
         at, vci,
         Message::view(*space_, slot, static_cast<std::uint32_t>(framed.size())));
@@ -59,22 +69,43 @@ sim::Tick RpcEndpoint::send_framed(sim::Tick at, std::uint16_t vci,
 
 sim::Tick RpcEndpoint::call(sim::Tick at, std::uint16_t vci,
                             std::vector<std::uint8_t> request, Callback cb,
-                            sim::Duration timeout) {
+                            sim::Duration timeout, RpcRetryPolicy retry) {
   const std::uint32_t id = next_id_++;
   const std::uint64_t generation = next_generation_++;
-  pending_[id] = Pending{std::move(cb), generation};
-  ++calls_;
   const sim::Tick done = send_framed(at, vci, id, false, request);
+  Pending p{std::move(cb), generation,    vci,
+            {},            retry.retries, retry.backoff,
+            timeout};
+  if (retry.retries > 0) p.request = std::move(request);
+  pending_[id] = std::move(p);
+  ++calls_;
+  schedule_timeout(id, generation, done + timeout);
+  return done;
+}
 
-  eng_->schedule_at(done + timeout, [this, id, generation] {
+void RpcEndpoint::schedule_timeout(std::uint32_t id, std::uint64_t generation,
+                                   sim::Tick deadline) {
+  eng_->schedule_at(deadline, [this, id, generation] {
     const auto it = pending_.find(id);
     if (it == pending_.end() || it->second.generation != generation) return;
-    Callback cb2 = std::move(it->second.cb);
+    Pending& p = it->second;
+    if (p.retries_left > 0) {
+      // Same id, so a response to ANY attempt — including a late one to
+      // the original — completes the call; later duplicates are stray.
+      --p.retries_left;
+      ++retransmissions_;
+      p.cur_timeout = static_cast<sim::Duration>(
+          static_cast<double>(p.cur_timeout) * p.backoff);
+      const sim::Tick sent =
+          send_framed(eng_->now(), p.vci, id, false, p.request);
+      schedule_timeout(id, generation, sent + p.cur_timeout);
+      return;
+    }
+    Callback cb2 = std::move(p.cb);
     pending_.erase(it);
     ++timeouts_;
     cb2(eng_->now(), std::nullopt);
   });
-  return done;
 }
 
 void RpcEndpoint::on_data(sim::Tick at, std::uint16_t vci,

@@ -66,6 +66,16 @@ ProtoStack::ProtoStack(sim::Engine& eng, const host::MachineConfig& mc,
 void ProtoStack::attach() {
   drv_->set_rx_handler(
       [this](sim::Tick at, host::RxPduView& pdu) { return on_pdu(at, pdu); });
+  drv_->set_reset_hook([this](sim::Tick) { on_driver_reset(); });
+}
+
+void ProtoStack::on_driver_reset() {
+  // The adaptor reset invalidated every receive buffer and the driver
+  // re-posts the whole pool itself, so retained buffers must be
+  // FORGOTTEN, not released — releasing would double-post them. Partial
+  // reassemblies die with their buffers; ARQ (if running) retransmits.
+  reset_drops_ += reasm_.size();
+  reasm_.clear();
 }
 
 void ProtoStack::use_header_arena(mem::AddressSpace& space, std::size_t slots) {
@@ -86,6 +96,16 @@ std::vector<mem::PhysBuffer> ProtoStack::header_buffers() const {
   return out;
 }
 
+void ProtoStack::write_through(mem::AddressSpace& space, mem::VirtAddr va,
+                               std::span<const std::uint8_t> bytes) {
+  std::size_t done = 0;
+  for (const auto& pb :
+       space.scatter(va, static_cast<std::uint32_t>(bytes.size()))) {
+    cache_->cpu_write(pb.addr, bytes.subspan(done, pb.len));
+    done += pb.len;
+  }
+}
+
 void ProtoStack::add_header(Message& m, std::span<const std::uint8_t> bytes) {
   if (hdr_slots_.empty()) {
     m.push_header(bytes);
@@ -93,7 +113,7 @@ void ProtoStack::add_header(Message& m, std::span<const std::uint8_t> bytes) {
   }
   const mem::VirtAddr slot = hdr_slots_[next_hdr_ % hdr_slots_.size()];
   ++next_hdr_;
-  hdr_space_->write(slot, bytes);
+  write_through(*hdr_space_, slot, bytes);
   m.push_view(slot, static_cast<std::uint32_t>(bytes.size()));
 }
 

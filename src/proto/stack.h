@@ -68,12 +68,26 @@ class ProtoStack {
   /// Sends `payload` on `vci`. Returns the time the sending CPU is free.
   sim::Tick send(sim::Tick at, std::uint16_t vci, const Message& payload);
 
+  /// The driver this stack sits on (e.g. for tx-completion watermarks).
+  [[nodiscard]] host::OsirisDriver& driver() { return *drv_; }
+
+  /// Writes `bytes` at `va` as CPU stores — through the data cache — so a
+  /// cached copy of a previous occupant never goes stale. Reused transmit
+  /// slots (header/frame arenas) MUST be filled this way: a raw physical
+  /// write leaves old bytes in the cache, and a later checksum computed
+  /// through the cache then disagrees with what the board DMAs from
+  /// memory.
+  void write_through(mem::AddressSpace& space, mem::VirtAddr va,
+                     std::span<const std::uint8_t> bytes);
+
   // Statistics.
   [[nodiscard]] const sim::Summary& buffers_per_pdu() const { return bufs_per_pdu_; }
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t checksum_failures() const { return cksum_failures_; }
   [[nodiscard]] std::uint64_t stale_recoveries() const { return stale_recoveries_; }
   [[nodiscard]] std::uint64_t reassembly_drops() const { return reassembly_drops_; }
+  /// Partially reassembled messages abandoned by an adaptor reset.
+  [[nodiscard]] std::uint64_t reset_drops() const { return reset_drops_; }
 
  private:
   struct Fragment {
@@ -88,6 +102,7 @@ class ProtoStack {
   };
 
   sim::Tick on_pdu(sim::Tick at, host::RxPduView& pdu);
+  void on_driver_reset();
   sim::Tick deliver_udp(sim::Tick at, std::uint16_t vci, Reassembly&& r);
   sim::Tick checksum_cost(sim::Tick at, const mem::AccessCost& c,
                           std::uint64_t bytes);
@@ -113,6 +128,7 @@ class ProtoStack {
   std::uint64_t cksum_failures_ = 0;
   std::uint64_t stale_recoveries_ = 0;
   std::uint64_t reassembly_drops_ = 0;
+  std::uint64_t reset_drops_ = 0;
 };
 
 }  // namespace osiris::proto

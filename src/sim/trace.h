@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <ostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,6 +51,11 @@ class Trace {
   /// Total events recorded (including overwritten ones).
   [[nodiscard]] std::uint64_t recorded() const { return head_; }
 
+  /// Events the ring has silently overwritten (recorded minus surviving).
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    return head_ > ring_.size() ? head_ - ring_.size() : 0;
+  }
+
   /// Count of surviving events matching a predicate.
   [[nodiscard]] std::size_t count(
       const std::function<bool(const TraceEvent&)>& pred) const {
@@ -60,9 +66,8 @@ class Trace {
     return n;
   }
 
-  /// Multi-line text dump of the surviving tail.
-  [[nodiscard]] std::string dump(std::size_t max_lines = 100) const {
-    std::ostringstream os;
+  /// Streams the surviving tail, one event per line.
+  void dump(std::ostream& os, std::size_t max_lines = 100) const {
     const auto evs = events();
     const std::size_t start = evs.size() > max_lines ? evs.size() - max_lines : 0;
     for (std::size_t i = start; i < evs.size(); ++i) {
@@ -70,6 +75,12 @@ class Trace {
       os << to_us(e.at) << "us " << e.component << "." << e.event << "(" << e.a
          << ", " << e.b << ")\n";
     }
+  }
+
+  /// Multi-line text dump of the surviving tail.
+  [[nodiscard]] std::string dump(std::size_t max_lines = 100) const {
+    std::ostringstream os;
+    dump(os, max_lines);
     return os.str();
   }
 
