@@ -12,9 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "fault/fault.h"
 #include "osiris/node.h"
 #include "proto/arq.h"
@@ -28,7 +30,7 @@ constexpr std::uint32_t kMessages = 1000;
 constexpr std::size_t kBytes = 200;
 constexpr sim::Duration kGap = sim::us(50);
 
-void arq_loss_row(double loss) {
+void arq_loss_row(double loss, benchjson::Writer& json) {
   NodeConfig ca = make_3000_600_config();
   ca.board.reassembly = "seq";  // loss-tolerant reassembly (see §2.6 tests)
   ca.link.cell_loss_p = loss;
@@ -61,14 +63,23 @@ void arq_loss_row(double loss) {
 
   std::uint64_t delivered = 0;
   sim::Tick last = 0;
-  arq_b.set_sink([&](sim::Tick at, std::uint16_t, std::vector<std::uint8_t>&&) {
+  std::vector<double> latencies_us;  // per-message send-to-deliver time
+  arq_b.set_sink([&](sim::Tick at, std::uint16_t,
+                     std::vector<std::uint8_t>&& d) {
+    // The first four payload bytes carry the send index; the send time is
+    // exactly index * kGap, so latency needs no side table.
+    std::uint32_t idx = 0;
+    std::memcpy(&idx, d.data(), sizeof(idx));
+    const sim::Tick sent = static_cast<sim::Tick>(idx) * kGap;
+    latencies_us.push_back(sim::to_us(at - sent));
     ++delivered;
     last = at;
   });
 
-  const std::vector<std::uint8_t> payload(kBytes, 0x5A);
+  std::vector<std::uint8_t> payload(kBytes, 0x5A);
   for (std::uint32_t i = 0; i < kMessages; ++i) {
-    tb.eng.schedule_at(static_cast<sim::Tick>(i) * kGap, [&] {
+    tb.eng.schedule_at(static_cast<sim::Tick>(i) * kGap, [&, i] {
+      std::memcpy(payload.data(), &i, sizeof(i));
       arq_a.send(tb.eng.now(), vci, payload);
     });
   }
@@ -76,10 +87,23 @@ void arq_loss_row(double loss) {
 
   const double goodput =
       last > 0 ? sim::mbps(delivered * kBytes, last) : 0.0;
-  std::printf("  %4.1f%% | %5llu/%u | %6llu | %9.1f | %s\n", loss * 100.0,
-              static_cast<unsigned long long>(delivered), kMessages,
-              static_cast<unsigned long long>(arq_a.retransmissions()),
-              goodput, arq_a.dead(vci) ? "DEAD" : "alive");
+  const double p50 = benchjson::quantile(latencies_us, 0.50);
+  const double p99 = benchjson::quantile(latencies_us, 0.99);
+  std::printf("  %4.1f%% | %5llu/%u | %6llu | %9.1f | %7.1f | %7.1f | %s\n",
+              loss * 100.0, static_cast<unsigned long long>(delivered),
+              kMessages, static_cast<unsigned long long>(arq_a.retransmissions()),
+              goodput, p50, p99, arq_a.dead(vci) ? "DEAD" : "alive");
+
+  json.open_object();
+  json.field("loss", loss);
+  json.field("delivered", delivered);
+  json.field("sent", static_cast<std::uint64_t>(kMessages));
+  json.field("retransmissions", arq_a.retransmissions());
+  json.field("goodput_mbps", goodput);
+  json.field("p50_latency_us", p50);
+  json.field("p99_latency_us", p99);
+  json.field("dead", arq_a.dead(vci));
+  json.close_object();
 }
 
 void arq_loss_table() {
@@ -87,10 +111,22 @@ void arq_loss_table() {
   std::printf("  1000 x %zu B messages, one per %.0f us; window 16, "
               "rto 1 ms, 30 retries\n\n",
               kBytes, sim::to_us(kGap));
-  std::puts("   loss | delivered |    rtx | Mbit/s    | vci");
-  std::puts("  ------+-----------+--------+-----------+------");
-  for (const double loss : {0.0, 0.005, 0.01, 0.02, 0.05}) arq_loss_row(loss);
+  std::puts("   loss | delivered |    rtx | Mbit/s    |  p50 us |  p99 us | vci");
+  std::puts("  ------+-----------+--------+-----------+---------+---------+------");
+  benchjson::Writer json;
+  json.open_object();
+  json.field("bench", std::string("fault"));
+  json.field("messages", static_cast<std::uint64_t>(kMessages));
+  json.field("bytes", static_cast<std::uint64_t>(kBytes));
+  json.field("gap_us", sim::to_us(kGap));
+  json.open_array("rows");
+  for (const double loss : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+    arq_loss_row(loss, json);
+  }
+  json.close_array();
+  json.close_object();
   std::puts("");
+  json.dump("fault");
 }
 
 // Wall-clock cost of the injection hooks themselves.

@@ -11,6 +11,16 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== bench smoke (machine-readable output) =="
+# The robustness benches must run to completion and emit their JSON result
+# files (goodput + latency quantiles per row/tenant) for downstream plots.
+( cd build/bench \
+  && ./bench_fault --benchmark_min_time=0.01s >/dev/null \
+  && ./bench_adc_isolation >/dev/null )
+for f in build/bench/BENCH_fault.json build/bench/BENCH_adc_isolation.json; do
+  [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
+done
+
 echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DOSIRIS_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"

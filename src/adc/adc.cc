@@ -6,7 +6,11 @@ namespace osiris::adc {
 
 Adc::Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
          int priority, proto::StackConfig stack_cfg)
-    : pair_(pair_index), vcis_(std::move(vcis)) {
+    : pair_(pair_index),
+      vcis_(std::move(vcis)),
+      txp_(&d.txp),
+      rxp_(&d.rxp),
+      intc_(&d.intc) {
   if (pair_index < 1 || pair_index >= static_cast<int>(dpram::kPagesPerHalf)) {
     throw std::invalid_argument("Adc: pair index must be 1..15");
   }
@@ -15,6 +19,16 @@ Adc::Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
 
   const dpram::ChannelLayout lay =
       dpram::channel_layout(static_cast<std::uint32_t>(pair_index));
+
+  // A reused pair index inherits whatever head/tail words the previous
+  // tenant left in the dual-port RAM; with them non-zero, fresh endpoint
+  // caches (which start at zero) would disagree with the rings. Open
+  // re-initializes all three rings before either side attaches. Safe even
+  // with the old tenant's completions still in flight: those check the
+  // detached flag at fire time and never touch the rings.
+  dpram::QueueWriter(d.ram, lay.tx, dpram::Side::kHost).reset();
+  dpram::QueueWriter(d.ram, lay.free, dpram::Side::kHost).reset();
+  dpram::QueueWriter(d.ram, lay.recv, dpram::Side::kBoard).reset();
 
   // The ADC channel driver: identical code to the kernel driver, with a
   // page-sized buffer pool (applications cannot allocate physically
@@ -42,36 +56,114 @@ Adc::Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
     return allowed(addr, len);
   };
 
-  d.txp.add_queue(pair_index, lay.tx, priority, auth);
+  d.txp.add_queue(pair_index, lay.tx, priority, auth, vcis_);
   const int free_id = d.rxp.add_free_source(lay.free, auth, pair_index);
   const int recv_idx = d.rxp.add_recv_channel(lay.recv, pair_index);
   for (const std::uint16_t vci : vcis_) {
     d.rxp.map_vci(vci, free_id, -1, recv_idx);
   }
 
-  d.intc.add_handler(board::Irq::kAccessViolation,
-                     [this](sim::Tick done, int ch) {
-                       if (ch != pair_) return;
-                       ++violations_;
-                       if (violation_handler_) violation_handler_(done);
-                     });
+  irq_token_ = d.intc.add_handler(board::Irq::kAccessViolation,
+                                  [this](sim::Tick done, int ch) {
+                                    if (ch != pair_) return;
+                                    ++violations_;
+                                    if (violation_handler_) violation_handler_(done);
+                                  });
+}
+
+Adc::~Adc() { close(); }
+
+void Adc::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Order matters: stop the board consuming/producing on the channel's
+  // dpram pages and addresses first, then unhook the host-side handlers,
+  // then release memory — the firmware must never DMA into freed frames.
+  txp_->remove_queue(pair_);
+  for (const std::uint16_t vci : vcis_) rxp_->unmap_vci(vci);
+  rxp_->remove_channel(pair_);
+  if (irq_token_ >= 0) {
+    intc_->remove_handler(irq_token_);
+    irq_token_ = -1;
+  }
+  // Releases the pool frames, unwires in-flight transmit pages, and makes
+  // scheduled driver events inert. The address space frees its own frames
+  // (header arena, application buffers) when the Adc is destroyed.
+  driver_->detach();
+}
+
+void Adc::set_fault_plane(fault::FaultPlane* f) {
+  tenant_faults_ = f;
+  driver_->set_tenant_fault_plane(f);
+}
+
+sim::Tick Adc::send(sim::Tick at, std::uint16_t vci, const proto::Message& m) {
+  if (dead_ || closed_) return at;
+  if (fault::fires(tenant_faults_, fault::Point::kAdcGarbageDescriptor)) {
+    // The application forges a descriptor on its mapped transmit page
+    // instead of going through the stack. Each flavour violates a
+    // different firmware check.
+    dpram::Descriptor g;
+    g.vci = vci;
+    g.flags = dpram::kDescEop;
+    switch (tenant_faults_->roll(4)) {
+      case 0:  // zero length
+        g.addr = 0x1000;
+        g.len = 0;
+        break;
+      case 1:  // absurd length (and wrapping range)
+        g.addr = 0xFFFFF000u;
+        g.len = 0x00100000u;
+        break;
+      case 2:  // VCI the channel doesn't own
+        g.addr = 0x1000;
+        g.len = 64;
+        g.vci = static_cast<std::uint16_t>(vci + 0x55);
+        break;
+      default:  // page outside the authorized list (beyond physical memory)
+        g.addr = 0xFFFF0000u;
+        g.len = 64;
+        break;
+    }
+    return driver_->post_raw(at, g);
+  }
+  if (fault::fires(tenant_faults_, fault::Point::kAdcAppDeath)) {
+    // The process dies between pushing a descriptor and pushing the EOP:
+    // a truncated chain sits in the queue forever (the firmware never
+    // schedules an EOP-less chain), and nothing more comes from this
+    // tenant until the OS reaps it with close().
+    dpram::Descriptor part;
+    part.addr = 0x1000;
+    part.len = 64;
+    part.vci = vci;
+    part.flags = 0;  // no EOP — the chain never completes
+    const sim::Tick t = driver_->post_raw(at, part);
+    dead_ = true;
+    return t;
+  }
+  return stack_->send(at, vci, m);
 }
 
 void Adc::authorize(const std::vector<mem::PhysBuffer>& bufs) {
   for (const auto& b : bufs) {
     if (b.len == 0) continue;
-    for (std::uint32_t p = mem::page_of(b.addr);
-         p <= mem::page_of(b.addr + b.len - 1); ++p) {
-      auth_frames_.insert(p);
+    // 64-bit end math: a buffer ending at the top of the 32-bit physical
+    // space must not wrap `addr + len - 1` back to page 0.
+    const std::uint64_t last = static_cast<std::uint64_t>(b.addr) + b.len - 1;
+    for (std::uint64_t p = mem::page_of(b.addr); p <= (last >> mem::kPageShift);
+         ++p) {
+      auth_frames_.insert(static_cast<std::uint32_t>(p));
     }
   }
 }
 
 bool Adc::allowed(std::uint32_t addr, std::uint32_t len) const {
   if (len == 0) return true;
-  for (std::uint32_t p = mem::page_of(addr); p <= mem::page_of(addr + len - 1);
+  const std::uint64_t last = static_cast<std::uint64_t>(addr) + len - 1;
+  if (last > 0xFFFFFFFFull) return false;  // range leaves the physical space
+  for (std::uint64_t p = mem::page_of(addr); p <= (last >> mem::kPageShift);
        ++p) {
-    if (!auth_frames_.contains(p)) return false;
+    if (!auth_frames_.contains(static_cast<std::uint32_t>(p))) return false;
   }
   return true;
 }

@@ -18,6 +18,15 @@
 // service); the handler then signals the ADC channel-driver thread
 // directly — which is why ADC user-to-user latency matches kernel-to-
 // kernel latency within error margins (§4).
+//
+// Because the application owns the mapped queue pages outright, nothing
+// stops it from writing garbage descriptors, poisoning the free list it
+// recycles, or dying mid-send. close() (and the destructor) tears the
+// channel down crash-safely: board queues detached, VCIs unmapped, the
+// interrupt handler unregistered, and every frame/page the channel wired
+// or allocated returned — scheduled completions for the dead channel are
+// discarded when they fire. See AdcSupervisor for the kernel's runtime
+// policing of live-but-misbehaving channels.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +37,7 @@
 
 #include "board/rx.h"
 #include "board/tx.h"
+#include "fault/fault.h"
 #include "host/driver.h"
 #include "host/interrupts.h"
 #include "host/machine.h"
@@ -53,15 +63,32 @@ class Adc {
 
   /// Opens channel pair `pair_index` (1..15) with the given VCIs and
   /// transmit priority. Registers the queues with both board processors,
-  /// guarded by this ADC's page-authorization predicate.
+  /// guarded by this ADC's page-authorization predicate; the board also
+  /// enforces the VCI list on transmit.
   Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
       int priority, proto::StackConfig stack_cfg);
+
+  /// Closes the channel if close() hasn't run yet.
+  ~Adc();
+
+  Adc(const Adc&) = delete;
+  Adc& operator=(const Adc&) = delete;
+
+  /// Tears the channel down (idempotent): detaches the transmit queue,
+  /// unmaps the VCIs, detaches the receive channel, unregisters the
+  /// kernel's access-violation handler for this pair, and releases the
+  /// channel driver's pool frames. Completions and violations already in
+  /// flight for this channel are discarded when they fire. After close()
+  /// the pair index and VCIs may be reused by a fresh Adc.
+  void close();
+  [[nodiscard]] bool closed() const { return closed_; }
 
   /// The application's protection domain.
   [[nodiscard]] mem::AddressSpace& space() { return *space_; }
   [[nodiscard]] proto::ProtoStack& stack() { return *stack_; }
   [[nodiscard]] host::OsirisDriver& driver() { return *driver_; }
   [[nodiscard]] const std::vector<std::uint16_t>& vcis() const { return vcis_; }
+  [[nodiscard]] int pair() const { return pair_; }
 
   /// Grants DMA permission for the pages backing `bufs` (the OS does this
   /// when the application registers its buffers).
@@ -69,12 +96,23 @@ class Adc {
 
   [[nodiscard]] bool allowed(std::uint32_t addr, std::uint32_t len) const;
 
-  /// Sends directly from user space: no syscall, no domain crossing.
-  sim::Tick send(sim::Tick at, std::uint16_t vci, const proto::Message& m) {
-    return stack_->send(at, vci, m);
-  }
+  /// Sends directly from user space: no syscall, no domain crossing. With
+  /// a tenant fault plane armed, this is also where the application's
+  /// misbehaviour surfaces: kAdcGarbageDescriptor posts a forged
+  /// descriptor instead of the message; kAdcAppDeath posts a truncated
+  /// chain (no EOP) and kills the application — subsequent sends no-op.
+  sim::Tick send(sim::Tick at, std::uint16_t vci, const proto::Message& m);
 
   void set_sink(proto::ProtoStack::Sink s) { stack_->set_sink(std::move(s)); }
+
+  /// Arms tenant-misbehaviour injection (a per-tenant plane, distinct from
+  /// the node-level hardware plane): consulted in send() and in the
+  /// channel driver's recycle path.
+  void set_fault_plane(fault::FaultPlane* f);
+
+  /// True once kAdcAppDeath fired: the process is gone; its channel state
+  /// survives until the OS notices and calls close().
+  [[nodiscard]] bool dead() const { return dead_; }
 
   /// Called when the board reports this channel DMAing outside its pages;
   /// models the OS raising an exception in the process.
@@ -92,6 +130,14 @@ class Adc {
   std::unique_ptr<proto::ProtoStack> stack_;
   std::function<void(sim::Tick)> violation_handler_;
   std::uint64_t violations_ = 0;
+
+  board::TxProcessor* txp_;
+  board::RxProcessor* rxp_;
+  host::InterruptController* intc_;
+  int irq_token_ = -1;
+  bool closed_ = false;
+  bool dead_ = false;
+  fault::FaultPlane* tenant_faults_ = nullptr;
 };
 
 }  // namespace osiris::adc

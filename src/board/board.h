@@ -79,8 +79,46 @@ struct BoardConfig {
 enum class Irq {
   kRxNonEmpty,       // a receive queue went empty -> non-empty
   kTxHalfEmpty,      // a previously-full transmit queue drained to half
-  kAccessViolation,  // an ADC queued a buffer outside its authorized pages
+  kAccessViolation,  // an ADC posted a descriptor the firmware rejected
 };
+
+/// Why the firmware rejected an ADC-posted descriptor. Every rejection
+/// raises Irq::kAccessViolation toward the offending application; the
+/// typed reason additionally reaches the kernel's ViolationSink so the
+/// AdcSupervisor can budget and quarantine per channel (§3.2: the board
+/// polices descriptors so one application "cannot affect other
+/// applications or the kernel").
+enum class Violation {
+  kUnauthorizedPage,  // addr/len outside the channel's authorized pages
+  kZeroLength,        // zero-length buffer (would wedge the SAR cursor)
+  kOversizedLength,   // length beyond any buffer the OS would register
+  kBadVci,            // PDU posted on a VCI the channel does not own
+  kFreeListPoison,    // malformed free-queue entry (addr+len wraps, etc.)
+  kBadChain,          // descriptor chain implies an impossible PDU
+  kCount,
+};
+
+constexpr const char* violation_name(Violation v) {
+  switch (v) {
+    case Violation::kUnauthorizedPage: return "unauthorized_page";
+    case Violation::kZeroLength: return "zero_length";
+    case Violation::kOversizedLength: return "oversized_length";
+    case Violation::kBadVci: return "bad_vci";
+    case Violation::kFreeListPoison: return "free_list_poison";
+    case Violation::kBadChain: return "bad_chain";
+    case Violation::kCount: break;
+  }
+  return "?";
+}
+
+/// Largest descriptor length the firmware accepts from an ADC. The OS only
+/// registers page-granular pools for applications (Adc's channel driver
+/// uses page-sized buffers; the kernel's 16 KB buffers are the biggest
+/// anywhere), so anything above this is a corrupted or hostile word.
+constexpr std::uint32_t kMaxAdcDescriptorBytes = 64 * 1024;
+
+/// Kernel-side sink for typed descriptor violations: (reason, channel).
+using ViolationSink = std::function<void(Violation, int)>;
 
 /// Callback into the host interrupt controller: (irq, channel index).
 using IrqSink = std::function<void(Irq, int)>;

@@ -21,18 +21,85 @@ int RxProcessor::add_free_source(const dpram::QueueLayout& lay, PageAuth auth,
                                  int channel_id) {
   free_sources_.push_back(FreeSource{
       dpram::QueueReader(*ram_, lay, dpram::Side::kBoard), std::move(auth),
-      channel_id});
+      channel_id, false, 0});
   return static_cast<int>(free_sources_.size()) - 1;
 }
 
 int RxProcessor::add_recv_channel(const dpram::QueueLayout& lay, int channel_id) {
   recv_channels_.push_back(RecvChannel{
-      dpram::QueueWriter(*ram_, lay, dpram::Side::kBoard), channel_id, 0});
+      dpram::QueueWriter(*ram_, lay, dpram::Side::kBoard), channel_id, 0,
+      false});
   return static_cast<int>(recv_channels_.size()) - 1;
+}
+
+void RxProcessor::remove_channel(int channel_id) {
+  for (auto& fs : free_sources_) {
+    if (fs.channel_id == channel_id) fs.detached = true;
+  }
+  for (std::size_t i = 0; i < recv_channels_.size(); ++i) {
+    RecvChannel& ch = recv_channels_[i];
+    if (ch.channel_id != channel_id || ch.detached) continue;
+    ch.detached = true;
+    // Discard reassembly state headed for the dead channel; its buffers
+    // belong to an address space being torn down, not to the free pool.
+    if (pending_.valid) {
+      const auto it = pdus_.find(pending_.key);
+      if (it != pdus_.end() &&
+          it->second.recv_idx == static_cast<int>(i)) {
+        pending_.valid = false;
+      }
+    }
+    for (auto it = pdus_.begin(); it != pdus_.end();) {
+      if (it->second.recv_idx == static_cast<int>(i)) {
+        key_vci_.erase(it->first);
+        it = pdus_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    sim::trace_event(trace_, eng_->now(), "rx", "channel_detach",
+                     static_cast<std::uint64_t>(channel_id), i);
+  }
+}
+
+bool RxProcessor::channel_attached(int channel_id) const {
+  for (const RecvChannel& ch : recv_channels_) {
+    if (ch.channel_id == channel_id && !ch.detached) return true;
+  }
+  return false;
+}
+
+std::uint64_t RxProcessor::channel_buffers(int channel_id) const {
+  std::uint64_t n = 0;
+  for (const FreeSource& fs : free_sources_) {
+    if (fs.channel_id == channel_id) n += fs.buffers_consumed;
+  }
+  return n;
+}
+
+void RxProcessor::quarantine_vci(std::uint16_t vci) {
+  quarantined_.insert(vci);
+  routers_.erase(vci);
+  if (pending_.valid &&
+      static_cast<std::uint16_t>(pending_.key >> 48) == vci) {
+    pending_.valid = false;
+  }
+  for (auto it = pdus_.begin(); it != pdus_.end();) {
+    if (static_cast<std::uint16_t>(it->first >> 48) == vci) {
+      key_vci_.erase(it->first);
+      it = pdus_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sim::trace_event(trace_, eng_->now(), "rx", "vci_quarantine", vci, 0);
 }
 
 void RxProcessor::map_vci(std::uint16_t vci, int free_id, int fallback_free_id,
                           int recv_idx) {
+  // A fresh kernel-established mapping lifts any quarantine left from a
+  // previous owner of the VCI.
+  quarantined_.erase(vci);
   vci_map_[vci] = VciMap{free_id, fallback_free_id, recv_idx};
 }
 
@@ -139,6 +206,12 @@ void RxProcessor::on_cell(int lane, const atm::Cell& c) {
 }
 
 void RxProcessor::accept_cell(int lane, const atm::Cell& c) {
+  // Quarantined VCI (§3.2 hardening): the supervisor cut this tenant off;
+  // its traffic is dropped with attribution, before any buffer is spent.
+  if (quarantined_.contains(c.vci)) {
+    ++quarantine_drops_;
+    return;
+  }
   // Unmapped VCI: no reassembly state, no host buffers — drop.
   if (!vci_map_.contains(c.vci)) {
     ++cells_bad_header_;
@@ -182,15 +255,36 @@ bool RxProcessor::ensure_capacity(RxPdu& p, std::uint64_t need) {
     std::optional<dpram::Descriptor> d;
     while (src >= 0) {
       FreeSource& fs = free_sources_[static_cast<std::size_t>(src)];
+      if (fs.detached) {
+        src = (src == p.free_id && p.fallback != p.free_id) ? p.fallback : -1;
+        continue;
+      }
       d = fs.reader.pop();
       if (d) {
-        // ADC authorization (§3.2): an unauthorized buffer is skipped and
-        // the OS is interrupted to raise an exception in the application.
-        if (fs.auth && !fs.auth(d->addr, d->len)) {
-          ++auth_violations_;
-          if (irq_) irq_(Irq::kAccessViolation, fs.channel_id);
-          d.reset();
-          continue;  // try the next descriptor from the same source
+        ++fs.buffers_consumed;
+        // Free-list validation (§3.2): an application recycles buffers by
+        // writing descriptors the firmware will later trust for DMA, so a
+        // poisoned entry (zero/absurd length, wrapping range) or one
+        // pointing outside the channel's authorized pages is rejected here
+        // — skipped, counted, and escalated — never used as a DMA target.
+        if (fs.auth) {
+          Violation why = Violation::kCount;
+          if (d->len == 0 || d->len > kMaxAdcDescriptorBytes ||
+              static_cast<std::uint64_t>(d->addr) + d->len > (1ull << 32)) {
+            why = Violation::kFreeListPoison;
+          } else if (!fs.auth(d->addr, d->len)) {
+            why = Violation::kUnauthorizedPage;
+          }
+          if (why != Violation::kCount) {
+            ++auth_violations_;
+            ++violation_counts_[static_cast<std::size_t>(why)];
+            sim::trace_event(trace_, eng_->now(), "rx", violation_name(why),
+                             static_cast<std::uint64_t>(fs.channel_id), d->addr);
+            if (irq_) irq_(Irq::kAccessViolation, fs.channel_id);
+            if (violation_sink_) violation_sink_(why, fs.channel_id);
+            d.reset();
+            continue;  // try the next descriptor from the same source
+          }
         }
         break;
       }
@@ -389,6 +483,12 @@ void RxProcessor::push_buffer(RxPdu& p, std::uint32_t idx, bool eop,
     // pre-reset buffer descriptor into the fresh receive queue.
     if (ep != epoch_) return;
     RecvChannel& c = recv_channels_[static_cast<std::size_t>(recv_idx)];
+    if (c.detached) {
+      // The tenant died between DMA and completion: its dpram page may be
+      // someone else's now. Account the drop; nothing is delivered.
+      ++dead_channel_drops_;
+      return;
+    }
     const bool was_empty = c.writer.size() == 0;
     const auto res = c.writer.push(d);
     if (!res.ok) {

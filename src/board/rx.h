@@ -17,6 +17,7 @@
 // overload behaviour §3.1 wants for low-priority traffic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -24,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "atm/cell.h"
@@ -53,6 +55,9 @@ class RxProcessor {
               mem::DataCache& cache, dpram::DualPortRam& ram);
 
   void set_irq_sink(IrqSink sink) { irq_ = std::move(sink); }
+
+  /// Kernel-side sink for typed free-list violations (see board.h).
+  void set_violation_sink(ViolationSink s) { violation_sink_ = std::move(s); }
 
   /// Attaches an event trace (optional; null disables).
   void set_trace(sim::Trace* t) { trace_ = t; }
@@ -86,6 +91,27 @@ class RxProcessor {
   /// Registers a receive queue; returns its index. `channel_id` identifies
   /// it in interrupts.
   int add_recv_channel(const dpram::QueueLayout& lay, int channel_id);
+
+  /// Detaches every free source and receive channel registered for
+  /// `channel_id` and discards reassembly state routed at them. Buffer
+  /// pushes already scheduled for a detached channel are dropped when they
+  /// fire (counted in dead_channel_drops) — a dead tenant's dpram pages
+  /// may already belong to a reopened channel. Indices stay stable so
+  /// in-flight lambdas remain valid.
+  void remove_channel(int channel_id);
+
+  /// True when `channel_id` still has an attached receive channel.
+  [[nodiscard]] bool channel_attached(int channel_id) const;
+
+  /// Free-list buffers consumed on behalf of `channel_id` (its receive
+  /// traffic's appetite). Feeds the AdcSupervisor's consumption budget.
+  [[nodiscard]] std::uint64_t channel_buffers(int channel_id) const;
+
+  /// Quarantines `vci`: arriving cells are dropped and counted instead of
+  /// consuming buffers; existing reassembly state for the VCI is
+  /// discarded. Unlike unmap_vci the drop is attributed (see
+  /// quarantine_drops) so the supervisor can report it.
+  void quarantine_vci(std::uint16_t vci);
 
   /// Early demultiplexing table: incoming PDUs on `vci` take buffers from
   /// `free_id` (falling back to `fallback_free_id` when exhausted; pass -1
@@ -121,6 +147,15 @@ class RxProcessor {
   [[nodiscard]] std::uint64_t pdus_dropped_nobuf() const { return pdus_dropped_nobuf_; }
   [[nodiscard]] std::uint64_t pdus_dropped_recvfull() const { return pdus_dropped_recvfull_; }
   [[nodiscard]] std::uint64_t auth_violations() const { return auth_violations_; }
+  /// Free-list rejections / drops by typed reason (see board.h).
+  [[nodiscard]] std::uint64_t violations(Violation v) const {
+    return violation_counts_[static_cast<std::size_t>(v)];
+  }
+  /// Cells dropped because their VCI is quarantined.
+  [[nodiscard]] std::uint64_t quarantine_drops() const { return quarantine_drops_; }
+  /// Buffer pushes discarded because their channel was detached between
+  /// scheduling and firing (tenant death mid-completion).
+  [[nodiscard]] std::uint64_t dead_channel_drops() const { return dead_channel_drops_; }
   [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
   [[nodiscard]] std::uint64_t cells_stalled() const { return cells_stalled_; }
   [[nodiscard]] std::uint64_t cells_sar_dropped() const { return cells_sar_dropped_; }
@@ -147,11 +182,14 @@ class RxProcessor {
     dpram::QueueReader reader;
     PageAuth auth;
     int channel_id;
+    bool detached = false;
+    std::uint64_t buffers_consumed = 0;
   };
   struct RecvChannel {
     dpram::QueueWriter writer;
     int channel_id;
     sim::Tick push_horizon = 0;
+    bool detached = false;
   };
   struct VciMap {
     int free_id;
@@ -217,6 +255,9 @@ class RxProcessor {
   dpram::DualPortRam* ram_;
   sim::Resource i960_;
   IrqSink irq_;
+  ViolationSink violation_sink_;
+  std::array<std::uint64_t, static_cast<std::size_t>(Violation::kCount)>
+      violation_counts_{};
   sim::Trace* trace_ = nullptr;
   fault::FaultPlane* faults_ = nullptr;
 
@@ -231,6 +272,7 @@ class RxProcessor {
 
   std::vector<FreeSource> free_sources_;
   std::vector<RecvChannel> recv_channels_;
+  std::unordered_set<std::uint16_t> quarantined_;
   std::unordered_map<std::uint16_t, VciMap> vci_map_;
   std::unordered_map<std::uint16_t, std::unique_ptr<atm::CellRouter>> routers_;
   std::unordered_map<std::uint64_t, RxPdu> pdus_;
@@ -258,6 +300,8 @@ class RxProcessor {
   std::uint64_t pdus_dropped_nobuf_ = 0;
   std::uint64_t pdus_dropped_recvfull_ = 0;
   std::uint64_t auth_violations_ = 0;
+  std::uint64_t quarantine_drops_ = 0;
+  std::uint64_t dead_channel_drops_ = 0;
   std::uint64_t stalls_ = 0;
   std::uint64_t cells_stalled_ = 0;
   std::uint64_t cells_sar_dropped_ = 0;

@@ -21,6 +21,7 @@ constexpr std::size_t kTxFifoCells = 32;
 // hardware bus arbitration would interleave them.
 struct TxProcessor::Job {
   std::size_t queue_idx = 0;
+  std::uint64_t serial = 0;  // guards stale step events after an abandon
   std::vector<dpram::Descriptor> chain;
   std::vector<std::uint32_t> tails;      // tail value to publish per buffer
   std::vector<sim::Tick> buf_done;       // when each buffer finished DMA
@@ -55,10 +56,47 @@ TxProcessor::TxProcessor(sim::Engine& eng, const BoardConfig& cfg,
 TxProcessor::~TxProcessor() = default;
 
 void TxProcessor::add_queue(int channel, const dpram::QueueLayout& lay,
-                            int priority, PageAuth auth) {
+                            int priority, PageAuth auth,
+                            std::vector<std::uint16_t> owned_vcis) {
   queues_.push_back(TxQueue{channel,
                             dpram::QueueReader(*ram_, lay, dpram::Side::kBoard),
-                            priority, std::move(auth), 0});
+                            priority, std::move(auth), std::move(owned_vcis),
+                            0, false, 0});
+}
+
+void TxProcessor::remove_queue(int channel) {
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    TxQueue& q = queues_[i];
+    if (q.channel != channel || q.detached) continue;
+    q.detached = true;
+    if (job_ != nullptr && job_->queue_idx == i) {
+      // Abandon the in-progress PDU mid-transfer: its remaining cells are
+      // never generated and its tail publishes are discarded (the dead
+      // tenant's completion signals must not touch a recycled dpram page).
+      job_.reset();
+      const std::uint64_t ep = epoch_;
+      eng_->schedule(0, [this, ep] {
+        if (ep == epoch_) service();
+      });
+    }
+    sim::trace_event(trace_, eng_->now(), "tx", "queue_detach",
+                     static_cast<std::uint64_t>(channel), i);
+  }
+}
+
+bool TxProcessor::queue_attached(int channel) const {
+  for (const TxQueue& q : queues_) {
+    if (q.channel == channel && !q.detached) return true;
+  }
+  return false;
+}
+
+std::uint64_t TxProcessor::channel_bytes(int channel) const {
+  std::uint64_t n = 0;
+  for (const TxQueue& q : queues_) {
+    if (q.channel == channel) n += q.bytes_consumed;
+  }
+  return n;
 }
 
 void TxProcessor::stall() {
@@ -118,6 +156,7 @@ int TxProcessor::pick_queue() {
   for (std::size_t off = 0; off < queues_.size(); ++off) {
     const std::size_t i = (rr_next_ + off) % queues_.size();
     TxQueue& q = queues_[i];
+    if (q.detached) continue;
     // A queue is ready when it holds a complete PDU chain (EOP present).
     bool ready = false;
     for (std::uint32_t k = 0;; ++k) {
@@ -151,6 +190,23 @@ void TxProcessor::check_half_empty(TxQueue& q, sim::Tick /*at*/) {
   }
 }
 
+void TxProcessor::reject_chain(TxQueue& q, std::size_t chain_len,
+                               Violation why, std::uint64_t detail,
+                               sim::Tick fw_t) {
+  const std::uint32_t tail = q.reader.consume(static_cast<std::uint32_t>(chain_len));
+  q.reader.publish(tail);
+  ++auth_violations_;
+  ++violation_counts_[static_cast<std::size_t>(why)];
+  sim::trace_event(trace_, eng_->now(), "tx", violation_name(why),
+                   static_cast<std::uint64_t>(q.channel), detail);
+  if (irq_) irq_(Irq::kAccessViolation, q.channel);
+  if (violation_sink_) violation_sink_(why, q.channel);
+  const std::uint64_t ep = epoch_;
+  eng_->schedule_at(fw_t, [this, ep] {
+    if (ep == epoch_) service();
+  });
+}
+
 bool TxProcessor::start_pdu() {
   const int qi = pick_queue();
   if (qi < 0) return false;
@@ -176,22 +232,38 @@ bool TxProcessor::start_pdu() {
   const sim::Tick fw_t = i960_.reserve(
       cfg_.fw_tx_per_descriptor * static_cast<sim::Duration>(job->chain.size()));
 
-  // ADC page authorization (§3.2): a bad buffer aborts the PDU and raises
-  // an access-violation interrupt for the OS to turn into an exception.
+  // Consumption accounting happens before validation so a flooder's
+  // rejected garbage still counts against its budget (claimed lengths
+  // clamped — a forged 4 GB word should not distort the ledger).
+  for (const auto& d : job->chain) {
+    q.bytes_consumed += std::min(d.len, kMaxAdcDescriptorBytes);
+  }
+
+  // ADC descriptor validation (§3.2): the firmware polices everything an
+  // untrusted application can put in a descriptor before any shared state
+  // is touched. A bad buffer aborts the whole PDU and raises a typed
+  // access-violation for the OS to turn into an exception.
   if (q.auth) {
     for (const auto& d : job->chain) {
+      if (d.len == 0) {
+        reject_chain(q, job->chain.size(), Violation::kZeroLength, d.addr, fw_t);
+        return true;
+      }
+      if (d.len > kMaxAdcDescriptorBytes ||
+          static_cast<std::uint64_t>(d.addr) + d.len > (1ull << 32)) {
+        reject_chain(q, job->chain.size(), Violation::kOversizedLength, d.len,
+                     fw_t);
+        return true;
+      }
+      if (!q.owned_vcis.empty() &&
+          std::find(q.owned_vcis.begin(), q.owned_vcis.end(), d.vci) ==
+              q.owned_vcis.end()) {
+        reject_chain(q, job->chain.size(), Violation::kBadVci, d.vci, fw_t);
+        return true;
+      }
       if (!q.auth(d.addr, d.len)) {
-        const std::uint32_t tail =
-            q.reader.consume(static_cast<std::uint32_t>(job->chain.size()));
-        q.reader.publish(tail);
-        ++auth_violations_;
-        sim::trace_event(trace_, eng_->now(), "tx", "auth_violation",
-                         static_cast<std::uint64_t>(q.channel), d.addr);
-        if (irq_) irq_(Irq::kAccessViolation, q.channel);
-        const std::uint64_t ep = epoch_;
-        eng_->schedule_at(fw_t, [this, ep] {
-          if (ep == epoch_) service();
-        });
+        reject_chain(q, job->chain.size(), Violation::kUnauthorizedPage,
+                     d.addr, fw_t);
         return true;
       }
     }
@@ -217,8 +289,10 @@ bool TxProcessor::start_pdu() {
         q.reader.consume(static_cast<std::uint32_t>(job->chain.size()));
     q.reader.publish(tail);
     ++bad_chains_;
+    ++violation_counts_[static_cast<std::size_t>(Violation::kBadChain)];
     sim::trace_event(trace_, eng_->now(), "tx", "bad_chain",
                      static_cast<std::uint64_t>(q.channel), job->ncells);
+    if (violation_sink_) violation_sink_(Violation::kBadChain, q.channel);
     const std::uint64_t ep = epoch_;
     eng_->schedule_at(fw_t, [this, ep] {
       if (ep == epoch_) service();
@@ -227,6 +301,7 @@ bool TxProcessor::start_pdu() {
   }
   job->vci = job->chain[0].vci;
   job->pdu_id = q.next_pdu_id++;
+  job->serial = ++next_job_serial_;
 
   // Consume the chain now (so later peeks see fresh entries); the tail
   // word — the host's completion signal — is published per buffer as its
@@ -241,13 +316,14 @@ bool TxProcessor::start_pdu() {
                    job->ncells);
   job_ = std::move(job);
   const std::uint64_t ep = epoch_;
+  const std::uint64_t js = job_->serial;
   if (cfg_.fixed_length_dma_tx) {
-    eng_->schedule_at(fw_t, [this, ep] {
-      if (ep == epoch_) step_job_fixed();
+    eng_->schedule_at(fw_t, [this, ep, js] {
+      if (ep == epoch_ && job_ != nullptr && job_->serial == js) step_job_fixed();
     });
   } else {
-    eng_->schedule_at(fw_t, [this, ep] {
-      if (ep == epoch_) step_job();
+    eng_->schedule_at(fw_t, [this, ep, js] {
+      if (ep == epoch_ && job_ != nullptr && job_->serial == js) step_job();
     });
   }
   return true;
@@ -367,8 +443,9 @@ void TxProcessor::step_job() {
     sim::Tick next = std::max(fw_t, ready > lookahead ? ready - lookahead : 0);
     next = std::max(next, eng_->now());
     const std::uint64_t ep = epoch_;
-    eng_->schedule_at(next, [this, ep] {
-      if (ep == epoch_) step_job();
+    const std::uint64_t js = j.serial;
+    eng_->schedule_at(next, [this, ep, js] {
+      if (ep == epoch_ && job_ != nullptr && job_->serial == js) step_job();
     });
     return;
   }
@@ -388,8 +465,10 @@ void TxProcessor::finish_job(sim::Tick last_dep) {
     const std::uint32_t tail_val = j.tails[i];
     const std::uint64_t ep = epoch_;
     eng_->schedule_at(at, [this, qidx, tail_val, ep] {
-      // A pre-reset publish would clobber the re-initialized tail word.
-      if (ep != epoch_) return;
+      // A pre-reset publish would clobber the re-initialized tail word; a
+      // publish for a since-detached queue would scribble on a dpram page
+      // that a reopened channel may have re-registered.
+      if (ep != epoch_ || queues_[qidx].detached) return;
       queues_[qidx].reader.publish(tail_val);
       check_half_empty(queues_[qidx], eng_->now());
     });
@@ -480,8 +559,9 @@ void TxProcessor::step_job_fixed() {
     sim::Tick next = std::max(fw_t, ready > lookahead ? ready - lookahead : 0);
     next = std::max(next, eng_->now());
     const std::uint64_t ep = epoch_;
-    eng_->schedule_at(next, [this, ep] {
-      if (ep == epoch_) step_job_fixed();
+    const std::uint64_t js = j.serial;
+    eng_->schedule_at(next, [this, ep, js] {
+      if (ep == epoch_ && job_ != nullptr && job_->serial == js) step_job_fixed();
     });
     return;
   }

@@ -42,11 +42,37 @@ class TxProcessor {
   ~TxProcessor();
 
   /// Registers a transmit queue. Higher `priority` wins; ties are served
-  /// round-robin. `auth` may be empty (kernel queue).
+  /// round-robin. `auth` may be empty (kernel queue). A non-empty
+  /// `owned_vcis` makes the firmware reject PDUs posted on any other VCI
+  /// (§3.2: the OS assigns an ADC its VCIs; the board enforces them).
   void add_queue(int channel, const dpram::QueueLayout& lay, int priority,
-                 PageAuth auth = nullptr);
+                 PageAuth auth = nullptr,
+                 std::vector<std::uint16_t> owned_vcis = {});
+
+  /// Detaches every queue registered for `channel`: the firmware stops
+  /// scanning it, an in-progress PDU from it is abandoned, and completion
+  /// publishes already scheduled for it are discarded when they fire (the
+  /// dpram page may be re-registered by a reopened channel). Used by both
+  /// quarantine and channel teardown.
+  void remove_queue(int channel);
+
+  /// True when `channel` has at least one attached (non-detached) queue.
+  [[nodiscard]] bool queue_attached(int channel) const;
+
+  /// Payload bytes of PDUs consumed from `channel`'s queues (accepted or
+  /// rejected — a flooder's garbage counts against it too). Feeds the
+  /// AdcSupervisor's per-tenant consumption budget.
+  [[nodiscard]] std::uint64_t channel_bytes(int channel) const;
 
   void set_irq_sink(IrqSink sink) { irq_ = std::move(sink); }
+
+  /// Kernel-side sink for typed descriptor violations (see board.h).
+  void set_violation_sink(ViolationSink s) { violation_sink_ = std::move(s); }
+
+  /// Rejections by reason, summed over all channels.
+  [[nodiscard]] std::uint64_t violations(Violation v) const {
+    return violation_counts_[static_cast<std::size_t>(v)];
+  }
 
   /// Attaches an event trace (optional; null disables).
   void set_trace(sim::Trace* t) { trace_ = t; }
@@ -97,7 +123,10 @@ class TxProcessor {
     dpram::QueueReader reader;
     int priority;
     PageAuth auth;
+    std::vector<std::uint16_t> owned_vcis;  // empty = any (kernel queue)
     std::uint16_t next_pdu_id = 0;
+    bool detached = false;
+    std::uint64_t bytes_consumed = 0;
   };
 
   struct Job;
@@ -106,6 +135,11 @@ class TxProcessor {
   /// Begins transmitting one PDU from the best queue. Returns false if no
   /// queue had a complete PDU chain; otherwise schedules step_job().
   bool start_pdu();
+  /// Consumes `q`'s current chain without transmitting, raising the typed
+  /// violation toward the kernel and the access-violation interrupt toward
+  /// the application; reschedules service() at `fw_t`.
+  void reject_chain(TxQueue& q, std::size_t chain_len, Violation why,
+                    std::uint64_t detail, sim::Tick fw_t);
   /// Advances the in-progress PDU by one DMA group (one or two cells).
   void step_job();
   /// Fixed-length-DMA variant: one full-cell transfer from one address.
@@ -123,6 +157,9 @@ class TxProcessor {
   link::StripedLink* link_;
   sim::Resource i960_;
   IrqSink irq_;
+  ViolationSink violation_sink_;
+  std::array<std::uint64_t, static_cast<std::size_t>(Violation::kCount)>
+      violation_counts_{};
   sim::Trace* trace_ = nullptr;
   fault::FaultPlane* faults_ = nullptr;
   std::vector<TxQueue> queues_;
@@ -130,6 +167,7 @@ class TxProcessor {
   bool active_ = false;
   bool stalled_ = false;
   std::uint64_t epoch_ = 0;
+  std::uint64_t next_job_serial_ = 0;
   std::unique_ptr<Job> job_;
 
   // Heartbeat state (see start_heartbeat()).

@@ -14,6 +14,10 @@ const char* point_name(Point p) {
     case Point::kDpramStale: return "dpram_stale";
     case Point::kIrqLost: return "irq_lost";
     case Point::kIrqSpurious: return "irq_spurious";
+    case Point::kAdcGarbageDescriptor: return "adc_garbage_descriptor";
+    case Point::kAdcFreeListPoison: return "adc_free_list_poison";
+    case Point::kAdcAppDeath: return "adc_app_death";
+    case Point::kAdcRefillStall: return "adc_refill_stall";
     case Point::kCount: break;
   }
   return "?";

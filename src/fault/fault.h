@@ -34,6 +34,13 @@ enum class Point : int {
   kDpramStale,        // a dual-port-RAM read returns the word's old value
   kIrqLost,           // an asserted interrupt never reaches the host
   kIrqSpurious,       // the host observes an interrupt with no cause
+  // Adversary / crash tenant behaviours (§3.2 hardening). These model a
+  // misbehaving *application* on a kernel-bypass channel, not hardware:
+  // arm them on a per-tenant FaultPlane handed to that tenant's Adc.
+  kAdcGarbageDescriptor,  // app posts a forged transmit descriptor
+  kAdcFreeListPoison,     // app corrupts a free-queue entry it recycles
+  kAdcAppDeath,           // app dies mid-send (partial chain, no EOP)
+  kAdcRefillStall,        // app stops returning receive buffers
   kCount,
 };
 

@@ -78,6 +78,8 @@ OsirisDriver::OsirisDriver(sim::Engine& eng, const MachineConfig& mc,
       free_writer_(ram, lay.free, dpram::Side::kHost),
       recv_reader_(ram, lay.recv, dpram::Side::kHost) {}
 
+OsirisDriver::~OsirisDriver() { *alive_ = false; }
+
 void OsirisDriver::attach(int adc_channel) {
   // Allocate the receive buffer pool: physically contiguous buffers when
   // the allocator can provide them (the driver's 16 KB buffers, §2.3),
@@ -89,27 +91,57 @@ void OsirisDriver::attach(int adc_channel) {
     if (free_writer_.full()) break;
     if (auto base = frames_->alloc_contiguous(pages)) {
       const auto id = static_cast<std::uint32_t>(buffers_.size());
-      buffers_.push_back(BufferInfo{*base, cfg_.rx_buffer_bytes, 0});
+      buffers_.push_back(BufferInfo{*base, cfg_.rx_buffer_bytes, 0, true});
       free_writer_.push({*base, cfg_.rx_buffer_bytes, 0, 0, id});
     } else {
       for (std::uint32_t p = 0; p < pages && !free_writer_.full(); ++p) {
         const mem::PhysAddr pa = frames_->alloc();
         const auto id = static_cast<std::uint32_t>(buffers_.size());
-        buffers_.push_back(BufferInfo{pa, mem::kPageSize, 0});
+        buffers_.push_back(BufferInfo{pa, mem::kPageSize, 0, true});
         free_writer_.push({pa, mem::kPageSize, 0, 0, id});
       }
     }
   }
   source_to_writer_[0] = 0;  // default pool recycles to free_writer_
 
-  intc_->add_handler(board::Irq::kRxNonEmpty,
-                     [this, adc_channel](sim::Tick done, int ch) {
-                       if (ch == adc_channel) on_rx_interrupt(done);
-                     });
-  intc_->add_handler(board::Irq::kTxHalfEmpty,
-                     [this, adc_channel](sim::Tick done, int ch) {
-                       if (ch == adc_channel) on_tx_half_empty(done);
-                     });
+  rx_irq_token_ = intc_->add_handler(
+      board::Irq::kRxNonEmpty, [this, adc_channel](sim::Tick done, int ch) {
+        if (ch == adc_channel) on_rx_interrupt(done);
+      });
+  tx_irq_token_ = intc_->add_handler(
+      board::Irq::kTxHalfEmpty, [this, adc_channel](sim::Tick done, int ch) {
+        if (ch == adc_channel) on_tx_half_empty(done);
+      });
+}
+
+void OsirisDriver::detach() {
+  if (detached_) return;
+  detached_ = true;
+  wd_running_ = false;
+  // Unhook first: an interrupt already raised but not yet serviced resolves
+  // its handlers at service time, so removal also swallows those.
+  if (rx_irq_token_ >= 0) intc_->remove_handler(rx_irq_token_);
+  if (tx_irq_token_ >= 0) intc_->remove_handler(tx_irq_token_);
+  rx_irq_token_ = tx_irq_token_ = -1;
+  // Kill in-flight drain steps and stale completions.
+  ++generation_;
+  draining_ = false;
+  tx_suspended_ = false;
+  pending_sends_.clear();
+  for (const auto& bufs : inflight_tx_) wiring_.unwire_buffers(bufs);
+  inflight_tx_.clear();
+  accum_.clear();
+  // Return the pool frames attach() allocated. Board-side queues must be
+  // detached by now, so no DMA can target them.
+  for (const BufferInfo& b : buffers_) {
+    if (!b.owned) continue;
+    const std::uint32_t pages = (b.cap + mem::kPageSize - 1) / mem::kPageSize;
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      frames_->free(b.pa + p * mem::kPageSize);
+    }
+  }
+  buffers_.clear();
+  sim::trace_event(trace_, eng_->now(), "drv", "detach", generation_, 0);
 }
 
 void OsirisDriver::add_free_pool(const dpram::QueueLayout& lay, int source_tag,
@@ -186,7 +218,25 @@ sim::Tick OsirisDriver::push_chain(sim::Tick at, std::uint16_t vci,
   }
   // Doorbell.
   t = cpu_->pio(t, 0, 1);
-  eng_->schedule_at(t, [this] { txp_->kick(); });
+  eng_->schedule_at(t, [this, alive = alive_] {
+    if (*alive) txp_->kick();
+  });
+  return t;
+}
+
+sim::Tick OsirisDriver::post_raw(sim::Tick at, const dpram::Descriptor& d) {
+  sim::Tick t = cpu_->pio(at, 1, 0);  // tail read (the app's full check)
+  if (tx_writer_.full()) return t;
+  tx_writer_.push(d);
+  t = cpu_->pio(t, kPushReads, kPushWrites);
+  // Keep the completion ledger aligned with the queue: the board consumes
+  // the descriptor whether it accepts or rejects it, advancing the tail.
+  inflight_tx_.push_back({});
+  ++tx_descs_accepted_;
+  t = cpu_->pio(t, 0, 1);  // doorbell
+  eng_->schedule_at(t, [this, alive = alive_] {
+    if (*alive) txp_->kick();
+  });
   return t;
 }
 
@@ -244,8 +294,8 @@ void OsirisDriver::on_rx_interrupt(sim::Tick at) {
   draining_ = true;
   const sim::Tick t = cpu_->exec(at, Work{mc_->thread_dispatch, 0});
   const std::uint64_t gen = generation_;
-  eng_->schedule_at(t, [this, gen] {
-    if (gen == generation_) drain_step(eng_->now());
+  eng_->schedule_at(t, [this, gen, alive = alive_] {
+    if (*alive && gen == generation_) drain_step(eng_->now());
   });
 }
 
@@ -273,8 +323,8 @@ void OsirisDriver::drain_step(sim::Tick at) {
       // The id is plausible: return the buffer it names to its pool.
       t = recycle(t, {RxBuffer{buffers_[d->user].pa, 0, d->user}});
     }
-    eng_->schedule_at(t, [this, gen0] {
-      if (gen0 == generation_) drain_step(eng_->now());
+    eng_->schedule_at(t, [this, gen0, alive = alive_] {
+      if (*alive && gen0 == generation_) drain_step(eng_->now());
     });
     return;
   }
@@ -294,8 +344,8 @@ void OsirisDriver::drain_step(sim::Tick at) {
       accum_.erase(ait);
     }
     t = recycle(t, give);
-    eng_->schedule_at(t, [this, gen0] {
-      if (gen0 == generation_) drain_step(eng_->now());
+    eng_->schedule_at(t, [this, gen0, alive = alive_] {
+      if (*alive && gen0 == generation_) drain_step(eng_->now());
     });
     return;
   }
@@ -317,8 +367,8 @@ void OsirisDriver::drain_step(sim::Tick at) {
     accum_.erase(oldest);
   }
 
-  eng_->schedule_at(t, [this, gen0] {
-    if (gen0 == generation_) drain_step(eng_->now());
+  eng_->schedule_at(t, [this, gen0, alive = alive_] {
+    if (*alive && gen0 == generation_) drain_step(eng_->now());
   });
 }
 
@@ -369,11 +419,32 @@ sim::Tick OsirisDriver::recycle(sim::Tick at, const std::vector<RxBuffer>& bufs)
       continue;
     }
     const BufferInfo& info = buffers_[rb.id];
+    if (fault::fires(tenant_faults_, fault::Point::kAdcRefillStall)) {
+      // The application stops returning receive buffers: this one simply
+      // never goes back to the free queue. Sustained, the channel starves
+      // itself (drops accounted on the board as drop_nobuf) — and only
+      // itself.
+      sim::trace_event(trace_, eng_->now(), "drv", "refill_stall", rb.id, 0);
+      continue;
+    }
+    dpram::Descriptor d{info.pa, info.cap, 0, 0, rb.id};
+    if (fault::fires(tenant_faults_, fault::Point::kAdcFreeListPoison)) {
+      // The application scribbles on the free-queue entry it recycles:
+      // either an impossible length or a bit-flipped address. The board's
+      // free-list validation must catch it before any DMA is aimed at it.
+      if (tenant_faults_->roll(2) == 0) {
+        d.len = 0;
+      } else {
+        d.addr = tenant_faults_->corrupt_word(d.addr) | 0x80000000u;
+      }
+      sim::trace_event(trace_, eng_->now(), "drv", "free_poison", rb.id,
+                       d.addr);
+    }
     const std::size_t widx = source_to_writer_.at(info.source_tag);
     dpram::QueueWriter& w =
         widx == 0 ? free_writer_ : extra_free_writers_[widx - 1];
     t = cpu_->pio(t, kPushReads, kPushWrites);
-    if (!w.push({info.pa, info.cap, 0, 0, rb.id}).ok) {
+    if (!w.push(d).ok) {
       // Double-release (e.g. a handler returning buffers it retained from
       // before an adaptor reset, after the pool was re-posted wholesale).
       ++bad_descriptors_;
@@ -392,7 +463,9 @@ void OsirisDriver::start_watchdog(const WatchdogConfig& cfg) {
   wd_txtail_change_ = eng_->now();
   if (!wd_running_) {
     wd_running_ = true;
-    eng_->schedule(0, [this] { watchdog_tick(); });
+    eng_->schedule(0, [this, alive = alive_] {
+      if (*alive) watchdog_tick();
+    });
   }
 }
 
@@ -461,7 +534,9 @@ void OsirisDriver::watchdog_tick() {
     on_rx_interrupt(t);
   }
 
-  eng_->schedule(wd_cfg_.period, [this] { watchdog_tick(); });
+  eng_->schedule(wd_cfg_.period, [this, alive = alive_] {
+    if (*alive) watchdog_tick();
+  });
 }
 
 sim::Tick OsirisDriver::force_reset(sim::Tick at) {

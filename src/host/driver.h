@@ -28,6 +28,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -100,9 +101,25 @@ class OsirisDriver {
                board::TxProcessor& txp, const dpram::ChannelLayout& lay,
                Config cfg);
 
+  /// Flips the alive token so scheduled events that outlive the driver
+  /// (kicks, drain steps, watchdog ticks) become no-ops when they fire.
+  ~OsirisDriver();
+
+  OsirisDriver(const OsirisDriver&) = delete;
+  OsirisDriver& operator=(const OsirisDriver&) = delete;
+
   /// Allocates and queues the receive buffer pool, and hooks interrupts.
   /// `free_source_id` is the board-side id of the default free queue.
   void attach(int adc_channel = 0);
+
+  /// Crash-safe teardown (idempotent): unhooks the interrupt handlers,
+  /// stops the watchdog, abandons in-flight drains and sends, unwires
+  /// outstanding transmit pages, and frees the frames attach() allocated.
+  /// The board-side queues MUST already be detached (TxProcessor::
+  /// remove_queue / RxProcessor::remove_channel) — the firmware may not
+  /// DMA into frames returned to the allocator.
+  void detach();
+  [[nodiscard]] bool detached() const { return detached_; }
 
   void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
 
@@ -168,6 +185,18 @@ class OsirisDriver {
 
   /// Enables fault injection on the host paths (kIrqSpurious).
   void set_fault_plane(fault::FaultPlane* f) { faults_ = f; }
+
+  /// Arms tenant-misbehaviour injection (kAdcFreeListPoison,
+  /// kAdcRefillStall) on this channel driver's recycle path — a separate,
+  /// per-tenant plane so one adversarial application doesn't perturb the
+  /// node-level hardware fault schedule.
+  void set_tenant_fault_plane(fault::FaultPlane* f) { tenant_faults_ = f; }
+
+  /// Posts one raw transmit descriptor, bypassing send()'s scatter/wire
+  /// path — exactly what a buggy or malicious application can do with its
+  /// mapped queue page (§3.2). The descriptor's contents are NOT checked;
+  /// the board firmware is the policeman. Returns host-CPU completion.
+  sim::Tick post_raw(sim::Tick at, const dpram::Descriptor& d);
 
   /// Hook run during force_reset(), after queues are reinitialized and
   /// before buffers are re-posted: upper layers must forget retained
@@ -252,7 +281,8 @@ class OsirisDriver {
   struct BufferInfo {
     std::uint32_t pa = 0;
     std::uint32_t cap = 0;
-    int source_tag = 0;  // which free queue it returns to
+    int source_tag = 0;   // which free queue it returns to
+    bool owned = false;   // frames allocated by attach(); detach() frees
   };
   struct PendingSend {
     std::uint16_t vci;
@@ -297,6 +327,13 @@ class OsirisDriver {
   sim::Trace* trace_ = nullptr;
   board::RxProcessor* rxp_ = nullptr;
   fault::FaultPlane* faults_ = nullptr;
+  fault::FaultPlane* tenant_faults_ = nullptr;
+  // Scheduled lambdas capture this token by value and bail once the driver
+  // is destroyed — generation checks alone can't help after free.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  int rx_irq_token_ = -1;
+  int tx_irq_token_ = -1;
+  bool detached_ = false;
   std::function<void(sim::Tick)> reset_hook_;
   std::ostream* postmortem_os_ = nullptr;
 

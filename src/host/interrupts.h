@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "board/board.h"
 #include "fault/fault.h"
@@ -29,9 +30,22 @@ class InterruptController {
       : eng_(&eng), cfg_(&cfg), cpu_(&cpu) {}
 
   /// Registers a handler; several may coexist (e.g. one per ADC), each
-  /// filtering on the channel argument.
-  void add_handler(board::Irq irq, Handler h) {
-    handlers_[static_cast<int>(irq)].push_back(std::move(h));
+  /// filtering on the channel argument. Returns a token for
+  /// remove_handler() — a closing ADC MUST unregister, or a violation
+  /// delivered after teardown would run a handler over freed state.
+  int add_handler(board::Irq irq, Handler h) {
+    const int token = next_token_++;
+    handlers_[static_cast<int>(irq)].push_back({token, std::move(h)});
+    return token;
+  }
+
+  /// Unregisters a handler. Interrupts already raised but not yet serviced
+  /// resolve their handler list at service time, so removal also drops
+  /// those in-flight deliveries.
+  void remove_handler(int token) {
+    for (auto& [irq, hs] : handlers_) {
+      std::erase_if(hs, [token](const Entry& e) { return e.token == token; });
+    }
   }
 
   /// Enables fault injection (not owned): kIrqLost makes a raised
@@ -48,11 +62,28 @@ class InterruptController {
     }
     ++raised_;
     const sim::Tick done = cpu_->exec(eng_->now(), Work{cfg_->interrupt_service, 0});
-    const auto it = handlers_.find(static_cast<int>(irq));
-    if (it == handlers_.end()) return;
-    for (const Handler& h : it->second) {
-      eng_->schedule_at(done, [h, done, channel] { h(done, channel); });
-    }
+    // Handlers are looked up when the service routine completes, not
+    // captured now: a handler unregistered in between (channel teardown)
+    // must not run against freed state.
+    eng_->schedule_at(done, [this, irq, done, channel] {
+      const auto it = handlers_.find(static_cast<int>(irq));
+      if (it == handlers_.end()) return;
+      std::vector<int> tokens;
+      tokens.reserve(it->second.size());
+      for (const Entry& e : it->second) tokens.push_back(e.token);
+      for (const int tok : tokens) {
+        // Re-resolve per token: a handler may unregister others (e.g. the
+        // supervisor quarantining a channel from inside its own handler).
+        const auto jt = handlers_.find(static_cast<int>(irq));
+        if (jt == handlers_.end()) return;
+        for (const Entry& e : jt->second) {
+          if (e.token == tok) {
+            e.handler(done, channel);
+            break;
+          }
+        }
+      }
+    });
   }
 
   [[nodiscard]] std::uint64_t raised() const { return raised_; }
@@ -60,11 +91,17 @@ class InterruptController {
   void reset_stats() { raised_ = 0; }
 
  private:
+  struct Entry {
+    int token;
+    Handler handler;
+  };
+
   sim::Engine* eng_;
   const MachineConfig* cfg_;
   HostCpu* cpu_;
   fault::FaultPlane* faults_ = nullptr;
-  std::unordered_map<int, std::vector<Handler>> handlers_;
+  std::unordered_map<int, std::vector<Entry>> handlers_;
+  int next_token_ = 0;
   std::uint64_t raised_ = 0;
   std::uint64_t lost_ = 0;
 };
