@@ -2,8 +2,12 @@
 // memory system lets DMA and CPU proceed concurrently and the cache is
 // DMA-coherent, so double-cell DMA approaches the full 516 Mbps link
 // payload bandwidth; UDP checksumming costs ~15% (paper: 438 Mbps).
+//
+// Emits BENCH_fig3_receive_3000.json: the per-size rows plus the standard
+// perf-trajectory fields (wall_seconds, engine_events, events_per_sec).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "osiris/harness.h"
 #include "osiris/node.h"
 
@@ -11,7 +15,12 @@ namespace {
 
 using namespace osiris;
 
-double run(std::uint32_t msg_bytes, bool double_dma, bool cksum) {
+struct RunOut {
+  double mbps = 0;
+  std::uint64_t events = 0;  // engine events dispatched by this run
+};
+
+RunOut run(std::uint32_t msg_bytes, bool double_dma, bool cksum) {
   NodeConfig c = make_3000_600_config();
   c.board.double_cell_dma_rx = double_dma;
   sim::Engine eng;
@@ -20,21 +29,50 @@ double run(std::uint32_t msg_bytes, bool double_dma, bool cksum) {
   sc.udp_checksum = cksum;
   auto stack = n.make_stack(sc);
   const std::uint64_t msgs = msg_bytes >= 65536 ? 24 : (msg_bytes >= 8192 ? 48 : 96);
-  return harness::receive_throughput(n, *stack, 701, msg_bytes, msgs, sc).mbps;
+  const double mbps =
+      harness::receive_throughput(n, *stack, 701, msg_bytes, msgs, sc).mbps;
+  return RunOut{mbps, eng.dispatched()};
 }
 
 }  // namespace
 
 int main() {
+  const benchjson::WallTimer wall;
+  std::uint64_t events = 0;
+
   std::puts("Figure 3: DEC 3000/600 UDP/IP/OSIRIS receive-side throughput (Mbps)");
   std::puts("");
   std::puts("Msg size   double DMA   double+UDP-CS   single DMA   single+UDP-CS");
+
+  benchjson::Writer w;
+  w.open_object();
+  w.open_array("rows");
   for (std::uint32_t kb = 1; kb <= 256; kb *= 2) {
     const std::uint32_t bytes = kb * 1024;
+    const RunOut d = run(bytes, true, false);
+    const RunOut dc = run(bytes, true, true);
+    const RunOut s = run(bytes, false, false);
+    const RunOut scs = run(bytes, false, true);
+    events += d.events + dc.events + s.events + scs.events;
     std::printf("%4u KB      %6.1f        %6.1f        %6.1f        %6.1f\n", kb,
-                run(bytes, true, false), run(bytes, true, true),
-                run(bytes, false, false), run(bytes, false, true));
+                d.mbps, dc.mbps, s.mbps, scs.mbps);
+    w.open_object();
+    w.field("msg_kb", static_cast<std::uint64_t>(kb));
+    w.field("double_dma_mbps", d.mbps);
+    w.field("double_dma_cksum_mbps", dc.mbps);
+    w.field("single_dma_mbps", s.mbps);
+    w.field("single_dma_cksum_mbps", scs.mbps);
+    w.close_object();
   }
+  w.close_array();
+
+  const double secs = wall.seconds();
+  w.field("wall_seconds", secs);
+  w.field("engine_events", events);
+  w.field("events_per_sec", static_cast<double>(events) / secs);
+  w.close_object();
+  w.dump("fig3_receive_3000");
+
   std::puts("");
   std::puts("Paper: double-cell approaches the 516 Mbps link payload bandwidth");
   std::puts("for 16 KB+ messages; with checksumming it drops to ~438 Mbps (the");

@@ -5,11 +5,26 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 namespace benchjson {
+
+/// Wall-clock stopwatch for the standard perf-trajectory fields.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Exact quantile of `v` (copied, sorted), q in [0, 1]. 0 when empty.
 inline double quantile(std::vector<double> v, double q) {

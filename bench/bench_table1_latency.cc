@@ -2,8 +2,13 @@
 // programs over back-to-back OSIRIS boards, for the raw ATM and UDP/IP
 // configurations on both machines. IP MTU 16 KB, UDP checksumming off —
 // the paper's setup.
+//
+// Emits BENCH_table1_latency.json: one row per machine/protocol pair plus
+// the standard perf-trajectory fields (wall_seconds, engine_events,
+// events_per_sec).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "osiris/harness.h"
 #include "osiris/node.h"
 
@@ -11,7 +16,12 @@ namespace {
 
 using namespace osiris;
 
-double rtt(bool alpha, bool udp, std::uint32_t bytes) {
+struct RunOut {
+  double rtt_us = 0;
+  std::uint64_t events = 0;  // engine events dispatched by this run
+};
+
+RunOut rtt(bool alpha, bool udp, std::uint32_t bytes) {
   Testbed tb(alpha ? make_3000_600_config() : make_5000_200_config(),
              alpha ? make_3000_600_config() : make_5000_200_config());
   const std::uint16_t vci = tb.open_kernel_path();
@@ -19,12 +29,16 @@ double rtt(bool alpha, bool udp, std::uint32_t bytes) {
   sc.mode = udp ? proto::StackMode::kUdpIp : proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);
   auto sb = tb.b.make_stack(sc);
-  return harness::ping_pong(tb, *sa, *sb, vci, bytes, 12).rtt_us_mean;
+  const double us = harness::ping_pong(tb, *sa, *sb, vci, bytes, 12).rtt_us_mean;
+  return RunOut{us, tb.eng.dispatched()};
 }
 
 }  // namespace
 
 int main() {
+  const benchjson::WallTimer wall;
+  std::uint64_t events = 0;
+
   std::puts("Table 1: Round-Trip Latencies (us)  [paper value in brackets]");
   std::puts("");
   std::puts("Machine        Protocol    1 B          1024 B       2048 B       4096 B");
@@ -43,14 +57,35 @@ int main() {
       {"3000/600", true, "UDP/IP", true, {316, 376, 446, 619}},
   };
   const std::uint32_t sizes[] = {1, 1024, 2048, 4096};
+  static const char* const size_keys[] = {"rtt_us_1b", "rtt_us_1024b",
+                                          "rtt_us_2048b", "rtt_us_4096b"};
 
+  benchjson::Writer w;
+  w.open_object();
+  w.open_array("rows");
   for (const Row& r : rows) {
     std::printf("%-14s %-8s", r.machine, r.proto);
+    w.open_object();
+    w.field("machine", std::string(r.machine));
+    w.field("proto", std::string(r.udp ? "udp_ip" : "raw_atm"));
     for (int i = 0; i < 4; ++i) {
-      std::printf("  %5.0f [%4d]", rtt(r.alpha, r.udp, sizes[i]), r.paper[i]);
+      const RunOut out = rtt(r.alpha, r.udp, sizes[i]);
+      events += out.events;
+      std::printf("  %5.0f [%4d]", out.rtt_us, r.paper[i]);
+      w.field(size_keys[i], out.rtt_us);
     }
+    w.close_object();
     std::printf("\n");
   }
+  w.close_array();
+
+  const double secs = wall.seconds();
+  w.field("wall_seconds", secs);
+  w.field("engine_events", events);
+  w.field("events_per_sec", static_cast<double>(events) / secs);
+  w.close_object();
+  w.dump("table1_latency");
+
   std::puts("");
   std::puts("Note: fixed (small-message) latencies match the paper closely;");
   std::puts("the per-byte slope is set by the simulated per-cell pipeline");

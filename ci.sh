@@ -21,6 +21,30 @@ for f in build/bench/BENCH_fault.json build/bench/BENCH_adc_isolation.json; do
   [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
 done
 
+echo "== engine perf smoke =="
+# bench_engine self-checks dispatch-order determinism (nonzero exit on
+# mismatch); on top of that, compare its events/sec against the checked-in
+# floor so a scheduler regression fails CI. The floor is deliberately
+# conservative (about a third of a typical dev-box run); the 30% haircut
+# below absorbs machine-to-machine noise on top of that.
+( cd build/bench && ./bench_engine )
+if [ -n "${OSIRIS_SANITIZE:-}" ]; then
+  # Sanitized binaries are legitimately slower; the determinism self-check
+  # above still ran, only the throughput floor is skipped.
+  echo "OSIRIS_SANITIZE set: skipping engine events/sec floor check"
+else
+  EPS="$(sed -n 's/.*"events_per_sec":\([0-9.eE+]*\).*/\1/p' build/bench/BENCH_engine.json)"
+  FLOOR="$(cat bench/engine_events_per_sec.floor)"
+  awk -v eps="$EPS" -v floor="$FLOOR" 'BEGIN {
+    if (eps + 0 <= 0 || floor + 0 <= 0) { print "bad eps/floor"; exit 1 }
+    if (eps < floor * 0.7) {
+      printf "engine perf regression: %.0f events/s < 70%% of floor %.0f\n", eps, floor
+      exit 1
+    }
+    printf "engine perf ok: %.0f events/s (floor %.0f)\n", eps, floor
+  }' || { echo "engine perf smoke failed" >&2; exit 1; }
+fi
+
 echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DOSIRIS_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"

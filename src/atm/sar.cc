@@ -52,26 +52,41 @@ Cell make_cell_header(std::uint16_t vci, std::uint16_t pdu_id, std::uint32_t seq
   return c;
 }
 
-std::vector<Cell> segment(std::span<const std::uint8_t> pdu, std::uint16_t vci,
-                          std::uint16_t pdu_id) {
+void segment_into(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+                  std::uint16_t pdu_id, std::vector<Cell>& out) {
   Trailer t;
   t.pdu_len = static_cast<std::uint32_t>(pdu.size());
   t.crc = Crc32::of(pdu);
   const auto trailer = encode_trailer(t);
 
-  // Wire byte stream = user bytes followed by trailer.
-  std::vector<std::uint8_t> wire(pdu.begin(), pdu.end());
-  wire.insert(wire.end(), trailer.begin(), trailer.end());
-
+  // The wire byte stream is the user bytes followed by the trailer; each
+  // cell's payload is filled straight from the caller's PDU span (no
+  // staging copy of the whole stream).
+  const std::uint32_t wire_bytes = wire_len(t.pdu_len);
   const std::uint32_t ncells = cells_for(t.pdu_len);
-  std::vector<Cell> out;
+  out.clear();
   out.reserve(ncells);
   for (std::uint32_t s = 0; s < ncells; ++s) {
-    Cell c = make_cell_header(vci, pdu_id, s, ncells,
-                              static_cast<std::uint32_t>(wire.size()));
-    std::copy_n(wire.begin() + s * kCellPayload, c.len, c.payload.begin());
+    Cell c = make_cell_header(vci, pdu_id, s, ncells, wire_bytes);
+    const std::uint32_t offset = s * kCellPayload;
+    const std::uint32_t user =
+        offset < pdu.size()
+            ? std::min<std::uint32_t>(c.len,
+                                      static_cast<std::uint32_t>(pdu.size()) - offset)
+            : 0;
+    std::copy_n(pdu.begin() + offset, user, c.payload.begin());
+    if (user < c.len) {  // tail bytes come from the trailer
+      const std::uint32_t toff = offset + user - t.pdu_len;
+      std::copy_n(trailer.begin() + toff, c.len - user, c.payload.begin() + user);
+    }
     out.push_back(c);
   }
+}
+
+std::vector<Cell> segment(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+                          std::uint16_t pdu_id) {
+  std::vector<Cell> out;
+  segment_into(pdu, vci, pdu_id, out);
   return out;
 }
 
@@ -97,14 +112,17 @@ bool PduAssembler::complete() const {
   return ncells_.has_value() && received_ == *ncells_;
 }
 
-std::optional<std::vector<std::uint8_t>> PduAssembler::finish() const {
+std::optional<std::vector<std::uint8_t>> PduAssembler::finish() {
   if (!complete()) return std::nullopt;
   const auto trailer = decode_trailer({bytes_.data(), bytes_.size()});
   if (!trailer) return std::nullopt;
   if (trailer->pdu_len + kTrailerBytes != wire_bytes_) return std::nullopt;
-  std::vector<std::uint8_t> pdu(bytes_.begin(), bytes_.begin() + trailer->pdu_len);
-  if (Crc32::of(pdu) != trailer->crc) return std::nullopt;
-  return pdu;
+  if (Crc32::of({bytes_.data(), trailer->pdu_len}) != trailer->crc) {
+    return std::nullopt;
+  }
+  bytes_.resize(trailer->pdu_len);  // trim trailer in place, then move out
+  wire_bytes_ = 0;
+  return std::move(bytes_);
 }
 
 }  // namespace osiris::atm

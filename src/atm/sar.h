@@ -54,6 +54,13 @@ Cell make_cell_header(std::uint16_t vci, std::uint16_t pdu_id, std::uint32_t seq
 std::vector<Cell> segment(std::span<const std::uint8_t> pdu, std::uint16_t vci,
                           std::uint16_t pdu_id);
 
+/// Allocation-free variant of segment(): fills `out` (cleared first) so a
+/// hot caller can reuse one vector across PDUs. Cell payloads are written
+/// straight from `pdu` plus the trailer tail — no staging copy of the wire
+/// stream is made.
+void segment_into(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+                  std::uint16_t pdu_id, std::vector<Cell>& out);
+
 /// Reference assembler: collects cells (any order, identified by seq),
 /// reconstructs the wire byte stream, verifies the trailer CRC, and
 /// returns the user PDU bytes.
@@ -66,9 +73,11 @@ class PduAssembler {
   /// True once every cell of the PDU has arrived.
   [[nodiscard]] bool complete() const;
 
-  /// Extracts the user PDU. Requires complete(); returns nullopt when the
-  /// CRC check fails.
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> finish() const;
+  /// Extracts the user PDU by moving the assembled buffer out (the trailer
+  /// is trimmed in place, not re-copied). Requires complete(); returns
+  /// nullopt — leaving the assembler untouched — when the trailer or CRC
+  /// check fails. After a successful finish() the assembler holds no bytes.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> finish();
 
   [[nodiscard]] std::uint32_t cells_received() const { return received_; }
 

@@ -144,6 +144,7 @@ void RxProcessor::reset() {
   routers_.clear();
   pending_.valid = false;
   pending_.bytes.clear();
+  eng_->cancel(flush_timer_);
   inflight_.clear();
   gen_active_ = false;
   for (auto& fs : free_sources_) fs.reader.reset();
@@ -323,7 +324,6 @@ void RxProcessor::handle_placement(std::uint16_t vci, const atm::Placement& pl) 
   pending_.offset = pl.offset;
   pending_.bytes.assign(pl.cell.payload.begin(),
                         pl.cell.payload.begin() + pl.cell.len);
-  ++pending_.flush_gen;
   if (!cfg_.double_cell_dma_rx) {
     flush_pending();
   } else {
@@ -332,19 +332,21 @@ void RxProcessor::handle_placement(std::uint16_t vci, const atm::Placement& pl) 
 }
 
 void RxProcessor::schedule_flush_timer() {
-  const std::uint64_t gen = pending_.flush_gen;
-  const std::uint64_t ep = epoch_;
+  // One live combine-window timer at a time: re-arming cancels the old one
+  // (and an early flush_pending() cancels it too), so dead generations are
+  // never dispatched.
+  eng_->cancel(flush_timer_);
   const auto wait = static_cast<sim::Duration>(cfg_.combine_wait_cell_times *
                                                static_cast<double>(sim::ns(681.6)));
-  eng_->schedule(wait, [this, gen, ep] {
-    if (ep != epoch_) return;
-    if (pending_.valid && pending_.flush_gen == gen) flush_pending();
+  flush_timer_ = eng_->schedule_timer(wait, [this] {
+    if (pending_.valid) flush_pending();
   });
 }
 
 void RxProcessor::flush_pending() {
   if (!pending_.valid) return;
   pending_.valid = false;
+  eng_->cancel(flush_timer_);
   // Create or find the PDU's reassembly state (key encodes the VCI).
   const auto vci = static_cast<std::uint16_t>(pending_.key >> 48);
   const std::uint64_t local = pending_.key & 0xFFFFFFFFFFFFull;
@@ -368,7 +370,10 @@ void RxProcessor::issue_dma(RxPdu& p, std::uint32_t offset,
   sim::Tick t = i960_.reserve(cfg_.fw_rx_per_dma);
 
   // Split at buffer boundaries (buffers are physically contiguous, so no
-  // further page split is needed inside one).
+  // further page split is needed inside one), collecting the scatter
+  // program; the bytes then land in a single dma_scatter with per-segment
+  // fault/error semantics — exactly as per-chunk writes behaved.
+  scratch_segs_.clear();
   std::uint64_t cursor = offset;
   std::size_t done = 0;
   while (done < bytes.size()) {
@@ -385,19 +390,24 @@ void RxProcessor::issue_dma(RxPdu& p, std::uint32_t offset,
     const auto n = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(bytes.size() - done, b.cap - inner));
     t = bus_->dma_write(t, n);
-    if (!cache_->dma_write(b.addr + inner, {bytes.data() + done, n})) {
-      // Transfer failed (injected DMA error, or the buffer address came
-      // from a corrupted descriptor). The firmware doesn't notice: the
-      // buffer region keeps whatever bytes it held, and the end-to-end
-      // checksum is what catches the damage.
-      ++dma_errors_;
-      sim::trace_event(trace_, eng_->now(), "rx", "dma_error", b.addr + inner, n);
-    }
+    scratch_segs_.push_back(mem::PhysBuffer{b.addr + inner, n});
     b.filled += n;
     ++dma_ops_;
     if (n > atm::kCellPayload) ++combined_dma_ops_;
     cursor += n;
     done += n;
+  }
+  const std::size_t okn =
+      cache_->dma_scatter(scratch_segs_, {bytes.data(), bytes.size()});
+  if (okn < scratch_segs_.size()) {
+    // Failed segments (injected DMA error, or a buffer address from a
+    // corrupted descriptor): the firmware doesn't notice — those buffer
+    // regions keep whatever bytes they held, and the end-to-end checksum
+    // is what catches the damage.
+    const std::uint64_t failed = scratch_segs_.size() - okn;
+    dma_errors_ += failed;
+    sim::trace_event(trace_, eng_->now(), "rx", "dma_error",
+                     scratch_segs_.front().addr, failed);
   }
   // The cells covered by this DMA leave the on-board FIFO when it lands.
   const std::size_t cells =

@@ -221,7 +221,6 @@ class RxProcessor {
     std::uint64_t key = 0;  // (vci, pdu) key
     std::uint32_t offset = 0;
     std::vector<std::uint8_t> bytes;
-    std::uint64_t flush_gen = 0;
   };
 
   static std::uint64_t pdu_map_key(std::uint16_t vci, std::uint64_t pdu) {
@@ -278,6 +277,8 @@ class RxProcessor {
   std::unordered_map<std::uint64_t, RxPdu> pdus_;
   std::unordered_map<std::uint64_t, std::uint16_t> key_vci_;
   PendingDma pending_;
+  sim::TimerHandle flush_timer_;  // combine-window timeout for pending_
+  std::vector<mem::PhysBuffer> scratch_segs_;  // per-DMA scatter program
   std::deque<sim::Tick> inflight_;  // decision completion times (FIFO model)
   sim::Tick fw_horizon_ = 0;
 

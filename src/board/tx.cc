@@ -341,9 +341,11 @@ void TxProcessor::step_job() {
     ready = std::max(ready, j.departures[j.departures.size() - kTxFifoCells]);
   }
 
-  std::vector<atm::Cell> cells;
+  std::vector<atm::Cell>& cells = scratch_cells_;
+  cells.clear();
   cells.reserve(group);
-  std::vector<std::size_t> completed;  // descriptors finishing in this group
+  std::vector<std::size_t>& completed = scratch_completed_;  // descriptors finishing in this group
+  completed.clear();
   std::uint32_t pending_dma_bytes = 0;
   std::uint64_t pending_end_addr = 0;
   bool have_pending = false;
@@ -360,6 +362,27 @@ void TxProcessor::step_job() {
     atm::Cell c = atm::make_cell_header(j.vci, j.pdu_id, j.next_seq + g,
                                         j.ncells, j.wire);
     std::uint32_t filled = 0;
+    // User chunks of a cell accumulate into one scatter/gather DMA program,
+    // executed in a single dma_gather(): faults still hit per segment
+    // exactly as per-chunk reads did, and a failed segment's slice of the
+    // cell goes out zero-filled — only the end-to-end checksum can expose
+    // the damage. Within a cell user bytes always precede trailer bytes, so
+    // the gather covers the payload prefix [0, gathered).
+    scratch_segs_.clear();
+    std::uint32_t gathered = 0;
+    const auto flush_gather = [&] {
+      if (scratch_segs_.empty()) return;
+      const std::size_t okn =
+          host_mem_->dma_gather(scratch_segs_, {c.payload.data(), gathered});
+      if (okn < scratch_segs_.size()) {
+        const std::uint64_t failed = scratch_segs_.size() - okn;
+        dma_errors_ += failed;
+        sim::trace_event(trace_, eng_->now(), "tx", "dma_error",
+                         scratch_segs_.front().addr, failed);
+      }
+      j.crc.update({c.payload.data(), gathered});
+      scratch_segs_.clear();
+    };
     while (filled < c.len) {
       if (j.di < j.chain.size() && j.doff == j.chain[j.di].len) {
         ++j.di;
@@ -368,6 +391,8 @@ void TxProcessor::step_job() {
       }
       if (j.di >= j.chain.size()) {
         // User bytes exhausted: emit trailer bytes (generated on board).
+        // The gather must land first — the trailer CRC covers it.
+        flush_gather();
         if (!j.trailer_ready) {
           j.trailer = atm::encode_trailer({j.pdu_len, j.crc.value()});
           j.trailer_ready = true;
@@ -388,16 +413,7 @@ void TxProcessor::step_job() {
         const std::uint32_t to_page = mem::kPageSize - mem::page_offset(addr);
         if (to_page < n) n = to_page;
       }
-      if (!host_mem_->dma_read(addr, {c.payload.data() + filled, n})) {
-        // Failed transfer (injected error, or an address from a corrupted
-        // descriptor): the cell goes out zero-filled. The AAL CRC is
-        // computed over what was actually sent, so only the end-to-end
-        // checksum can expose the damage.
-        std::fill_n(c.payload.begin() + filled, n, std::uint8_t{0});
-        ++dma_errors_;
-        sim::trace_event(trace_, eng_->now(), "tx", "dma_error", addr, n);
-      }
-      j.crc.update({c.payload.data() + filled, n});
+      scratch_segs_.push_back(mem::PhysBuffer{addr, n});
       // One DMA transaction per contiguous address run within the group;
       // every break (buffer end, page boundary) costs a fresh transaction
       // (§2.5.2's second-address mechanism).
@@ -413,9 +429,11 @@ void TxProcessor::step_job() {
       }
       pending_end_addr = static_cast<std::uint64_t>(addr) + n;
       filled += n;
+      gathered += n;
       j.doff += n;
       if (j.doff == j.chain[j.di].len) completed.push_back(j.di);
     }
+    flush_gather();
     cells.push_back(c);
   }
   flush_dma();

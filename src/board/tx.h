@@ -170,6 +170,12 @@ class TxProcessor {
   std::uint64_t next_job_serial_ = 0;
   std::unique_ptr<Job> job_;
 
+  // step_job() scratch, reused across DMA groups so the steady-state
+  // transmit loop allocates nothing.
+  std::vector<atm::Cell> scratch_cells_;
+  std::vector<std::size_t> scratch_completed_;
+  std::vector<mem::PhysBuffer> scratch_segs_;  // per-cell gather program
+
   // Heartbeat state (see start_heartbeat()).
   bool hb_running_ = false;
   sim::Duration hb_period_ = 0;

@@ -78,7 +78,10 @@ OsirisDriver::OsirisDriver(sim::Engine& eng, const MachineConfig& mc,
       free_writer_(ram, lay.free, dpram::Side::kHost),
       recv_reader_(ram, lay.recv, dpram::Side::kHost) {}
 
-OsirisDriver::~OsirisDriver() { *alive_ = false; }
+OsirisDriver::~OsirisDriver() {
+  *alive_ = false;
+  eng_->cancel(wd_timer_);  // the engine outlives the driver; drop the tick
+}
 
 void OsirisDriver::attach(int adc_channel) {
   // Allocate the receive buffer pool: physically contiguous buffers when
@@ -118,6 +121,7 @@ void OsirisDriver::detach() {
   if (detached_) return;
   detached_ = true;
   wd_running_ = false;
+  eng_->cancel(wd_timer_);
   // Unhook first: an interrupt already raised but not yet serviced resolves
   // its handlers at service time, so removal also swallows those.
   if (rx_irq_token_ >= 0) intc_->remove_handler(rx_irq_token_);
@@ -463,7 +467,7 @@ void OsirisDriver::start_watchdog(const WatchdogConfig& cfg) {
   wd_txtail_change_ = eng_->now();
   if (!wd_running_) {
     wd_running_ = true;
-    eng_->schedule(0, [this, alive = alive_] {
+    wd_timer_ = eng_->schedule_timer(0, [this, alive = alive_] {
       if (*alive) watchdog_tick();
     });
   }
@@ -534,7 +538,7 @@ void OsirisDriver::watchdog_tick() {
     on_rx_interrupt(t);
   }
 
-  eng_->schedule(wd_cfg_.period, [this, alive = alive_] {
+  wd_timer_ = eng_->schedule_timer(wd_cfg_.period, [this, alive = alive_] {
     if (*alive) watchdog_tick();
   });
 }

@@ -211,7 +211,10 @@ class OsirisDriver {
   void set_postmortem_stream(std::ostream* os) { postmortem_os_ = os; }
 
   void start_watchdog(const WatchdogConfig& cfg);
-  void stop_watchdog() { wd_running_ = false; }
+  void stop_watchdog() {
+    wd_running_ = false;
+    eng_->cancel(wd_timer_);
+  }
 
   /// Immediate adaptor reset (what the watchdog fires; callable directly
   /// by tests). Returns the time the host CPU finished recovery.
@@ -339,6 +342,7 @@ class OsirisDriver {
 
   // Watchdog state.
   WatchdogConfig wd_cfg_;
+  sim::TimerHandle wd_timer_;  // the next scheduled watchdog_tick()
   bool wd_running_ = false;
   std::uint32_t wd_tx_hb_ = 0, wd_rx_hb_ = 0;
   sim::Tick wd_tx_change_ = 0, wd_rx_change_ = 0;

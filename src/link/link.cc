@@ -83,8 +83,33 @@ sim::Tick StripedLink::submit(sim::Tick from, const atm::Cell& c) {
   }
 
   if (!sink_) throw std::logic_error("StripedLink: no sink registered");
-  eng_->schedule_at(arrival, [this, lane, delivered] { sink_(lane, delivered); });
+  const std::uint32_t slot = acquire_slot(lane, delivered);
+  eng_->schedule_at(arrival, [this, slot] { deliver(slot); });
   return departed;
+}
+
+std::uint32_t StripedLink::acquire_slot(int lane, const atm::Cell& c) {
+  std::uint32_t idx;
+  if (free_slot_ != kNoSlot) {
+    idx = free_slot_;
+    free_slot_ = pool_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[idx].cell = c;
+  pool_[idx].lane = lane;
+  return idx;
+}
+
+void StripedLink::deliver(std::uint32_t slot) {
+  // Copy out before releasing the slot: the sink may submit() reentrantly,
+  // which can grow the pool and invalidate references into it.
+  const atm::Cell cell = pool_[slot].cell;
+  const int lane = pool_[slot].lane;
+  pool_[slot].next_free = free_slot_;
+  free_slot_ = slot;
+  sink_(lane, cell);
 }
 
 LinkConfig skewed_config(double skew_us, std::uint64_t seed) {

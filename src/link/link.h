@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "atm/cell.h"
 #include "sim/engine.h"
@@ -80,6 +81,19 @@ class StripedLink {
   [[nodiscard]] std::uint64_t cells_hec_dropped() const { return cells_hec_dropped_; }
 
  private:
+  // In-flight cells parked in a pooled slot so the scheduled delivery
+  // event captures only {this, slot} and stays inside Event's inline
+  // buffer (a by-value Cell capture would heap-box every delivery).
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  struct PendingDelivery {
+    atm::Cell cell;
+    int lane = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  std::uint32_t acquire_slot(int lane, const atm::Cell& c);
+  void deliver(std::uint32_t slot);
+
   sim::Engine* eng_;
   LinkConfig cfg_;
   sim::Duration cell_time_;
@@ -92,6 +106,8 @@ class StripedLink {
   std::uint64_t cells_lost_ = 0;
   std::uint64_t cells_corrupted_ = 0;
   std::uint64_t cells_hec_dropped_ = 0;
+  std::vector<PendingDelivery> pool_;
+  std::uint32_t free_slot_ = kNoSlot;
 };
 
 /// Convenience: a LinkConfig with a given amount of symmetric skew spread

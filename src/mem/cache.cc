@@ -85,6 +85,22 @@ bool DataCache::dma_write(PhysAddr addr, std::span<const std::uint8_t> src) {
   return true;
 }
 
+std::size_t DataCache::dma_scatter(std::span<const PhysBuffer> segs,
+                                   std::span<const std::uint8_t> src) {
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  if (src.size() < total) {
+    throw std::out_of_range("DataCache::dma_scatter: src span too short");
+  }
+  std::size_t off = 0;
+  std::size_t ok = 0;
+  for (const auto& s : segs) {
+    if (dma_write(s.addr, src.subspan(off, s.len))) ++ok;
+    off += s.len;
+  }
+  return ok;
+}
+
 std::uint64_t DataCache::invalidate(PhysAddr addr, std::uint32_t len) {
   const PhysAddr first = addr - (addr % cfg_.line_bytes);
   const PhysAddr end = addr + len;

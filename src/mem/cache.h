@@ -65,6 +65,14 @@ class DataCache {
   /// descriptor, or an injected DMA error) — no bytes move.
   bool dma_write(PhysAddr addr, std::span<const std::uint8_t> src);
 
+  /// Scatter form of dma_write(): each segment is an independent DMA burst
+  /// taking `src` bytes in order, with per-segment fault/error semantics
+  /// (see PhysicalMemory::dma_scatter) and the same per-segment cache
+  /// coherence effects as dma_write(). Returns the number of segments that
+  /// transferred.
+  std::size_t dma_scatter(std::span<const PhysBuffer> segs,
+                          std::span<const std::uint8_t> src);
+
   /// Invalidates all lines overlapping [addr, addr+len). Returns the number
   /// of 32-bit words in the range (cost: ~1 CPU cycle/word, paper §2.3).
   std::uint64_t invalidate(PhysAddr addr, std::uint32_t len);

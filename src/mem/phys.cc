@@ -1,6 +1,7 @@
 #include "mem/phys.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -53,6 +54,54 @@ bool PhysicalMemory::dma_write(PhysAddr addr, std::span<const std::uint8_t> src)
   if (!dma_ok(addr, src.size())) return false;
   std::copy(src.begin(), src.end(), data_.begin() + addr);
   return true;
+}
+
+bool PhysicalMemory::dma_move(PhysAddr dst, PhysAddr src, std::size_t len) {
+  // One transfer, one fault consultation — but both windows must be in
+  // range for the move to start.
+  if (static_cast<std::size_t>(src) + len > data_.size()) {
+    ++dma_errors_;
+    return false;
+  }
+  if (!dma_ok(dst, len)) return false;
+  std::memmove(data_.data() + dst, data_.data() + src, len);
+  return true;
+}
+
+std::size_t PhysicalMemory::dma_gather(std::span<const PhysBuffer> segs,
+                                       std::span<std::uint8_t> dst) {
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  if (dst.size() < total) {
+    throw std::out_of_range("PhysicalMemory::dma_gather: dst span too short");
+  }
+  std::size_t off = 0;
+  std::size_t ok = 0;
+  for (const auto& s : segs) {
+    if (dma_read(s.addr, dst.subspan(off, s.len))) {
+      ++ok;
+    } else {
+      std::fill_n(dst.begin() + static_cast<std::ptrdiff_t>(off), s.len, 0);
+    }
+    off += s.len;
+  }
+  return ok;
+}
+
+std::size_t PhysicalMemory::dma_scatter(std::span<const PhysBuffer> segs,
+                                        std::span<const std::uint8_t> src) {
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  if (src.size() < total) {
+    throw std::out_of_range("PhysicalMemory::dma_scatter: src span too short");
+  }
+  std::size_t off = 0;
+  std::size_t ok = 0;
+  for (const auto& s : segs) {
+    if (dma_write(s.addr, src.subspan(off, s.len))) ++ok;
+    off += s.len;
+  }
+  return ok;
 }
 
 std::span<const std::uint8_t> PhysicalMemory::view(PhysAddr addr, std::size_t len) const {

@@ -51,6 +51,22 @@ class PhysicalMemory {
   bool dma_read(PhysAddr addr, std::span<std::uint8_t> dst);
   bool dma_write(PhysAddr addr, std::span<const std::uint8_t> src);
 
+  /// memmove-style phys→phys transfer: overlap-safe, same DMA error
+  /// semantics as dma_read/dma_write (one fault-plane consultation).
+  bool dma_move(PhysAddr dst, PhysAddr src, std::size_t len);
+
+  /// Scatter/gather transfers used by the DMA engines. Each segment is an
+  /// independent DMA burst: faults are consulted and errors counted per
+  /// segment, exactly as if the caller had issued one dma_read/dma_write
+  /// per buffer. A failed gather segment leaves its slice of `dst`
+  /// zero-filled; a failed scatter segment moves no bytes. Returns the
+  /// number of segments that transferred. Throws only on a dst/src span
+  /// shorter than the segment list's total length.
+  std::size_t dma_gather(std::span<const PhysBuffer> segs,
+                         std::span<std::uint8_t> dst);
+  std::size_t dma_scatter(std::span<const PhysBuffer> segs,
+                          std::span<const std::uint8_t> src);
+
   [[nodiscard]] std::uint64_t dma_errors() const { return dma_errors_; }
 
   /// Direct view for the cache model and DMA engines (bounds-checked).

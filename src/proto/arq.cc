@@ -123,18 +123,19 @@ sim::Tick ArqEndpoint::send_ack(sim::Tick at, std::uint16_t vci) {
 }
 
 void ArqEndpoint::arm_timer(std::uint16_t vci, TxState& s, sim::Tick at) {
+  // One live timer per VCI: re-arming cancels the previous one in the
+  // engine, so dead generations are dropped at the queue instead of firing
+  // as guarded no-ops.
+  eng_->cancel(s.timer);
   s.timer_armed = true;
-  const std::uint64_t gen = ++s.timer_gen;
-  eng_->schedule_at(at + s.cur_rto, [this, vci, gen] { on_timeout(vci, gen); });
+  s.timer = eng_->schedule_timer_at(at + s.cur_rto,
+                                    [this, vci] { on_timeout(vci); });
 }
 
-void ArqEndpoint::on_timeout(std::uint16_t vci, std::uint64_t gen) {
+void ArqEndpoint::on_timeout(std::uint16_t vci) {
   TxState& s = tx_[vci];
-  if (!s.timer_armed || gen != s.timer_gen || s.dead) return;
-  if (s.window.empty()) {
-    s.timer_armed = false;
-    return;
-  }
+  s.timer_armed = false;  // the armed timer just fired
+  if (s.dead || s.window.empty()) return;
   if (s.retries >= cfg_.max_retries) {
     give_up(vci, s);
     return;
@@ -156,6 +157,7 @@ void ArqEndpoint::give_up(std::uint16_t /*vci*/, TxState& s) {
   gave_up_ += s.window.size() + s.queue.size();
   s.window.clear();
   s.queue.clear();
+  eng_->cancel(s.timer);
   s.timer_armed = false;
   s.dead = true;
 }
@@ -202,7 +204,7 @@ void ArqEndpoint::handle_ack(std::uint16_t vci, TxState& s, std::uint32_t ackno,
   const sim::Tick t = pump(vci, s, at);
   if (s.window.empty()) {
     s.timer_armed = false;
-    ++s.timer_gen;  // cancel the outstanding timer
+    eng_->cancel(s.timer);  // nothing left to retransmit
   } else {
     arm_timer(vci, s, t);  // fresh timeout for the new base frame
   }

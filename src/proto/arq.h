@@ -109,7 +109,7 @@ class ArqEndpoint {
     std::deque<std::vector<std::uint8_t>> queue;  // waiting for window
     std::uint32_t retries = 0;   // of the current base frame
     sim::Duration cur_rto = 0;
-    std::uint64_t timer_gen = 0;
+    sim::TimerHandle timer;      // retransmit timer on the base frame
     bool timer_armed = false;
     bool dead = false;
   };
@@ -128,7 +128,7 @@ class ArqEndpoint {
                        const std::vector<std::uint8_t>& framed);
   sim::Tick send_ack(sim::Tick at, std::uint16_t vci);
   void arm_timer(std::uint16_t vci, TxState& s, sim::Tick at);
-  void on_timeout(std::uint16_t vci, std::uint64_t gen);
+  void on_timeout(std::uint16_t vci);
   void give_up(std::uint16_t vci, TxState& s);
   std::vector<std::uint8_t> frame(std::uint8_t type, std::uint16_t vci,
                                   std::uint32_t seq, std::uint32_t ack,

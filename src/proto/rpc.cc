@@ -71,23 +71,26 @@ sim::Tick RpcEndpoint::call(sim::Tick at, std::uint16_t vci,
                             std::vector<std::uint8_t> request, Callback cb,
                             sim::Duration timeout, RpcRetryPolicy retry) {
   const std::uint32_t id = next_id_++;
-  const std::uint64_t generation = next_generation_++;
   const sim::Tick done = send_framed(at, vci, id, false, request);
-  Pending p{std::move(cb), generation,    vci,
+  Pending p{std::move(cb), {},            vci,
             {},            retry.retries, retry.backoff,
             timeout};
   if (retry.retries > 0) p.request = std::move(request);
   pending_[id] = std::move(p);
   ++calls_;
-  schedule_timeout(id, generation, done + timeout);
+  schedule_timeout(id, done + timeout);
   return done;
 }
 
-void RpcEndpoint::schedule_timeout(std::uint32_t id, std::uint64_t generation,
-                                   sim::Tick deadline) {
-  eng_->schedule_at(deadline, [this, id, generation] {
+void RpcEndpoint::schedule_timeout(std::uint32_t id, sim::Tick deadline) {
+  const auto pit = pending_.find(id);
+  if (pit == pending_.end()) return;
+  // The handle is cancelled when a response completes the call, so a
+  // firing timer always refers to a still-pending id (the find() stays as
+  // a defensive guard — ids are never reused).
+  pit->second.timer = eng_->schedule_timer_at(deadline, [this, id] {
     const auto it = pending_.find(id);
-    if (it == pending_.end() || it->second.generation != generation) return;
+    if (it == pending_.end()) return;
     Pending& p = it->second;
     if (p.retries_left > 0) {
       // Same id, so a response to ANY attempt — including a late one to
@@ -98,7 +101,7 @@ void RpcEndpoint::schedule_timeout(std::uint32_t id, std::uint64_t generation,
           static_cast<double>(p.cur_timeout) * p.backoff);
       const sim::Tick sent =
           send_framed(eng_->now(), p.vci, id, false, p.request);
-      schedule_timeout(id, generation, sent + p.cur_timeout);
+      schedule_timeout(id, sent + p.cur_timeout);
       return;
     }
     Callback cb2 = std::move(p.cb);
@@ -127,6 +130,7 @@ void RpcEndpoint::on_data(sim::Tick at, std::uint16_t vci,
       return;
     }
     Callback cb = std::move(it->second.cb);
+    eng_->cancel(it->second.timer);
     pending_.erase(it);
     ++responses_;
     cb(at, std::move(payload));

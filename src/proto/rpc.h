@@ -89,7 +89,7 @@ class RpcEndpoint {
  private:
   struct Pending {
     Callback cb;
-    std::uint64_t generation;
+    sim::TimerHandle timer;  // cancelled when the response arrives
     std::uint16_t vci = 0;
     std::vector<std::uint8_t> request;  // kept while retries remain
     std::uint32_t retries_left = 0;
@@ -101,8 +101,7 @@ class RpcEndpoint {
                std::vector<std::uint8_t>&& data);
   sim::Tick send_framed(sim::Tick at, std::uint16_t vci, std::uint32_t id,
                         bool response, const std::vector<std::uint8_t>& payload);
-  void schedule_timeout(std::uint32_t id, std::uint64_t generation,
-                        sim::Tick deadline);
+  void schedule_timeout(std::uint32_t id, sim::Tick deadline);
 
   sim::Engine* eng_;
   ProtoStack* stack_;
@@ -119,8 +118,7 @@ class RpcEndpoint {
   static constexpr std::uint32_t kSlotBytes = 16 * 1024;
   std::vector<mem::VirtAddr> slots_;
   std::size_t next_slot_ = 0;
-  std::uint32_t next_id_ = 1;
-  std::uint64_t next_generation_ = 1;
+  std::uint32_t next_id_ = 1;  // never reused, so an id fully keys a call
   std::map<std::uint32_t, Pending> pending_;
 
   std::uint64_t calls_ = 0;
