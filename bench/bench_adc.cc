@@ -69,7 +69,7 @@ double rtt_kernel(bool alpha, std::uint32_t bytes, int extra_crossings) {
   });
   started = 0;
   sa->send(tb.a.cpu.exec(0, user_toll), vci, ma);
-  tb.eng.run();
+  tb.run();
   return rtts.mean();
 }
 
@@ -100,7 +100,7 @@ double rtt_adc(bool alpha, std::uint32_t bytes) {
     }
   });
   ca.send(0, 900, ma);
-  tb.eng.run();
+  tb.run();
   return rtts.mean();
 }
 

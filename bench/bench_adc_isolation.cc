@@ -53,7 +53,7 @@ ScenarioResult run_scenario(bool with_adversary) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
-  adc::AdcSupervisor sup(tb.eng, tb.a.txp, tb.a.rxp);
+  adc::AdcSupervisor sup(tb.a.eng, tb.a.txp, tb.a.rxp);
 
   struct Tenant {
     std::unique_ptr<adc::Adc> tx, rx;
@@ -130,7 +130,7 @@ ScenarioResult run_scenario(bool with_adversary) {
       atk_clock = attacker->send(atk_clock, 910, *junk);
     }
   }
-  tb.eng.run();
+  tb.run();
 
   ScenarioResult r;
   for (auto& [pair, t] : tenants) {

@@ -54,9 +54,9 @@ void arq_loss_row(double loss, benchjson::Writer& json) {
   ac.rto = sim::ms(1);
   ac.max_rto = sim::ms(10);
   ac.max_retries = 30;
-  proto::ArqEndpoint arq_a(tb.eng, *sa, tb.a.kernel_space, tb.a.cpu,
+  proto::ArqEndpoint arq_a(tb.a.eng, *sa, tb.a.kernel_space, tb.a.cpu,
                            tb.a.cfg.machine, ac);
-  proto::ArqEndpoint arq_b(tb.eng, *sb, tb.b.kernel_space, tb.b.cpu,
+  proto::ArqEndpoint arq_b(tb.b.eng, *sb, tb.b.kernel_space, tb.b.cpu,
                            tb.b.cfg.machine, ac);
   arq_a.bind(vci);
   arq_b.bind(vci);
@@ -78,12 +78,12 @@ void arq_loss_row(double loss, benchjson::Writer& json) {
 
   std::vector<std::uint8_t> payload(kBytes, 0x5A);
   for (std::uint32_t i = 0; i < kMessages; ++i) {
-    tb.eng.schedule_at(static_cast<sim::Tick>(i) * kGap, [&, i] {
+    tb.a.eng.schedule_at(static_cast<sim::Tick>(i) * kGap, [&, i] {
       std::memcpy(payload.data(), &i, sizeof(i));
-      arq_a.send(tb.eng.now(), vci, payload);
+      arq_a.send(tb.a.eng.now(), vci, payload);
     });
   }
-  tb.eng.run();
+  tb.run();
 
   const double goodput =
       last > 0 ? sim::mbps(delivered * kBytes, last) : 0.0;

@@ -67,9 +67,7 @@ int main() {
   w.close_array();
 
   const double secs = wall.seconds();
-  w.field("wall_seconds", secs);
-  w.field("engine_events", events);
-  w.field("events_per_sec", static_cast<double>(events) / secs);
+  benchjson::perf_fields(w, secs, events, /*threads=*/1);
   w.close_object();
   w.dump("fig3_receive_3000");
 

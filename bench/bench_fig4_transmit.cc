@@ -32,7 +32,7 @@ RunOut run(std::uint32_t msg_bytes, bool alpha_sender, bool cksum) {
   const std::uint64_t msgs = msg_bytes >= 65536 ? 20 : (msg_bytes >= 8192 ? 40 : 80);
   const double mbps =
       harness::transmit_throughput(tb, tb.a, *sa, *sb, vci, msg_bytes, msgs).mbps;
-  return RunOut{mbps, tb.eng.dispatched()};
+  return RunOut{mbps, tb.dispatched()};
 }
 
 }  // namespace
@@ -67,9 +67,7 @@ int main() {
   w.close_array();
 
   const double secs = wall.seconds();
-  w.field("wall_seconds", secs);
-  w.field("engine_events", events);
-  w.field("events_per_sec", static_cast<double>(events) / secs);
+  benchjson::perf_fields(w, secs, events, /*threads=*/1);
   w.close_object();
   w.dump("fig4_transmit");
 

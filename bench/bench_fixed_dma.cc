@@ -50,7 +50,7 @@ Result run(bool fixed, std::uint32_t msg_bytes, std::uint32_t offset) {
   sim::Tick t = 0;
   constexpr int kMsgs = 15;
   for (int i = 0; i < kMsgs; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
 
   r.leaked_cells = tb.a.txp.leaked_cells();
   r.leaked_bytes = tb.a.txp.leaked_bytes();

@@ -34,7 +34,7 @@ Result run(std::uint32_t msg_bytes, std::uint32_t mtu, std::uint32_t align_off) 
   proto::Message m =
       proto::Message::from_payload(tb.a.kernel_space, data, align_off);
   sa->send(0, vci, m);
-  tb.eng.run();
+  tb.run();
 
   Result r;
   r.frags = sa->buffers_per_pdu().count();

@@ -37,6 +37,15 @@ inline double quantile(std::vector<double> v, double q) {
   return v[lo] + (v[hi] - v[lo]) * frac;
 }
 
+class Writer;
+
+/// The standard perf-trajectory fields every bench emits, so
+/// tools/bench_trend.py can fold all BENCH_*.json files into one table:
+/// wall_seconds, engine_events, events_per_sec, threads (worker threads the
+/// simulation ran on; 1 for serial benches).
+void perf_fields(Writer& w, double wall_seconds, std::uint64_t events,
+                 std::uint64_t threads);
+
 /// Incremental JSON builder; the caller supplies structure via the
 /// open/close calls and the builder handles commas.
 class Writer {
@@ -92,5 +101,14 @@ class Writer {
   std::string out_;
   bool fresh_ = true;
 };
+
+inline void perf_fields(Writer& w, double wall_seconds, std::uint64_t events,
+                        std::uint64_t threads) {
+  w.field("wall_seconds", wall_seconds);
+  w.field("engine_events", events);
+  w.field("events_per_sec",
+          wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0);
+  w.field("threads", threads);
+}
 
 }  // namespace benchjson

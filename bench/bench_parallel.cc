@@ -1,0 +1,181 @@
+// Parallel conservative DES: 1-thread vs 2-thread runs of the same
+// partitioned testbed workload (DESIGN.md §9).
+//
+// The workload is fig2/fig3-shaped: both nodes run the board's
+// fictitious-PDU receive generator flat out (node A the DECstation
+// 5000/200 of Figure 2, node B the DEC 3000/600 of Figure 3), so the two
+// partitions have heavy independent work — the shape the partitioned
+// engine is built for. A ping-pong phase follows on the same testbed to
+// drive the cross-partition channels.
+//
+// Determinism is the correctness contract: the per-node stats hash must be
+// bit-identical across thread counts. Speedup is the payoff, recorded in
+// BENCH_parallel.json; ci.sh gates on it only when the host actually has
+// two cores to run on.
+#include <cstdio>
+#include <thread>
+
+#include "bench_json.h"
+#include "osiris/harness.h"
+#include "osiris/node.h"
+
+namespace {
+
+using namespace osiris;
+
+constexpr std::uint32_t kMsgBytes = 16 * 1024;
+constexpr std::uint64_t kMsgs = 150;  // per node
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+struct RunOut {
+  double wall_seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t hash = 0;      // per-node stats, order a then b
+  std::uint64_t rounds = 0;    // barrier rounds (thread-count invariant)
+  std::uint64_t remote = 0;    // envelopes across partitions
+  double rtt_us_mean = 0;
+};
+
+std::uint64_t node_receive_setup(Node& n, proto::ProtoStack& stack,
+                                 std::uint16_t vci,
+                                 const proto::StackConfig& sc,
+                                 std::uint64_t* delivered) {
+  n.map_kernel_vci(vci);
+  const auto frags =
+      harness::make_udp_fragments(kMsgBytes, sc.ip_mtu, sc.udp_checksum);
+  stack.set_sink([&n, delivered](sim::Tick at, std::uint16_t,
+                                 std::vector<std::uint8_t>&& d) {
+    n.cpu.exec(at, host::Work{n.cfg.machine.app_recv, 0});
+    *delivered += d.size();
+  });
+  n.intc.reset_stats();
+  n.rxp.start_generator_multi(vci, frags, kMsgs, 0);
+  return kMsgs;
+}
+
+RunOut run_workload(int threads) {
+  const benchjson::WallTimer wall;
+  Testbed tb(make_5000_200_config(), make_3000_600_config(), threads);
+  proto::StackConfig sc;
+  auto sa = tb.a.make_stack(sc);
+  auto sb = tb.b.make_stack(sc);
+
+  // Phase 1: both boards generate fig2/fig3 receive traffic concurrently.
+  std::uint64_t bytes_a = 0, bytes_b = 0;
+  node_receive_setup(tb.a, *sa, 700, sc, &bytes_a);
+  node_receive_setup(tb.b, *sb, 701, sc, &bytes_b);
+  tb.run();
+
+  // Phase 2: cross-partition traffic over the striped links.
+  const std::uint16_t vci = tb.open_kernel_path();
+  const harness::LatencyResult lat = harness::ping_pong(tb, *sa, *sb, vci,
+                                                        1024, 50);
+
+  RunOut out;
+  out.wall_seconds = wall.seconds();
+  out.events = tb.dispatched();
+  out.rtt_us_mean = lat.rtt_us_mean;
+
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (Node* n : {&tb.a, &tb.b}) {
+    h = fnv(h, n->eng.dispatched());
+    h = fnv(h, n->eng.now());
+    h = fnv(h, n->rxp.cells_received());
+    h = fnv(h, n->rxp.pdus_completed());
+    h = fnv(h, n->rxp.push_batches());
+    h = fnv(h, n->rxp.pushes_coalesced());
+    h = fnv(h, n->driver.pdus_received());
+    h = fnv(h, n->intc.raised());
+  }
+  h = fnv(h, bytes_a);
+  h = fnv(h, bytes_b);
+  h = fnv(h, static_cast<std::uint64_t>(lat.rtt_us_mean * 1e3));
+  h = fnv(h, lat.iterations);
+  const sim::EngineGroup::Stats gs = tb.group.stats();
+  h = fnv(h, gs.remote_events);
+  out.hash = h;
+  out.rounds = gs.rounds;
+  out.remote = gs.remote_events;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_threads = harness::parse_threads(argc, argv, 2);
+  const std::uint64_t cores = std::thread::hardware_concurrency();
+
+  std::puts("Parallel conservative DES: fig2/fig3 workload on both nodes");
+  std::printf("host cores: %llu\n\n", static_cast<unsigned long long>(cores));
+
+  const RunOut serial = run_workload(1);
+  const RunOut parallel = run_workload(max_threads);
+
+  const double eps1 = serial.wall_seconds > 0
+                          ? static_cast<double>(serial.events) / serial.wall_seconds
+                          : 0;
+  const double eps2 = parallel.wall_seconds > 0
+                          ? static_cast<double>(parallel.events) / parallel.wall_seconds
+                          : 0;
+  const bool identical = serial.hash == parallel.hash &&
+                         serial.events == parallel.events &&
+                         serial.rounds == parallel.rounds;
+  const double speedup = eps1 > 0 ? eps2 / eps1 : 0;
+
+  std::printf("threads=1: %.3fs  %llu events  %.0f ev/s  rtt %.1f us\n",
+              serial.wall_seconds,
+              static_cast<unsigned long long>(serial.events), eps1,
+              serial.rtt_us_mean);
+  std::printf("threads=%d: %.3fs  %llu events  %.0f ev/s  rtt %.1f us\n",
+              max_threads, parallel.wall_seconds,
+              static_cast<unsigned long long>(parallel.events), eps2,
+              parallel.rtt_us_mean);
+  std::printf("identical per-node stats: %s   speedup: %.2fx   "
+              "(%llu rounds, %llu cross-partition events)\n",
+              identical ? "yes" : "NO", speedup,
+              static_cast<unsigned long long>(serial.rounds),
+              static_cast<unsigned long long>(serial.remote));
+
+  benchjson::Writer w;
+  w.open_object();
+  w.field("host_cores", cores);
+  w.open_array("runs");
+  for (const auto* r : {&serial, &parallel}) {
+    w.open_object();
+    benchjson::perf_fields(w, r->wall_seconds, r->events,
+                           r == &serial ? 1
+                                        : static_cast<std::uint64_t>(max_threads));
+    w.field("stats_hash", r->hash);
+    w.field("rounds", r->rounds);
+    w.field("remote_events", r->remote);
+    w.field("rtt_us_mean", r->rtt_us_mean);
+    w.close_object();
+  }
+  w.close_array();
+  benchjson::perf_fields(w, serial.wall_seconds + parallel.wall_seconds,
+                         serial.events + parallel.events,
+                         static_cast<std::uint64_t>(max_threads));
+  w.field("identical", identical);
+  w.field("speedup", speedup);
+  w.close_object();
+  w.dump("parallel");
+
+  if (!identical) {
+    std::puts("FAIL: parallel run diverged from the serial run");
+    return 1;
+  }
+  // The >= 1.3x acceptance bar presumes two real cores; on a single-core
+  // host the barrier protocol can only time-slice, so record but don't gate.
+  if (cores >= 2 && max_threads >= 2 && speedup < 1.3) {
+    std::puts("FAIL: 2-thread speedup below the 1.3x floor on a multicore host");
+    return 1;
+  }
+  return 0;
+}

@@ -52,7 +52,7 @@ Result run(const char* strategy, double skew_us) {
   sim::Tick t = 0;
   constexpr int kMsgs = 30;
   for (int i = 0; i < kMsgs; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
 
   r.sent = kMsgs;
   r.combine_fraction = tb.b.rxp.combine_fraction();

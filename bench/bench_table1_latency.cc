@@ -21,21 +21,24 @@ struct RunOut {
   std::uint64_t events = 0;  // engine events dispatched by this run
 };
 
-RunOut rtt(bool alpha, bool udp, std::uint32_t bytes) {
+RunOut rtt(bool alpha, bool udp, std::uint32_t bytes, int threads) {
   Testbed tb(alpha ? make_3000_600_config() : make_5000_200_config(),
-             alpha ? make_3000_600_config() : make_5000_200_config());
+             alpha ? make_3000_600_config() : make_5000_200_config(), threads);
   const std::uint16_t vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.mode = udp ? proto::StackMode::kUdpIp : proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);
   auto sb = tb.b.make_stack(sc);
   const double us = harness::ping_pong(tb, *sa, *sb, vci, bytes, 12).rtt_us_mean;
-  return RunOut{us, tb.eng.dispatched()};
+  return RunOut{us, tb.dispatched()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Results are bit-identical across thread counts (DESIGN.md §9);
+  // --threads only changes who runs each node's calendar queue.
+  const int threads = harness::parse_threads(argc, argv, 1);
   const benchjson::WallTimer wall;
   std::uint64_t events = 0;
 
@@ -69,7 +72,7 @@ int main() {
     w.field("machine", std::string(r.machine));
     w.field("proto", std::string(r.udp ? "udp_ip" : "raw_atm"));
     for (int i = 0; i < 4; ++i) {
-      const RunOut out = rtt(r.alpha, r.udp, sizes[i]);
+      const RunOut out = rtt(r.alpha, r.udp, sizes[i], threads);
       events += out.events;
       std::printf("  %5.0f [%4d]", out.rtt_us, r.paper[i]);
       w.field(size_keys[i], out.rtt_us);
@@ -80,9 +83,8 @@ int main() {
   w.close_array();
 
   const double secs = wall.seconds();
-  w.field("wall_seconds", secs);
-  w.field("engine_events", events);
-  w.field("events_per_sec", static_cast<double>(events) / secs);
+  benchjson::perf_fields(w, secs, events,
+                         static_cast<std::uint64_t>(threads));
   w.close_object();
   w.dump("table1_latency");
 

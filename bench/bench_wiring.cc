@@ -27,7 +27,7 @@ double send_latency_us(bool alpha, mem::WiringMode mode, std::uint32_t bytes) {
   proto::Message m = proto::Message::from_payload(
       tb.a.kernel_space, std::vector<std::uint8_t>(bytes, 0x31));
   const sim::Tick done = sa->send(0, vci, m);
-  tb.eng.run();
+  tb.run();
   return sim::to_us(done);
 }
 

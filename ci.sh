@@ -16,8 +16,10 @@ echo "== bench smoke (machine-readable output) =="
 # files (goodput + latency quantiles per row/tenant) for downstream plots.
 ( cd build/bench \
   && ./bench_fault --benchmark_min_time=0.01s >/dev/null \
-  && ./bench_adc_isolation >/dev/null )
-for f in build/bench/BENCH_fault.json build/bench/BENCH_adc_isolation.json; do
+  && ./bench_adc_isolation >/dev/null \
+  && ./bench_parallel >/dev/null )
+for f in build/bench/BENCH_fault.json build/bench/BENCH_adc_isolation.json \
+         build/bench/BENCH_parallel.json; do
   [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
 done
 
@@ -45,9 +47,24 @@ else
   }' || { echo "engine perf smoke failed" >&2; exit 1; }
 fi
 
+echo "== perf trend table =="
+# Fold every BENCH_*.json's common perf fields (wall_seconds, engine_events,
+# events_per_sec, threads) into one table so throughput trajectories across
+# benches — serial and parallel — are visible in a single CI artifact.
+python3 tools/bench_trend.py build/bench --append build/bench_trend.tsv
+
 echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DOSIRIS_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== sanitized build (thread) =="
+# ThreadSanitizer pass over the partitioned-engine tests: the barrier and
+# SPSC-ring protocol must be clean under TSan, not just correct by argument.
+# Only the parallel suite runs here — TSan's ABI slows the full matrix far
+# beyond CI budget, and the data-race surface is confined to sim::EngineGroup.
+cmake -B build-tsan -S . -DOSIRIS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_parallel_des
+./build-tsan/tests/test_parallel_des
 
 echo "== ci.sh: all green =="

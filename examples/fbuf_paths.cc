@@ -24,9 +24,9 @@ int main() {
 
   // A handful of hot connections get per-path fbuf pools, pre-mapped into
   // their data path's domains: driver -> protocol server -> application.
-  fbuf::FbufPool pool_a(tb.eng, tb.a.cfg.machine, tb.a.cpu, tb.a.frames,
+  fbuf::FbufPool pool_a(tb.a.eng, tb.a.cfg.machine, tb.a.cpu, tb.a.frames,
                         fbuf::FbufPool::Config{});
-  fbuf::FbufPool pool_b(tb.eng, tb.b.cfg.machine, tb.b.cpu, tb.b.frames,
+  fbuf::FbufPool pool_b(tb.b.eng, tb.b.cfg.machine, tb.b.cpu, tb.b.frames,
                         fbuf::FbufPool::Config{});
   std::vector<std::uint16_t> hot;
   for (int i = 0; i < 4; ++i) {
@@ -49,7 +49,7 @@ int main() {
   for (int round = 0; round < 5; ++round) {
     for (const std::uint16_t v : hot) t = sa->send(t, v, m);
   }
-  tb.eng.run();
+  tb.run();
 
   for (const std::uint16_t v : hot) {
     std::printf("  vci %u: %llu messages, delivered straight into its fbuf pool\n",

@@ -61,7 +61,7 @@ int main() {
   });
   started = 0;
   app_a.send(0, 700, ma);
-  tb.eng.run();
+  tb.run();
 
   std::printf("user-to-user ping-pong over ADCs: %llu rounds, mean RTT %.1f us\n",
               static_cast<unsigned long long>(rtts.count()), rtts.mean());
@@ -82,8 +82,8 @@ int main() {
   });
   proto::Message rogue =
       proto::Message::from_payload(app_a.space(), data);  // not authorized!
-  app_a.send(tb.eng.now(), 700, rogue);
-  tb.eng.run();
+  app_a.send(tb.now(), 700, rogue);
+  tb.run();
   std::printf("violation delivered: %s; ADC violations recorded: %llu\n",
               violation ? "yes" : "no",
               static_cast<unsigned long long>(app_a.violations()));

@@ -70,7 +70,7 @@ int main() {
     tv = video_tx.send(tv, 800, mv);
     tb2 = bulk_tx.send(tb2, 801, mb);
   }
-  tb.eng.run();
+  tb.run();
 
   const auto dropped_total =
       tb.b.rxp.pdus_dropped_nobuf() + tb.b.rxp.pdus_dropped_recvfull();

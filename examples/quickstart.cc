@@ -50,7 +50,7 @@ int main() {
   }
 
   // 6. Run the world.
-  tb.eng.run();
+  tb.run();
 
   std::puts("");
   std::puts("--- what the hardware did ---");
@@ -69,6 +69,6 @@ int main() {
   std::printf("B's stack verified %llu UDP checksums; %llu failures\n",
               static_cast<unsigned long long>(stack_b->delivered()),
               static_cast<unsigned long long>(stack_b->checksum_failures()));
-  std::printf("simulated time elapsed: %.1f us\n", sim::to_us(tb.eng.now()));
+  std::printf("simulated time elapsed: %.1f us\n", sim::to_us(tb.now()));
   return received == 3 ? 0 : 1;
 }

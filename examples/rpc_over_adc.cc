@@ -34,9 +34,9 @@ int main() {
   adc::Adc client_ch(deps_of(tb.a), 1, {850}, 1, sc);
   adc::Adc server_ch(deps_of(tb.b), 1, {850}, 1, sc);
 
-  proto::RpcEndpoint client(tb.eng, client_ch.stack(), client_ch.space(),
+  proto::RpcEndpoint client(tb.a.eng, client_ch.stack(), client_ch.space(),
                             tb.a.cpu, tb.a.cfg.machine);
-  proto::RpcEndpoint server(tb.eng, server_ch.stack(), server_ch.space(),
+  proto::RpcEndpoint server(tb.b.eng, server_ch.stack(), server_ch.space(),
                             tb.b.cpu, tb.b.cfg.machine);
   // Register the RPC frame arenas with the OS (RDMA-style memory regions).
   client_ch.authorize(client.arena_buffers());
@@ -90,7 +90,7 @@ int main() {
                       }
                     });
               });
-  tb.eng.run();
+  tb.run();
 
   std::printf("\nkernel involvement: %llu interrupts on each side; "
               "0 syscalls, 0 copies, checksums verified end to end\n",

@@ -36,7 +36,7 @@ void run_case(const char* strategy, double skew_us) {
   proto::Message m = proto::Message::from_payload(tb.a.kernel_space, expect);
   sim::Tick t = 0;
   for (int i = 0; i < 10; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
 
   std::printf("  strategy=%-4s skew=%3.0f us: %llu/10 intact, %llu corrupt, "
               "combine fraction %.2f\n",

@@ -169,6 +169,13 @@ class RxProcessor {
   /// driver reclaims its partial accumulations via flush_partials()).
   std::uint64_t purge_incomplete(sim::Duration max_age);
 
+  /// Receive-queue push events scheduled (each may carry several
+  /// descriptors; see pushes_coalesced).
+  [[nodiscard]] std::uint64_t push_batches() const { return push_batches_scheduled_; }
+  /// Descriptors that rode an already-scheduled same-tick push event
+  /// instead of re-entering the scheduler (batch-dispatch win).
+  [[nodiscard]] std::uint64_t pushes_coalesced() const { return pushes_coalesced_; }
+
   /// Fraction of DMA operations that moved more than one cell payload —
   /// the §2.6 "combining probability" statistic.
   [[nodiscard]] double combine_fraction() const {
@@ -222,6 +229,17 @@ class RxProcessor {
     std::uint32_t offset = 0;
     std::vector<std::uint8_t> bytes;
   };
+  /// A scheduled receive-queue push carrying every same-tick descriptor
+  /// for one channel (same-tick batch dispatch; see push_buffer()).
+  /// Pooled: slots are recycled through free_batch_ and keep their
+  /// descriptor vectors' capacity.
+  struct PushBatch {
+    sim::Tick at = 0;
+    int recv_idx = 0;
+    std::uint64_t epoch = 0;
+    std::vector<dpram::Descriptor> descs;
+    std::uint32_t next_free = kNoBatch;
+  };
 
   static std::uint64_t pdu_map_key(std::uint16_t vci, std::uint64_t pdu) {
     return (static_cast<std::uint64_t>(vci) << 48) | (pdu & 0xFFFFFFFFFFFFull);
@@ -243,6 +261,7 @@ class RxProcessor {
   void push_buffer(RxPdu& p, std::uint32_t idx, bool eop, std::uint64_t pdu_tag,
                    std::uint16_t vci, sim::Tick at,
                    std::uint16_t extra_flags = 0);
+  void fire_push_batch(std::uint32_t bi);
   void step_generator();
   void heartbeat_step();
   std::size_t fifo_occupancy();
@@ -277,6 +296,11 @@ class RxProcessor {
   std::unordered_map<std::uint64_t, RxPdu> pdus_;
   std::unordered_map<std::uint64_t, std::uint16_t> key_vci_;
   PendingDma pending_;
+  static constexpr std::uint32_t kNoBatch = ~std::uint32_t{0};
+  std::vector<PushBatch> push_batches_;
+  std::uint32_t free_batch_ = kNoBatch;
+  std::uint32_t open_batch_ = kNoBatch;
+  std::vector<dpram::Descriptor> descs_firing_;  // scratch for fire_push_batch
   sim::TimerHandle flush_timer_;  // combine-window timeout for pending_
   std::vector<mem::PhysBuffer> scratch_segs_;  // per-DMA scatter program
   std::deque<sim::Tick> inflight_;  // decision completion times (FIFO model)
@@ -307,6 +331,8 @@ class RxProcessor {
   std::uint64_t cells_stalled_ = 0;
   std::uint64_t cells_sar_dropped_ = 0;
   std::uint64_t dma_errors_ = 0;
+  std::uint64_t push_batches_scheduled_ = 0;
+  std::uint64_t pushes_coalesced_ = 0;
 };
 
 }  // namespace osiris::board

@@ -83,6 +83,18 @@ sim::Tick StripedLink::submit(sim::Tick from, const atm::Cell& c) {
   }
 
   if (!sink_) throw std::logic_error("StripedLink: no sink registered");
+  if (group_ != nullptr) {
+    // Export across the partition boundary. The envelope carries the cell
+    // by value (RemoteEvent's inline budget is sized for exactly this), so
+    // the sink runs on the destination partition with no shared state but
+    // the immutable sink itself.
+    Sink* sinkp = &sink_;
+    group_->schedule_remote(src_, dst_, arrival,
+                            sim::RemoteEvent([sinkp, lane, delivered] {
+                              (*sinkp)(lane, delivered);
+                            }));
+    return departed;
+  }
   const std::uint32_t slot = acquire_slot(lane, delivered);
   eng_->schedule_at(arrival, [this, slot] { deliver(slot); });
   return departed;

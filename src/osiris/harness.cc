@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "atm/checksum.h"
 #include "proto/message.h"
@@ -45,10 +46,10 @@ LatencyResult ping_pong(Testbed& tb, proto::ProtoStack& sa,
     }
   });
 
-  send_started = tb.eng.now();
-  const sim::Tick t0 = tb.a.cpu.exec(tb.eng.now(), host::Work{mca.app_send, 0});
+  send_started = tb.now();
+  const sim::Tick t0 = tb.a.cpu.exec(tb.now(), host::Work{mca.app_send, 0});
   sa.send(t0, vci, ma);
-  tb.eng.run();
+  tb.run();
 
   LatencyResult r;
   r.rtt_us_mean = rtts.mean();
@@ -182,8 +183,8 @@ ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
       }
     }
   };
-  (*pump)(tb.eng.now(), 0);
-  tb.eng.run();
+  (*pump)(tb.now(), 0);
+  tb.run();
 
   ThroughputResult r;
   r.messages = delivered;
@@ -193,6 +194,26 @@ ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
                        last - first);
   }
   return r;
+}
+
+int parse_threads(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string val;
+    if (arg == "--threads" && i + 1 < argc) {
+      val = argv[i + 1];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      val = arg.substr(10);
+    } else {
+      continue;
+    }
+    try {
+      return std::stoi(val);
+    } catch (const std::exception&) {
+      return fallback;
+    }
+  }
+  return fallback;
 }
 
 }  // namespace osiris::harness

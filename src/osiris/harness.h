@@ -58,4 +58,8 @@ ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
                                      std::uint16_t vci, std::uint32_t msg_bytes,
                                      std::uint64_t n_msgs);
 
+/// Parses a `--threads N` / `--threads=N` flag from a bench or example
+/// command line; returns `fallback` when absent or malformed.
+int parse_threads(int argc, char** argv, int fallback = 1);
+
 }  // namespace osiris::harness

@@ -99,19 +99,44 @@ class Node {
 };
 
 /// Two nodes with their boards linked back-to-back.
+///
+/// Each node is one partition of an EngineGroup (DESIGN.md §9): node `a`
+/// runs on partition 0, node `b` on partition 1, and the two StripedLinks
+/// deliver through cross-partition channels whose lookahead is the link's
+/// minimum cell latency. run() executes the conservative round protocol on
+/// `threads` OS threads; dispatch order — and therefore every stat and
+/// trace — is identical for any thread count.
 class Testbed {
  public:
-  Testbed(NodeConfig ca, NodeConfig cb);
+  Testbed(NodeConfig ca, NodeConfig cb, int threads = 1);
 
   /// Allocates a fresh VCI and maps it into both nodes' kernel channels
   /// (the x-kernel binds each path to an unused VCI, §3.1).
   std::uint16_t open_kernel_path();
 
-  sim::Engine eng;
+  /// Sets the worker-thread count for subsequent run() calls (clamped to
+  /// [1, 2]). Rejected when the two nodes share a Trace or FaultPlane:
+  /// those sinks are not synchronized across partitions.
+  void set_threads(int threads);
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Runs both partitions to completion; returns the final time.
+  sim::Tick run() { return group.run(threads_); }
+
+  /// Simulated time (the partitions agree whenever the testbed is idle).
+  [[nodiscard]] sim::Tick now() const { return group.now(); }
+
+  /// Events dispatched, summed over both nodes' engines.
+  [[nodiscard]] std::uint64_t dispatched() const {
+    return group.stats().dispatched;
+  }
+
+  sim::EngineGroup group{2};
   Node a;
   Node b;
 
  private:
+  int threads_ = 1;
   std::uint16_t next_vci_ = 100;
 };
 

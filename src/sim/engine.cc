@@ -178,8 +178,27 @@ bool Engine::step() {
   return true;
 }
 
+std::size_t Engine::step_tick() {
+  Node* n = peek_live();
+  if (n == nullptr) return 0;
+  const Tick t = n->at;
+  std::size_t fired = 0;
+  do {
+    dispatch_front();
+    ++fired;
+    n = peek_live();
+  } while (n != nullptr && n->at == t);
+  return fired;
+}
+
+std::optional<Tick> Engine::next_event_time() {
+  Node* n = peek_live();
+  if (n == nullptr) return std::nullopt;
+  return n->at;
+}
+
 Tick Engine::run() {
-  while (step()) {
+  while (step_tick() != 0) {
   }
   return now_;
 }

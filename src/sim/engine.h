@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -36,23 +37,36 @@
 
 namespace osiris::sim {
 
-/// One-shot type-erased callable with small-buffer optimization. Unlike
-/// std::function, captures up to kInlineBytes are stored inline (no heap
-/// allocation) and invocation destroys the callable — an event fires once.
-class Event {
- public:
-  /// Inline capture budget. Sized for the engine's common case: a `this`
-  /// pointer plus a handful of scalars (epoch, serial, tick), with room
-  /// for a small descriptor. Larger captures are boxed on the heap (and
-  /// counted; see boxed_allocations()).
-  static constexpr std::size_t kInlineBytes = 48;
+namespace detail {
+/// Process-wide boxing counter shared by every BasicEvent instantiation.
+struct EventMeter {
+  static inline std::uint64_t boxed_allocs = 0;
+};
+}  // namespace detail
 
-  Event() noexcept = default;
+/// One-shot type-erased callable with small-buffer optimization. Unlike
+/// std::function, captures up to Inline bytes are stored inline (no heap
+/// allocation) and invocation destroys the callable — an event fires once.
+///
+/// The inline budget is a template parameter because different carriers
+/// want different trade-offs: queue nodes (Event) stay lean for cache
+/// density, while cross-partition envelopes (RemoteEvent) are sized to
+/// carry a delivered ATM cell by value without boxing.
+template <std::size_t Inline>
+class BasicEvent {
+ public:
+  /// Inline capture budget. For Event it is sized for the engine's common
+  /// case: a `this` pointer plus a handful of scalars (epoch, serial,
+  /// tick), with room for a small descriptor. Larger captures are boxed on
+  /// the heap (and counted; see boxed_allocations()).
+  static constexpr std::size_t kInlineBytes = Inline;
+
+  BasicEvent() noexcept = default;
 
   template <typename F, typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, Event> &&
+            typename = std::enable_if_t<!std::is_same_v<D, BasicEvent> &&
                                         std::is_invocable_r_v<void, D&>>>
-  Event(F&& f) {  // NOLINT(google-explicit-constructor): callable adapter
+  BasicEvent(F&& f) {  // NOLINT(google-explicit-constructor): callable adapter
     if constexpr (sizeof(D) <= kInlineBytes &&
                   alignof(D) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<D>) {
@@ -60,19 +74,19 @@ class Event {
       ops_ = &kInlineOps<D>;
     } else {
       ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
-      ++boxed_allocs_;
+      ++detail::EventMeter::boxed_allocs;
       ops_ = &kBoxedOps<D>;
     }
   }
 
-  Event(Event&& o) noexcept : ops_(o.ops_) {
+  BasicEvent(BasicEvent&& o) noexcept : ops_(o.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(buf_, o.buf_);
       o.ops_ = nullptr;
     }
   }
 
-  Event& operator=(Event&& o) noexcept {
+  BasicEvent& operator=(BasicEvent&& o) noexcept {
     if (this != &o) {
       reset();
       ops_ = o.ops_;
@@ -84,14 +98,14 @@ class Event {
     return *this;
   }
 
-  Event(const Event&) = delete;
-  Event& operator=(const Event&) = delete;
+  BasicEvent(const BasicEvent&) = delete;
+  BasicEvent& operator=(const BasicEvent&) = delete;
 
-  ~Event() { reset(); }
+  ~BasicEvent() { reset(); }
 
   [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  /// Invokes and destroys the callable. One-shot: the Event is empty
+  /// Invokes and destroys the callable. One-shot: the event is empty
   /// afterwards (and stays valid even if the callable throws).
   void operator()() {
     const Ops* o = ops_;
@@ -103,7 +117,7 @@ class Event {
   /// inline buffer and were heap-boxed. The engine snapshots this to meter
   /// residual allocations.
   [[nodiscard]] static std::uint64_t boxed_allocations() noexcept {
-    return boxed_allocs_;
+    return detail::EventMeter::boxed_allocs;
   }
 
  private:
@@ -153,9 +167,15 @@ class Event {
 
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
-
-  static inline std::uint64_t boxed_allocs_ = 0;
 };
+
+/// The engine's queue-node event type.
+using Event = BasicEvent<48>;
+
+/// Cross-partition envelope event (see EngineGroup in group.h): sized so a
+/// link delivery — sink pointer, lane, and a 53-byte ATM cell by value —
+/// travels inline through the export ring without touching the heap.
+using RemoteEvent = BasicEvent<88>;
 
 namespace detail {
 /// Arena-backed queue node. Nodes are never freed individually; fired and
@@ -240,6 +260,21 @@ class Engine {
 
   /// Fires the single earliest event. Returns false if the queue is empty.
   bool step();
+
+  /// Batch dispatch: fires every event sharing the earliest pending tick —
+  /// including events the batch itself schedules at that same tick — in
+  /// one call, without re-entering the drain scan between them. Returns
+  /// the number of events fired; 0 means the queue is drained. run() and
+  /// run_until() are built on this, and callers that coalesce same-tick
+  /// work (e.g. the board receive path's burst handling) step the clock
+  /// one tick-batch at a time with it.
+  std::size_t step_tick();
+
+  /// Timestamp of the earliest live pending event, or nullopt when the
+  /// queue is drained. Non-const: looking ahead purges cancelled
+  /// tombstones (which is invisible to dispatch order). This is the
+  /// per-partition clock a conservative parallel run synchronizes on.
+  [[nodiscard]] std::optional<Tick> next_event_time();
 
   /// Number of live (uncancelled) events currently queued.
   [[nodiscard]] std::size_t pending() const { return size_; }

@@ -1,0 +1,190 @@
+#include "sim/group.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace osiris::sim {
+
+EngineGroup::EngineGroup(std::size_t partitions) {
+  if (partitions == 0) {
+    throw std::invalid_argument("EngineGroup: need at least one partition");
+  }
+  engines_.reserve(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    engines_.push_back(std::make_unique<Engine>());
+  }
+  chan_idx_.assign(partitions * partitions, -1);
+  inbound_.resize(partitions);
+  inboxes_.resize(partitions);
+  inbound_window_.assign(partitions, kNoHorizon);
+  horizon_.assign(partitions, 0);
+}
+
+EngineGroup::~EngineGroup() = default;
+
+EngineGroup::Channel* EngineGroup::channel(std::size_t src, std::size_t dst) {
+  const int idx = chan_idx_[src * partitions() + dst];
+  return idx < 0 ? nullptr : channels_[static_cast<std::size_t>(idx)].get();
+}
+
+void EngineGroup::connect(std::size_t src, std::size_t dst, Duration lookahead) {
+  if (src >= partitions() || dst >= partitions() || src == dst) {
+    throw std::logic_error("EngineGroup::connect: bad partition pair");
+  }
+  if (lookahead == 0) {
+    throw std::logic_error(
+        "EngineGroup::connect: zero lookahead admits no conservative window");
+  }
+  Channel* ch = channel(src, dst);
+  if (ch == nullptr) {
+    auto owned = std::make_unique<Channel>();
+    ch = owned.get();
+    ch->src = src;
+    ch->dst = dst;
+    ch->lookahead = lookahead;
+    chan_idx_[src * partitions() + dst] = static_cast<int>(channels_.size());
+    channels_.push_back(std::move(owned));
+    inbound_[dst].push_back(ch);
+  } else {
+    ch->lookahead = std::min(ch->lookahead, lookahead);
+  }
+  inbound_window_[dst] = std::min(inbound_window_[dst], ch->lookahead);
+}
+
+void EngineGroup::schedule_remote(std::size_t src, std::size_t dst, Tick at,
+                                  RemoteEvent ev) {
+  Channel* ch = channel(src, dst);
+  if (ch == nullptr) {
+    throw std::logic_error("EngineGroup::schedule_remote: no channel " +
+                           std::to_string(src) + " -> " + std::to_string(dst));
+  }
+  const Tick earliest = engines_[src]->now() + ch->lookahead;
+  if (at < earliest) {
+    throw std::logic_error(
+        "EngineGroup::schedule_remote: event violates the channel's declared "
+        "lookahead (conservative sync would be unsound)");
+  }
+  if (!ev) {
+    throw std::logic_error("EngineGroup::schedule_remote: empty event");
+  }
+  Envelope e{at, std::move(ev)};
+  // Once anything has spilled, later envelopes must spill too: the consumer
+  // only drains at barriers, and replays ring-then-overflow in push order.
+  if (!ch->overflow.empty() || !ch->ring.try_push(std::move(e))) {
+    ch->overflow.push_back(std::move(e));
+    ++ch->overflowed;
+  }
+}
+
+void EngineGroup::import_envelope(std::size_t p, Envelope e) {
+  Inbox& ib = inboxes_[p];
+  std::uint32_t idx;
+  if (!ib.free.empty()) {
+    idx = ib.free.back();
+    ib.free.pop_back();
+    ib.slots[idx] = std::move(e.ev);
+  } else {
+    idx = static_cast<std::uint32_t>(ib.slots.size());
+    ib.slots.push_back(std::move(e.ev));
+  }
+  // The queue node carries only {inbox, slot} — lean enough to stay inline —
+  // while the fat envelope waits in the pool until its tick comes up.
+  Inbox* ibp = &ib;
+  engines_[p]->schedule_at(e.at, [ibp, idx] {
+    RemoteEvent ev = std::move(ibp->slots[idx]);
+    ibp->free.push_back(idx);
+    ev();
+  });
+}
+
+void EngineGroup::drain_inbound(std::size_t p) {
+  for (Channel* ch : inbound_[p]) {
+    Envelope e;
+    while (ch->ring.try_pop(e)) {
+      import_envelope(p, std::move(e));
+      ++ch->imported;
+    }
+    // The producer's overflow list is quiesced here: it was last written
+    // before the barrier that ended the previous round.
+    for (Envelope& o : ch->overflow) {
+      import_envelope(p, std::move(o));
+      ++ch->imported;
+    }
+    ch->overflow.clear();
+  }
+}
+
+void EngineGroup::compute_round() {
+  Tick n = kNoHorizon;
+  bool any = false;
+  for (auto& eng : engines_) {
+    if (const auto t = eng->next_event_time()) {
+      n = std::min(n, *t);
+      any = true;
+    }
+  }
+  done_ = !any;
+  if (done_) return;
+  ++rounds_;
+  for (std::size_t p = 0; p < partitions(); ++p) {
+    const Tick w = inbound_window_[p];
+    horizon_[p] =
+        (w == kNoHorizon || n >= kNoHorizon - w) ? kNoHorizon : n + w - 1;
+  }
+}
+
+void EngineGroup::worker(int wid, int threads) {
+  // Partitions are owned round-robin by worker id. Ownership only decides
+  // *which thread* runs a partition; imports are sequenced per destination,
+  // so the dispatch order is the same for every thread count.
+  while (true) {
+    for (std::size_t p = static_cast<std::size_t>(wid); p < partitions();
+         p += static_cast<std::size_t>(threads)) {
+      drain_inbound(p);
+    }
+    barrier_->arrive_and_wait([this] { compute_round(); });
+    if (done_) break;
+    for (std::size_t p = static_cast<std::size_t>(wid); p < partitions();
+         p += static_cast<std::size_t>(threads)) {
+      if (horizon_[p] == kNoHorizon) {
+        engines_[p]->run();
+      } else {
+        engines_[p]->run_until(horizon_[p]);
+      }
+    }
+    barrier_->arrive_and_wait();
+  }
+}
+
+Tick EngineGroup::run(int threads) {
+  threads = std::clamp(threads, 1, static_cast<int>(partitions()));
+  barrier_ = std::make_unique<SyncBarrier>(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int w = 1; w < threads; ++w) {
+    pool.emplace_back([this, w, threads] { worker(w, threads); });
+  }
+  worker(0, threads);
+  for (auto& t : pool) t.join();
+  return now();
+}
+
+Tick EngineGroup::now() const {
+  Tick t = 0;
+  for (const auto& eng : engines_) t = std::max(t, eng->now());
+  return t;
+}
+
+EngineGroup::Stats EngineGroup::stats() const {
+  Stats s;
+  s.rounds = rounds_;
+  for (const auto& ch : channels_) {
+    s.remote_events += ch->imported;
+    s.ring_overflows += ch->overflowed;
+  }
+  for (const auto& eng : engines_) s.dispatched += eng->dispatched();
+  return s;
+}
+
+}  // namespace osiris::sim

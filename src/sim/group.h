@@ -1,0 +1,182 @@
+// Partitioned conservative parallel DES (DESIGN.md §9).
+//
+// An EngineGroup owns N calendar engines ("partitions"); each Testbed node
+// (and, in principle, each striped-link sublink) gets one. Partition state
+// is thread-confined: a partition's events run only on the thread that
+// owns it, so the hot dispatch path is exactly the serial engine's.
+//
+// Partitions interact only through declared channels, each carrying a
+// lookahead: a lower bound on the latency between the moment the source
+// schedules a cross-partition event and the tick it fires at. For the
+// OSIRIS testbed the bound is physical — a submitted cell serializes for
+// one cell time and then propagates for the wire's fixed delay before the
+// peer can see it — which is exactly the structure conservative parallel
+// simulation needs.
+//
+// Synchronization is a barrier-window protocol. Each round:
+//   1. every partition imports the envelopes its inbound rings accumulated
+//      (partitions are quiesced, so ring contents are complete and their
+//      order is the deterministic order the producer pushed in);
+//   2. one thread computes N = the earliest pending tick anywhere and
+//      hands each partition p the horizon N + W_p - 1, where W_p is the
+//      minimum lookahead over p's inbound channels (a partition with no
+//      inbound channel free-runs: nothing can ever reach it);
+//   3. every partition dispatches its events up to its horizon.
+// Every event a round generates fires at its destination p no earlier than
+// N + W_p, i.e. in a later round, so no partition ever runs past what a
+// neighbor might still send it — and
+// because imports happen only at quiesced barriers and are sequenced in
+// (channel index, push order), dispatch order is a pure function of the
+// simulation state: a 2-thread run is bit-identical to the 1-thread run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/spsc.h"
+#include "sim/time.h"
+
+namespace osiris::sim {
+
+/// Reusable sense-reversing barrier. The last thread to arrive runs the
+/// caller-supplied leader section (with every other participant quiesced)
+/// before releasing the phase; release/acquire on the phase word gives the
+/// happens-before edges the leader's reads and writes need. Spins briefly,
+/// then yields — the testbed is often run with more threads than cores
+/// (not least in CI), where pure spinning would invert the speedup.
+class SyncBarrier {
+ public:
+  explicit SyncBarrier(int parties) : parties_(parties) {}
+
+  template <typename F>
+  void arrive_and_wait(F&& leader) {
+    const std::uint32_t ph = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      leader();
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(ph + 1, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == ph) {
+      if (++spins > kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void arrive_and_wait() {
+    arrive_and_wait([] {});
+  }
+
+ private:
+  static constexpr int kSpinLimit = 2048;
+  int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint32_t> phase_{0};
+};
+
+class EngineGroup {
+ public:
+  /// Aggregate counters for the last / cumulative run()s.
+  struct Stats {
+    std::uint64_t rounds = 0;          ///< barrier rounds executed
+    std::uint64_t remote_events = 0;   ///< envelopes imported
+    std::uint64_t ring_overflows = 0;  ///< envelopes that spilled past the ring
+    std::uint64_t dispatched = 0;      ///< events fired, summed over partitions
+  };
+
+  explicit EngineGroup(std::size_t partitions);
+  ~EngineGroup();
+  EngineGroup(const EngineGroup&) = delete;
+  EngineGroup& operator=(const EngineGroup&) = delete;
+
+  [[nodiscard]] std::size_t partitions() const { return engines_.size(); }
+  [[nodiscard]] Engine& partition(std::size_t i) { return *engines_[i]; }
+
+  /// Declares a directed channel src -> dst whose events always carry at
+  /// least `lookahead` ticks of latency. The lookahead must be nonzero —
+  /// a zero bound admits no conservative window (rejected, not clamped,
+  /// so a misconfigured link fails loudly instead of deadlocking).
+  /// Redeclaring an existing channel tightens its lookahead downward.
+  void connect(std::size_t src, std::size_t dst, Duration lookahead);
+
+  /// Schedules `ev` onto partition `dst`'s engine at absolute tick `at`,
+  /// from partition `src`. Must respect the channel's declared lookahead:
+  /// at >= src.now() + lookahead. Callable from src's thread only (the
+  /// channel ring is single-producer). The event is dispatched on dst's
+  /// thread, interleaved into dst's (tick, seq) order at import time.
+  void schedule_remote(std::size_t src, std::size_t dst, Tick at,
+                       RemoteEvent ev);
+
+  /// Runs every partition to completion on `threads` OS threads (clamped
+  /// to [1, partitions]). threads == 1 executes the identical round
+  /// protocol in-process, so dispatch order — and therefore every stat and
+  /// trace — is independent of the thread count. Returns now().
+  Tick run(int threads = 1);
+
+  /// Max of the partition clocks (they agree at every quiesced point).
+  [[nodiscard]] Tick now() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Envelope {
+    Tick at = 0;
+    RemoteEvent ev;
+  };
+  struct Channel {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    Tick lookahead = 0;
+    SpscRing<Envelope> ring{kRingCapacity};
+    std::vector<Envelope> overflow;  // producer-owned; drained at barriers
+    std::uint64_t overflowed = 0;    // producer-owned counter
+    std::uint64_t imported = 0;      // consumer-owned counter
+  };
+  /// Destination-owned parking pool for imported envelopes: the engine's
+  /// queue nodes only carry lean 48-byte events, so the big envelope waits
+  /// in a pooled slot and the scheduled event captures {inbox, slot}.
+  struct Inbox {
+    std::vector<RemoteEvent> slots;
+    std::vector<std::uint32_t> free;
+  };
+
+  static constexpr std::size_t kRingCapacity = 1024;
+  static constexpr Tick kNoHorizon = ~Tick{0};
+
+  Channel* channel(std::size_t src, std::size_t dst);
+  void drain_inbound(std::size_t p);
+  void import_envelope(std::size_t p, Envelope e);
+  /// Leader section: recomputes per-partition horizons; sets done_ when
+  /// every engine has drained (rings are empty at this point — they were
+  /// drained on the same side of the barrier).
+  void compute_round();
+  void worker(int wid, int threads);
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<int> chan_idx_;                 // [src * n + dst] -> index or -1
+  std::vector<std::vector<Channel*>> inbound_;  // per destination
+  std::vector<Inbox> inboxes_;
+  // Per-destination window: min lookahead over the partition's inbound
+  // channels (kNoHorizon when it has none and can free-run).
+  std::vector<Tick> inbound_window_;
+
+  // Round state: written by the barrier leader, read by all workers; the
+  // barrier's release/acquire ordering covers both directions.
+  std::vector<Tick> horizon_;
+  bool done_ = false;
+  std::unique_ptr<SyncBarrier> barrier_;
+
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace osiris::sim

@@ -1,0 +1,77 @@
+// Bounded single-producer/single-consumer ring.
+//
+// The cross-partition export path (see group.h) moves event envelopes from
+// the partition that generated them to the partition that will dispatch
+// them. Each directed channel has exactly one producer (the source
+// partition's thread) and one consumer (the destination's), so the queue
+// needs only two monotone cursors with acquire/release ordering — no CAS,
+// no locks, no allocation on the hot path. Producer and consumer each keep
+// a cached copy of the other side's cursor so the common push/pop touches
+// only one shared cache line when the ring is neither full nor empty.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace osiris::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full (the caller spills
+  /// to its overflow list, handed over at the next barrier).
+  bool try_push(T&& v) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h - tail_cache_ == slots_.size()) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h - tail_cache_ == slots_.size()) return false;
+    }
+    slots_[h & mask_] = std::move(v);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (head_cache_ == t) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (head_cache_ == t) return false;
+    }
+    out = std::move(slots_[t & mask_]);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness check (exact only while the producer is
+  /// quiesced, which is how the barrier protocol uses it).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer cursor
+  std::size_t tail_cache_ = 0;                    // producer's view of tail
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer cursor
+  std::size_t head_cache_ = 0;                    // consumer's view of head
+};
+
+}  // namespace osiris::sim

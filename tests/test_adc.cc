@@ -34,7 +34,7 @@ TEST(Adc, UserToUserRoundTrip) {
   proto::Message m = proto::Message::from_payload(ca.space(), data);
   ca.authorize(m.scatter());
   ca.send(0, 500, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got, data);
 }
 
@@ -54,7 +54,7 @@ TEST(Adc, UnauthorizedTransmitBufferRaisesViolation) {
   proto::Message m = proto::Message::from_payload(ca.space(), pattern(500, 2));
   // Deliberately NOT authorized.
   ca.send(0, 501, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(delivered, 0u);
   EXPECT_TRUE(exception_raised);
   EXPECT_EQ(ca.violations(), 1u);
@@ -89,7 +89,7 @@ TEST(Adc, KernelAndAdcTrafficCoexist) {
     t = ks_a->send(t, kvci, km);
     t = ca.send(t, 502, am);
   }
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(kernel_got, 5u);
   EXPECT_EQ(adc_got, 5u);
 }
@@ -115,7 +115,7 @@ TEST(Adc, LatencyMatchesKernelPathWithinMargin) {
       t_done = at;
     });
     sa->send(0, vci, ma);
-    tb.eng.run();
+    tb.run();
     return t_done;
   };
   auto rtt_adc = [] {
@@ -137,7 +137,7 @@ TEST(Adc, LatencyMatchesKernelPathWithinMargin) {
       t_done = at;
     });
     ca.send(0, 503, ma);
-    tb.eng.run();
+    tb.run();
     return t_done;
   };
   const double k = sim::to_us(rtt_kernel());

@@ -56,7 +56,7 @@ TEST(Adc2, UnauthorizedReceiveBufferIsSkippedWithViolation) {
   ca.authorize(m.scatter());
   sim::Tick t = 0;
   for (int i = 0; i < 3; ++i) t = ca.send(t, 960, m);
-  tb.eng.run();
+  tb.run();
 
   EXPECT_TRUE(violation) << "the forged buffer must raise an exception";
   EXPECT_GE(cb.violations(), 1u);
@@ -84,7 +84,7 @@ TEST(Adc2, UdpStackOverAdcWithChecksum) {
   ca.authorize(m.scatter());
   sim::Tick t = 0;
   for (int i = 0; i < 4; ++i) t = ca.send(t, 961, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(ok, 4u);
   EXPECT_EQ(cb.stack().checksum_failures(), 0u);
   EXPECT_EQ(ca.violations() + cb.violations(), 0u)
@@ -119,7 +119,7 @@ TEST(Adc2, ThreeChannelsShareTheBoardWithoutCrosstalk) {
     t = tx_chs[static_cast<std::size_t>(i)]->send(t, vci, m);
     sent[vci] = data;
   }
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got.size(), 3u);
   for (const auto& [vci, data] : sent) EXPECT_EQ(got[vci], data);
 }
@@ -130,9 +130,9 @@ TEST(Adc2, RpcArenaMakesUserSpaceRpcViolationFree) {
   sc.udp_checksum = true;
   adc::Adc ca(deps_of(tb.a), 1, {980}, 1, sc);
   adc::Adc cb(deps_of(tb.b), 1, {980}, 1, sc);
-  proto::RpcEndpoint client(tb.eng, ca.stack(), ca.space(), tb.a.cpu,
+  proto::RpcEndpoint client(tb.a.eng, ca.stack(), ca.space(), tb.a.cpu,
                             tb.a.cfg.machine);
-  proto::RpcEndpoint server(tb.eng, cb.stack(), cb.space(), tb.b.cpu,
+  proto::RpcEndpoint server(tb.b.eng, cb.stack(), cb.space(), tb.b.cpu,
                             tb.b.cfg.machine);
   ca.authorize(client.arena_buffers());
   cb.authorize(server.arena_buffers());
@@ -146,7 +146,7 @@ TEST(Adc2, RpcArenaMakesUserSpaceRpcViolationFree) {
                       ++done;
                     });
   }
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(done, 10);
   EXPECT_EQ(ca.violations() + cb.violations(), 0u);
   EXPECT_EQ(client.timeouts(), 0u);
@@ -160,9 +160,9 @@ TEST(Adc2, WithoutArenaAuthorizationRpcViolates) {
   sc.mode = proto::StackMode::kRawAtm;
   adc::Adc ca(deps_of(tb.a), 1, {981}, 1, sc);
   adc::Adc cb(deps_of(tb.b), 1, {981}, 1, sc);
-  proto::RpcEndpoint client(tb.eng, ca.stack(), ca.space(), tb.a.cpu,
+  proto::RpcEndpoint client(tb.a.eng, ca.stack(), ca.space(), tb.a.cpu,
                             tb.a.cfg.machine);
-  proto::RpcEndpoint server(tb.eng, cb.stack(), cb.space(), tb.b.cpu,
+  proto::RpcEndpoint server(tb.b.eng, cb.stack(), cb.space(), tb.b.cpu,
                             tb.b.cfg.machine);
   cb.authorize(server.arena_buffers());
   server.serve([](std::vector<std::uint8_t> req) { return req; });
@@ -172,7 +172,7 @@ TEST(Adc2, WithoutArenaAuthorizationRpcViolates) {
                 timed_out = !r.has_value();
               },
               sim::ms(2));
-  tb.eng.run();
+  tb.run();
   EXPECT_TRUE(timed_out);
   EXPECT_GE(ca.violations(), 1u);
 }

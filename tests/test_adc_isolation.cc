@@ -51,7 +51,7 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
   const std::size_t base_free_b = tb.b.frames.free_frames();
 
   // Kernel-side supervision on the sender node, where the adversaries live.
-  adc::AdcSupervisor sup(tb.eng, tb.a.txp, tb.a.rxp);
+  adc::AdcSupervisor sup(tb.a.eng, tb.a.txp, tb.a.rxp);
 
   // --- Two well-behaved tenants (pairs 1, 2) -------------------------
   constexpr std::size_t kMsgBytes = 2000;
@@ -107,7 +107,7 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
   // --- Free-list poisoner (pair 5, on the RECEIVE node) --------------
   // Its driver corrupts every descriptor it recycles; node b's receive
   // firmware must reject them without ever DMAing at a poisoned address.
-  adc::AdcSupervisor sup_b(tb.eng, tb.b.txp, tb.b.rxp);
+  adc::AdcSupervisor sup_b(tb.b.eng, tb.b.txp, tb.b.rxp);
   fault::FaultPlane poisoner(0xF01);
   poisoner.arm(fault::Point::kAdcFreeListPoison, {1.0, 0, 64});
   auto poison_tx = std::make_unique<adc::Adc>(
@@ -159,7 +159,7 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
     // starts popping recycled — corrupted — descriptors.
     for (int r = 0; r < 4; ++r) tp = poison_tx->send(tp, 812, pm);
   }
-  tb.eng.run();
+  tb.run();
 
   // --- Well-behaved tenants: byte-exact, in-order, complete ----------
   for (auto& [pair, gt] : good) {
@@ -206,7 +206,7 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
     EXPECT_EQ(gt.tx->driver().wiring().wired_frames(), 0u);
     EXPECT_EQ(gt.rx->driver().wiring().wired_frames(), 0u);
   }
-  tb.eng.run();  // drain whatever teardown scheduled
+  tb.run();  // drain whatever teardown scheduled
   // Messages are views over space-owned frames, so destroying every Adc
   // (each owns its tenant's address space) must return BOTH nodes' frame
   // allocators exactly to their pre-soak level — nothing wedged in rings,
@@ -228,7 +228,7 @@ TEST(AdcIsolation, ConsumptionBudgetQuarantinesWellFormedFlooder) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
-  adc::AdcSupervisor sup(tb.eng, tb.a.txp, tb.a.rxp);
+  adc::AdcSupervisor sup(tb.a.eng, tb.a.txp, tb.a.rxp);
 
   adc::Adc flooder(deps_of(tb.a), 1, {820}, 1, sc);
   adc::Adc flooder_rx(deps_of(tb.b), 1, {820}, 1, sc);
@@ -250,7 +250,7 @@ TEST(AdcIsolation, ConsumptionBudgetQuarantinesWellFormedFlooder) {
   flooder.authorize(m.scatter());
   sim::Tick t = 0;
   for (int i = 0; i < 40; ++i) t = flooder.send(t, 820, m);
-  tb.eng.run();
+  tb.run();
 
   EXPECT_TRUE(sup.quarantined(flooder.pair()));
   EXPECT_LT(delivered, 40u) << "quarantine should have cut the flood short";

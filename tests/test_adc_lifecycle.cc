@@ -66,7 +66,7 @@ TEST(AdcLifecycle, ViolationHandlerScopedToOffendingChannel) {
   proto::Message m = proto::Message::from_payload(ca.space(), pattern(600, 1));
   // Deliberately NOT authorized: the board rejects A's descriptors.
   ca.send(0, 701, m);
-  tb.eng.run();
+  tb.run();
 
   EXPECT_GE(a_exceptions, 1);
   EXPECT_EQ(x_exceptions, 0) << "bystander channel saw A's violation";
@@ -88,7 +88,7 @@ TEST(AdcLifecycle, ViolationAfterCloseIsDropped) {
 
   tb.a.intc.raise(board::Irq::kAccessViolation, ca.pair());
   ca.close();  // in-flight delivery: raised before, serviced after
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(exceptions, 0) << "violation delivered to a closed channel";
   EXPECT_EQ(ca.violations(), 0u);
 
@@ -118,9 +118,9 @@ TEST(AdcLifecycle, OpenTrafficCloseReopenRestoresBaseline) {
     });
     proto::Message m = proto::Message::from_payload(ca->space(), data);
     ca->authorize(m.scatter());
-    sim::Tick t = tb.eng.now();  // round 2 starts after round 1's clock
+    sim::Tick t = tb.now();  // round 2 starts after round 1's clock
     for (int i = 0; i < 4; ++i) t = ca->send(t, 704, m);
-    tb.eng.run();
+    tb.run();
     EXPECT_EQ(got, 4u) << "round " << round;
 
     ca->close();
@@ -128,7 +128,7 @@ TEST(AdcLifecycle, OpenTrafficCloseReopenRestoresBaseline) {
     // Teardown must leave no wired pages behind on either side.
     EXPECT_EQ(ca->driver().wiring().wired_frames(), 0u) << "round " << round;
     EXPECT_EQ(cb->driver().wiring().wired_frames(), 0u) << "round " << round;
-    tb.eng.run();  // drain anything teardown scheduled
+    tb.run();  // drain anything teardown scheduled
   };
 
   run_once(1);
@@ -182,11 +182,11 @@ TEST(AdcLifecycle, CloseMidTrafficLeavesOtherChannelsUnharmed) {
     t = good_tx.send(t, 711, mg);
   }
   // Kill the receiver while the burst is mid-flight.
-  tb.eng.schedule(sim::us(100), [&] {
+  tb.b.eng.schedule(sim::us(100), [&] {
     dying_rx->close();
     dying_rx.reset();
   });
-  tb.eng.run();
+  tb.run();
 
   EXPECT_EQ(good_got, 6u) << "neighbour channel was perturbed by teardown";
   EXPECT_LT(dead_got, 6u) << "close mid-flight should have cut delivery";

@@ -49,7 +49,7 @@ TEST(Board2, HigherPriorityAdcTransmitsFirst) {
   for (int i = 0; i < 4; ++i) t = lo_tx.send(t, 910, ml);
   sim::Tick t2 = 0;
   for (int i = 0; i < 4; ++i) t2 = hi_tx.send(t2, 911, mh);
-  tb.eng.run();
+  tb.run();
 
   ASSERT_EQ(order.size(), 8u);
   // The first PDU may already be in flight, but among the rest the high-

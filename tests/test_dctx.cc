@@ -37,7 +37,7 @@ TEST(DoubleCellTx, DataIntegrityAcrossSizesAndAlignments) {
     t = sa->send(t, vci, m);
     sent.push_back(std::move(data));
   }
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got, sent);
 }
 
@@ -52,7 +52,7 @@ TEST(DoubleCellTx, FewerLargerDmaReads) {
     proto::Message m = proto::Message::from_payload(tb.a.kernel_space,
                                                     pattern(16000, 1), 0);
     sa->send(0, vci, m);
-    tb.eng.run();
+    tb.run();
     return tb.a.txp.dma_ops();
   };
   const auto single = count(false);
@@ -103,7 +103,7 @@ TEST(DoubleCellTx, SkewDoesNotBreakDoubleCellTransmit) {
   proto::Message m = proto::Message::from_payload(tb.a.kernel_space, want);
   sim::Tick t = 0;
   for (int i = 0; i < 8; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(ok, 8u);
 }
 

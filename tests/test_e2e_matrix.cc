@@ -64,7 +64,7 @@ TEST_P(E2EMatrix, PayloadIntegrity) {
       proto::Message::from_payload(tb.a.kernel_space, want, c.offset);
   sim::Tick t = 0;
   for (int i = 0; i < 3; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(delivered, 3u);
   EXPECT_EQ(sb->checksum_failures(), 0u);
   EXPECT_EQ(sb->reassembly_drops(), 0u);
@@ -132,7 +132,7 @@ TEST_P(E2ESkewMatrix, PayloadIntegrityUnderSkew) {
       proto::Message::from_payload(tb.a.kernel_space, want, c.offset);
   sim::Tick t = 0;
   for (int i = 0; i < 3; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(delivered, 3u);
   EXPECT_EQ(sb->checksum_failures(), 0u);
 }

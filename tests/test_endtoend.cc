@@ -49,7 +49,7 @@ TEST_P(SkewE2E, IntegrityUnderSkew) {
     t = sa->send(t, vci, m);
     sent.push_back(data);
   }
-  tb.eng.run();
+  tb.run();
   ASSERT_EQ(got.size(), sent.size());
   // Delivery may complete out of order under skew across messages with
   // different sizes; compare as multisets.
@@ -75,7 +75,7 @@ TEST(EndToEnd, MixedMachinePairWorks) {
       proto::Message::from_payload(tb.a.kernel_space, pattern(20000, 9));
   sim::Tick t = 0;
   for (int i = 0; i < 5; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(n, 5u);
 }
 

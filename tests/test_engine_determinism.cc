@@ -309,7 +309,7 @@ std::uint64_t mixed_run_hash() {
                      proto::Message::from_payload(tb.b.kernel_space, payload));
     }
   }
-  tb.eng.run();
+  tb.run();
 
   for (const sim::TraceEvent& e : trace.events()) {
     h = fnv(h, e.at);
@@ -318,8 +318,8 @@ std::uint64_t mixed_run_hash() {
     h = fnv(h, e.a);
     h = fnv(h, e.b);
   }
-  h = fnv(h, tb.eng.dispatched());
-  h = fnv(h, tb.eng.now());
+  h = fnv(h, tb.dispatched());
+  h = fnv(h, tb.now());
   return h;
 }
 

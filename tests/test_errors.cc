@@ -48,7 +48,7 @@ TEST(Errors, PayloadCorruptionCaughtByChecksumNotMisdeliveredAsStale) {
       proto::Message::from_payload(net.tb.a.kernel_space, want);
   sim::Tick t = 0;
   for (int i = 0; i < 20; ++i) t = net.sa->send(t, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_GT(net.sb->checksum_failures(), 0u) << "most damage must be caught";
   EXPECT_EQ(net.sb->stale_recoveries(), 0u) << "wire damage is not stale cache";
   EXPECT_EQ(ok + escapes + net.sb->checksum_failures(), 20u);
@@ -68,7 +68,7 @@ TEST(Errors, HeaderCorruptionDropsCellsAtTheBoard) {
   proto::Message m =
       proto::Message::from_payload(net.tb.a.kernel_space, pattern(3000, 2));
   net.sa->send(0, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(delivered, 0u);
   EXPECT_GT(net.tb.b.rxp.cells_bad_header(), 0u);
 }
@@ -95,7 +95,7 @@ TEST(Errors, CellLossLeavesIncompletePdusAndGcReclaims) {
       proto::Message::from_payload(net.tb.a.kernel_space, pattern(10000, 3));
   sim::Tick t = 0;
   for (int i = 0; i < 25; ++i) t = net.sa->send(t, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_LT(delivered, 25u) << "2% loss must kill some messages";
   EXPECT_GT(delivered, 0u);
   // Incomplete reassembly state remains on the board; GC reclaims it.
@@ -103,8 +103,8 @@ TEST(Errors, CellLossLeavesIncompletePdusAndGcReclaims) {
   EXPECT_GT(purged, 0u);
   EXPECT_EQ(net.tb.b.rxp.purge_incomplete(0), 0u) << "idempotent";
   // Partial buffer accumulations in the driver are reclaimed too.
-  net.tb.b.driver.flush_partials(net.tb.eng.now());
-  net.tb.eng.run();
+  net.tb.b.driver.flush_partials(net.tb.now());
+  net.tb.run();
 }
 
 TEST(Errors, LossyBurstsDoNotPoisonLaterTraffic) {
@@ -129,12 +129,12 @@ TEST(Errors, LossyBurstsDoNotPoisonLaterTraffic) {
   proto::Message junk =
       proto::Message::from_payload(net.tb.a.kernel_space, pattern(5000, 5));
   net.sa->send(0, 999, junk);  // VCI 999 unmapped at B
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(delivered, 0u);
   // Phase 2: normal traffic flows untouched.
-  sim::Tick t = net.tb.eng.now();
+  sim::Tick t = net.tb.now();
   for (int i = 0; i < 5; ++i) t = net.sa->send(t, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(delivered, 5u);
 }
 
@@ -159,7 +159,7 @@ TEST(Errors, QuadStrategyIsFragileUnderLossAsPaperImplies) {
       proto::Message::from_payload(net.tb.a.kernel_space, pattern(4000, 6));
   sim::Tick t = 0;
   for (int i = 0; i < 20; ++i) t = net.sa->send(t, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_LT(delivered, 20u);
 }
 

@@ -21,7 +21,7 @@ TEST(Paths, OpenBindsBothEnds) {
   proto::Message m = proto::Message::from_payload(
       tb.a.kernel_space, std::vector<std::uint8_t>(100, 1));
   sa->send(0, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got, 1u);
 }
 
@@ -43,7 +43,7 @@ TEST(Paths, HundredsOfPathsAreCheap) {
   proto::Message m = proto::Message::from_payload(
       tb.a.kernel_space, std::vector<std::uint8_t>(64, 2));
   sa->send(0, vcis[250], m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got, 1u);
 }
 
@@ -62,7 +62,7 @@ TEST(Paths, CloseUnbindsAndTrafficIsDropped) {
   proto::Message m = proto::Message::from_payload(
       tb.a.kernel_space, std::vector<std::uint8_t>(64, 3));
   sa->send(0, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got, 0u) << "cells on a closed VCI are discarded at the board";
 }
 
@@ -82,7 +82,7 @@ TEST(Paths, VciReuseAfterCloseWorks) {
   proto::Message m = proto::Message::from_payload(
       tb.a.kernel_space, std::vector<std::uint8_t>(64, 4));
   sa->send(0, v1, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got, 1u);
 }
 
@@ -96,7 +96,7 @@ TEST(Stats, SnapshotReflectsTraffic) {
       tb.a.kernel_space, std::vector<std::uint8_t>(5000, 5));
   sim::Tick t = 0;
   for (int i = 0; i < 4; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
 
   const NodeStats a = snapshot(tb.a);
   const NodeStats b = snapshot(tb.b);
@@ -129,7 +129,7 @@ TEST(Stats, DpramAccessesPerPduAreSmall) {
       tb.a.kernel_space, std::vector<std::uint8_t>(16000, 6));
   sim::Tick t = 0;
   for (int i = 0; i < 20; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   const NodeStats b = snapshot(tb.b);
   EXPECT_GT(b.host_accesses_per_pdu(), 5.0);
   EXPECT_LT(b.host_accesses_per_pdu(), 60.0);
@@ -150,9 +150,9 @@ struct RpcNet {
     sa = tb.a.make_stack(sc);
     sb = tb.b.make_stack(sc);
     client = std::make_unique<proto::RpcEndpoint>(
-        tb.eng, *sa, tb.a.kernel_space, tb.a.cpu, tb.a.cfg.machine);
+        tb.a.eng, *sa, tb.a.kernel_space, tb.a.cpu, tb.a.cfg.machine);
     server = std::make_unique<proto::RpcEndpoint>(
-        tb.eng, *sb, tb.b.kernel_space, tb.b.cpu, tb.b.cfg.machine);
+        tb.b.eng, *sb, tb.b.kernel_space, tb.b.cpu, tb.b.cfg.machine);
   }
 };
 
@@ -167,7 +167,7 @@ TEST(Rpc, EchoCall) {
                    [&](sim::Tick, std::optional<std::vector<std::uint8_t>> r) {
                      got = std::move(r);
                    });
-  net.tb.eng.run();
+  net.tb.run();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, (std::vector<std::uint8_t>{4, 3, 2, 1}));
   EXPECT_EQ(net.client->responses(), 1u);
@@ -192,7 +192,7 @@ TEST(Rpc, ManyOutstandingCallsMatchById) {
           ++completed;
         });
   }
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(completed, 50);
 }
 
@@ -205,7 +205,7 @@ TEST(Rpc, TimeoutFiresWhenServerIsDeaf) {
                      timed_out = !r.has_value();
                    },
                    sim::ms(5));
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_TRUE(timed_out);
   EXPECT_EQ(net.client->timeouts(), 1u);
   EXPECT_EQ(net.server->stray(), 1u);
@@ -221,7 +221,7 @@ TEST(Rpc, LateResponseAfterTimeoutIsStray) {
                      timed_out = !r.has_value();
                    },
                    sim::us(10));
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_TRUE(timed_out);
   EXPECT_EQ(net.client->stray(), 1u) << "the late response must not crash";
 }
@@ -236,7 +236,7 @@ TEST(Rpc, LargePayloadsFragmentAndReturn) {
                    [&](sim::Tick, std::optional<std::vector<std::uint8_t>> r) {
                      if (r) got_len = r->size();
                    });
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(got_len, 80000u);
 }
 

@@ -292,7 +292,7 @@ TEST(FaultE2E, DmaErrorIsCaughtByChecksum) {
   net.fp.arm(fault::Point::kDmaError, {.after = 2, .budget = 1});
   sim::Tick t = 0;
   for (std::uint32_t i = 0; i < 5; ++i) t = net.send_tagged(t, i, 1024);
-  net.tb.eng.run();
+  net.tb.run();
 
   EXPECT_EQ(net.received.size(), 4u);  // exactly the corrupted one is dropped
   for (const auto& msg : net.received) {
@@ -309,7 +309,7 @@ TEST(FaultE2E, LostInterruptRecoveredByWatchdogPoll) {
   net.fp.arm(fault::Point::kIrqLost, {.after = 1, .budget = 1});
   net.tb.b.start_watchdog(sim::ms(1), sim::ms(5), /*until=*/sim::ms(20));
   net.send_tagged(0, 1, 2000);
-  net.tb.eng.run();
+  net.tb.run();
 
   ASSERT_EQ(net.received.size(), 1u);
   EXPECT_EQ(net.received[0], tagged(2000, 1));
@@ -325,14 +325,14 @@ TEST(FaultE2E, ForceResetRepostsBuffersAndTrafficResumes) {
   net.tb.b.driver.set_postmortem_stream(&pm);
   sim::Tick t = 0;
   for (std::uint32_t i = 0; i < 3; ++i) t = net.send_tagged(t, i, 4000);
-  net.tb.eng.schedule_at(sim::ms(5), [&] {
-    net.tb.b.driver.force_reset(net.tb.eng.now());
+  net.tb.b.eng.schedule_at(sim::ms(5), [&] {
+    net.tb.b.driver.force_reset(net.tb.b.eng.now());
   });
-  net.tb.eng.schedule_at(sim::ms(6), [&] {
-    sim::Tick t2 = net.tb.eng.now();
+  net.tb.a.eng.schedule_at(sim::ms(6), [&] {
+    sim::Tick t2 = net.tb.a.eng.now();
     for (std::uint32_t i = 3; i < 6; ++i) t2 = net.send_tagged(t2, i, 4000);
   });
-  net.tb.eng.run();
+  net.tb.run();
 
   // All six arrive: the pool re-post after the reset left a working board.
   ASSERT_EQ(net.received.size(), 6u);
@@ -361,11 +361,11 @@ TEST(FaultE2E, BoardStallTriggersWatchdogReset) {
   // into the wedge are simply lost; the point is that the watchdog brings
   // the adaptor back and later traffic flows.
   for (std::uint32_t i = 0; i < 40; ++i) {
-    net.tb.eng.schedule_at(sim::us(500) * i, [&net, i] {
-      net.send_tagged(net.tb.eng.now(), i, 1024);
+    net.tb.a.eng.schedule_at(sim::us(500) * i, [&net, i] {
+      net.send_tagged(net.tb.a.eng.now(), i, 1024);
     });
   }
-  net.tb.eng.run();
+  net.tb.run();
 
   const NodeStats b = snapshot(net.tb.b);
   EXPECT_EQ(b.board_stalls, 1u);
@@ -406,9 +406,9 @@ TEST(Rpc, RetrySucceedsAfterLostRequest) {
   // re-sends it after the timeout and the call completes.
   FaultNet net(/*faults_on_b=*/false, 0.0, /*faults_on_a=*/true);
   net.fp.arm(fault::Point::kDmaError, {.after = 2, .budget = 1});
-  proto::RpcEndpoint client(net.tb.eng, *net.sa, net.tb.a.kernel_space,
+  proto::RpcEndpoint client(net.tb.a.eng, *net.sa, net.tb.a.kernel_space,
                             net.tb.a.cpu, net.tb.a.cfg.machine);
-  proto::RpcEndpoint server(net.tb.eng, *net.sb, net.tb.b.kernel_space,
+  proto::RpcEndpoint server(net.tb.b.eng, *net.sb, net.tb.b.kernel_space,
                             net.tb.b.cpu, net.tb.b.cfg.machine);
   server.serve([](std::vector<std::uint8_t> req) {
     std::reverse(req.begin(), req.end());
@@ -420,7 +420,7 @@ TEST(Rpc, RetrySucceedsAfterLostRequest) {
                 got = std::move(r);
               },
               /*timeout=*/sim::ms(1), proto::RpcRetryPolicy{.retries = 2});
-  net.tb.eng.run();
+  net.tb.run();
 
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, (std::vector<std::uint8_t>{4, 3, 2, 1}));
@@ -439,9 +439,9 @@ TEST(Arq, InOrderExactlyOnceUnderCellLoss) {
   ac.rto = sim::us(500);
   ac.max_rto = sim::ms(5);
   ac.max_retries = 20;
-  proto::ArqEndpoint arq_a(net.tb.eng, *net.sa, net.tb.a.kernel_space,
+  proto::ArqEndpoint arq_a(net.tb.a.eng, *net.sa, net.tb.a.kernel_space,
                            net.tb.a.cpu, net.tb.a.cfg.machine, ac);
-  proto::ArqEndpoint arq_b(net.tb.eng, *net.sb, net.tb.b.kernel_space,
+  proto::ArqEndpoint arq_b(net.tb.b.eng, *net.sb, net.tb.b.kernel_space,
                            net.tb.b.cpu, net.tb.b.cfg.machine, ac);
   arq_a.bind(net.vci);
   arq_b.bind(net.vci);
@@ -455,7 +455,7 @@ TEST(Arq, InOrderExactlyOnceUnderCellLoss) {
   for (std::uint32_t i = 0; i < 200; ++i) {
     t = arq_a.send(t, net.vci, tagged(300, i));
   }
-  net.tb.eng.run();
+  net.tb.run();
 
   ASSERT_EQ(got.size(), 200u);
   for (std::uint32_t i = 0; i < 200; ++i) {
@@ -473,19 +473,19 @@ TEST(Arq, GiveUpIsTerminalWhenPeerUnreachable) {
   ac.rto = sim::us(200);
   ac.max_rto = sim::ms(1);
   ac.max_retries = 3;
-  proto::ArqEndpoint arq_a(net.tb.eng, *net.sa, net.tb.a.kernel_space,
+  proto::ArqEndpoint arq_a(net.tb.a.eng, *net.sa, net.tb.a.kernel_space,
                            net.tb.a.cpu, net.tb.a.cfg.machine, ac);
   arq_a.bind(net.vci);
   arq_a.send(0, net.vci, tagged(100, 1));
-  net.tb.eng.run();  // must drain: the retry budget bounds the schedule
+  net.tb.run();  // must drain: the retry budget bounds the schedule
 
   EXPECT_TRUE(arq_a.dead(net.vci));
   EXPECT_GE(arq_a.gave_up(), 1u);
   EXPECT_EQ(arq_a.retransmissions(), 3u);
   EXPECT_TRUE(net.received.empty());
   // Further sends on the dead VCI are refused, not queued forever.
-  arq_a.send(net.tb.eng.now(), net.vci, tagged(100, 2));
-  net.tb.eng.run();
+  arq_a.send(net.tb.now(), net.vci, tagged(100, 2));
+  net.tb.run();
   EXPECT_GE(arq_a.gave_up(), 2u);
 }
 
@@ -509,9 +509,9 @@ TEST(FaultSoak, MultiLayerFaultScheduleSurvives) {
   ac.rto = sim::ms(2);
   ac.max_rto = sim::ms(20);
   ac.max_retries = 30;
-  proto::ArqEndpoint arq_a(net.tb.eng, *net.sa, net.tb.a.kernel_space,
+  proto::ArqEndpoint arq_a(net.tb.a.eng, *net.sa, net.tb.a.kernel_space,
                            net.tb.a.cpu, net.tb.a.cfg.machine, ac);
-  proto::ArqEndpoint arq_b(net.tb.eng, *net.sb, net.tb.b.kernel_space,
+  proto::ArqEndpoint arq_b(net.tb.b.eng, *net.sb, net.tb.b.kernel_space,
                            net.tb.b.cpu, net.tb.b.cfg.machine, ac);
   arq_a.bind(net.vci);
   arq_b.bind(net.vci);
@@ -532,12 +532,12 @@ TEST(FaultSoak, MultiLayerFaultScheduleSurvives) {
   // the whole run, and every ack — hence every window advance — would
   // serialize behind that reservation backlog.
   for (std::uint32_t i = 0; i < kMessages; ++i) {
-    net.tb.eng.schedule_at(
+    net.tb.a.eng.schedule_at(
         static_cast<sim::Tick>(i) * sim::us(300), [&net, &arq_a, i] {
-          arq_a.send(net.tb.eng.now(), net.vci, tagged(kBytes, i));
+          arq_a.send(net.tb.a.eng.now(), net.vci, tagged(kBytes, i));
         });
   }
-  net.tb.eng.run();  // no hang: every timer in the schedule is bounded
+  net.tb.run();  // no hang: every timer in the schedule is bounded
 
   // Graceful degradation: zero duplicates, zero corruption, full delivery.
   EXPECT_EQ(delivered, kMessages);

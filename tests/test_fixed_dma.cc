@@ -178,7 +178,7 @@ TEST(FixedDma, UdpStackToleratesEndPaddingButCatchesMidStreamGarble) {
     proto::Message m =
         proto::Message::from_payload(tb.a.kernel_space, data, offset_in_page);
     sa->send(0, vci, m);
-    tb.eng.run();
+    tb.run();
     return std::pair{ok, sb->checksum_failures()};
   };
   // Small message: header buffer + payload buffer -> mid-stream padding

@@ -134,7 +134,7 @@ TEST(Misc, TrailerOnlyPduRoundTrip) {
   proto::Message m = proto::Message::from_payload(
       tb.a.kernel_space, std::vector<std::uint8_t>{0x7E});
   sa->send(0, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(got, 1u);
   EXPECT_EQ(got_len, 1u);
 }

@@ -1,0 +1,314 @@
+// Parallel conservative DES (DESIGN.md §9): serial-vs-parallel equivalence
+// on fig2/fig3-shaped workloads, lookahead edge cases, batch dispatch, and
+// the raw EngineGroup machinery. Also the binary ci.sh runs under
+// ThreadSanitizer: every cross-thread handoff in the group protocol is
+// exercised here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "osiris/harness.h"
+#include "osiris/node.h"
+#include "sim/engine.h"
+#include "sim/group.h"
+#include "sim/spsc.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace osiris;
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv_str(std::uint64_t h, const char* s) {
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const sim::Trace& t) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const sim::TraceEvent& e : t.events()) {
+    h = fnv(h, e.at);
+    h = fnv_str(h, e.component);
+    h = fnv_str(h, e.event);
+    h = fnv(h, e.a);
+    h = fnv(h, e.b);
+  }
+  return fnv(h, t.recorded());
+}
+
+// ------------------------------------------------ engine batch dispatch
+
+TEST(StepTick, FiresWholeTickIncludingSameTickFollowups) {
+  sim::Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(100, [&] {
+    order.push_back(1);
+    // Scheduled *during* the batch, at the same tick: still part of it.
+    eng.schedule_at(100, [&] { order.push_back(3); });
+  });
+  eng.schedule_at(100, [&] { order.push_back(2); });
+  eng.schedule_at(200, [&] { order.push_back(4); });
+
+  EXPECT_EQ(eng.step_tick(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 100u);
+  EXPECT_EQ(eng.step_tick(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(eng.step_tick(), 0u);
+}
+
+TEST(StepTick, NextEventTimeSeesThroughCancelledTombstones) {
+  sim::Engine eng;
+  auto h = eng.schedule_timer_at(50, [] {});
+  eng.schedule_at(70, [] {});
+  ASSERT_EQ(eng.next_event_time(), std::optional<sim::Tick>{50});
+  eng.cancel(h);
+  EXPECT_EQ(eng.next_event_time(), std::optional<sim::Tick>{70});
+  eng.run();
+  EXPECT_EQ(eng.next_event_time(), std::nullopt);
+}
+
+// ------------------------------------------------ EngineGroup machinery
+
+TEST(EngineGroup, ZeroLookaheadRejected) {
+  sim::EngineGroup g(2);
+  EXPECT_THROW(g.connect(0, 1, 0), std::logic_error);
+  EXPECT_THROW(g.connect(0, 0, 10), std::logic_error);  // self-channel
+  EXPECT_THROW(g.connect(0, 2, 10), std::logic_error);  // out of range
+}
+
+TEST(EngineGroup, ScheduleRemoteEnforcesLookahead) {
+  sim::EngineGroup g(2);
+  g.connect(0, 1, 100);
+  // No channel declared in this direction.
+  EXPECT_THROW(g.schedule_remote(1, 0, 1000, [] {}), std::logic_error);
+  // Violates the declared lookahead: at < now + 100.
+  EXPECT_THROW(g.schedule_remote(0, 1, 99, [] {}), std::logic_error);
+  // Exactly at the bound is legal.
+  g.schedule_remote(0, 1, 100, [] {});
+  g.run(1);
+  EXPECT_EQ(g.stats().remote_events, 1u);
+}
+
+TEST(EngineGroup, CrossPartitionOrderingIsConservative) {
+  // Partition 0 sends a burst; partition 1 has local events interleaved
+  // between the arrival times. The dispatch order on partition 1 must be
+  // globally (tick, import-order) sorted regardless of thread count, and
+  // the windowed protocol must take multiple rounds (horizon stall: a
+  // partition never runs past N + W - 1 even with an empty neighbor).
+  for (const int threads : {1, 2}) {
+    sim::EngineGroup g(2);
+    g.connect(0, 1, 50);
+    std::vector<std::uint64_t> order;
+    for (int i = 0; i < 8; ++i) {
+      const sim::Tick at = 100 + 100 * static_cast<sim::Tick>(i);
+      g.partition(1).schedule_at(at + 10, [&order, at] { order.push_back(at + 10); });
+      g.partition(0).schedule_at(at, [&g, &order, at] {
+        g.schedule_remote(0, 1, at + 50, [&order, at] { order.push_back(at + 50); });
+      });
+    }
+    g.run(threads);
+    ASSERT_EQ(order.size(), 16u) << "threads=" << threads;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      EXPECT_LT(order[i - 1], order[i]) << "threads=" << threads;
+    }
+    EXPECT_GT(g.stats().rounds, 1u);
+    EXPECT_EQ(g.stats().remote_events, 8u);
+  }
+}
+
+TEST(EngineGroup, RingOverflowSpillsAndDelivers) {
+  // One source event exports far more envelopes than the SPSC ring holds;
+  // the overflow list must hand the excess over at the barrier, in order.
+  constexpr int kExports = 3000;  // ring capacity is 1024
+  sim::EngineGroup g(2);
+  g.connect(0, 1, 10);
+  int delivered = 0;
+  sim::Tick last = 0;
+  g.partition(0).schedule_at(1, [&] {
+    for (int i = 0; i < kExports; ++i) {
+      const sim::Tick at = 11 + static_cast<sim::Tick>(i);
+      g.schedule_remote(0, 1, at, [&delivered, &last, at] {
+        EXPECT_GE(at, last);
+        last = at;
+        ++delivered;
+      });
+    }
+  });
+  g.run(2);
+  EXPECT_EQ(delivered, kExports);
+  EXPECT_EQ(g.stats().remote_events, static_cast<std::uint64_t>(kExports));
+  EXPECT_GT(g.stats().ring_overflows, 0u);
+}
+
+TEST(EngineGroup, RepeatedRunsReuseTheGroup) {
+  sim::EngineGroup g(2);
+  g.connect(0, 1, 5);
+  g.connect(1, 0, 5);
+  int fired = 0;
+  g.partition(0).schedule_at(10, [&] {
+    g.schedule_remote(0, 1, 20, [&] { ++fired; });
+  });
+  g.run(2);
+  EXPECT_EQ(fired, 1);
+  const sim::Tick t1 = g.now();
+  // Second leg, scheduled after the first run drained.
+  g.partition(1).schedule_at(t1 + 10, [&] {
+    g.schedule_remote(1, 0, t1 + 20, [&] { ++fired; });
+  });
+  g.run(2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_GT(g.now(), t1);
+}
+
+TEST(EngineGroup, FreeRunningPartitionHasNoInbound) {
+  // Partition 0 only sends: it has no inbound channel, so it free-runs to
+  // completion instead of marching in windows.
+  sim::EngineGroup g(2);
+  g.connect(0, 1, 1);  // minimal lookahead: worst case for round count
+  int got = 0;
+  for (int i = 0; i < 64; ++i) {
+    g.partition(0).schedule_at(1000 * (1 + static_cast<sim::Tick>(i)), [&g, &got, i] {
+      g.schedule_remote(0, 1, 1000 * (1 + static_cast<sim::Tick>(i)) + 1,
+                        [&got] { ++got; });
+    });
+  }
+  g.run(2);
+  EXPECT_EQ(got, 64);
+}
+
+TEST(SpscRing, PushPopFifoAndFullness) {
+  sim::SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  int v = -1;
+  EXPECT_FALSE(ring.try_push(int{99}));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));  // empty
+  EXPECT_TRUE(ring.empty());
+}
+
+// ------------------------------------- serial-vs-parallel equivalence
+
+struct WorkloadOut {
+  std::uint64_t stats_hash = 0;
+  std::uint64_t trace_hash_a = 0;
+  std::uint64_t trace_hash_b = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t rounds = 0;
+  double rtt_us = 0;
+};
+
+// Fig2/fig3-shaped: both boards generate receive traffic concurrently,
+// then a ping-pong drives the cross-partition links. Per-node traces are
+// attached so the equivalence check covers event-level ordering, not just
+// final counters.
+WorkloadOut run_testbed_workload(int threads, std::uint32_t msg_bytes,
+                                 std::uint64_t n_msgs, int pp_iters) {
+  sim::Trace ta(1 << 14), tbb(1 << 14);
+  NodeConfig ca = make_5000_200_config();
+  NodeConfig cb = make_3000_600_config();
+  ca.trace = &ta;
+  cb.trace = &tbb;
+  Testbed tb(ca, cb, threads);
+  proto::StackConfig sc;
+  auto sa = tb.a.make_stack(sc);
+  auto sb = tb.b.make_stack(sc);
+
+  std::uint64_t bytes_a = 0, bytes_b = 0;
+  const auto frags =
+      harness::make_udp_fragments(msg_bytes, sc.ip_mtu, sc.udp_checksum);
+  tb.a.map_kernel_vci(700);
+  tb.b.map_kernel_vci(701);
+  sa->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
+    bytes_a += d.size();
+  });
+  sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
+    bytes_b += d.size();
+  });
+  tb.a.rxp.start_generator_multi(700, frags, n_msgs, 0);
+  tb.b.rxp.start_generator_multi(701, frags, n_msgs, 0);
+  tb.run();
+
+  const std::uint16_t vci = tb.open_kernel_path();
+  const harness::LatencyResult lat =
+      harness::ping_pong(tb, *sa, *sb, vci, 512, pp_iters);
+
+  WorkloadOut out;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (Node* n : {&tb.a, &tb.b}) {
+    h = fnv(h, n->eng.dispatched());
+    h = fnv(h, n->eng.now());
+    h = fnv(h, n->rxp.cells_received());
+    h = fnv(h, n->rxp.pdus_completed());
+    h = fnv(h, n->rxp.push_batches());
+    h = fnv(h, n->rxp.pushes_coalesced());
+    h = fnv(h, n->driver.pdus_received());
+    h = fnv(h, n->intc.raised());
+  }
+  h = fnv(h, bytes_a);
+  h = fnv(h, bytes_b);
+  h = fnv(h, lat.iterations);
+  h = fnv(h, static_cast<std::uint64_t>(lat.rtt_us_mean * 1e3));
+  out.stats_hash = h;
+  out.trace_hash_a = trace_hash(ta);
+  out.trace_hash_b = trace_hash(tbb);
+  out.dispatched = tb.dispatched();
+  out.rounds = tb.group.stats().rounds;
+  out.rtt_us = lat.rtt_us_mean;
+  EXPECT_EQ(bytes_a, static_cast<std::uint64_t>(msg_bytes) * n_msgs);
+  EXPECT_EQ(bytes_b, static_cast<std::uint64_t>(msg_bytes) * n_msgs);
+  return out;
+}
+
+TEST(ParallelEquivalence, Fig2Fig3WorkloadBitIdenticalAcrossThreadCounts) {
+  const WorkloadOut serial = run_testbed_workload(1, 8 * 1024, 12, 8);
+  const WorkloadOut parallel = run_testbed_workload(2, 8 * 1024, 12, 8);
+  EXPECT_EQ(serial.stats_hash, parallel.stats_hash);
+  EXPECT_EQ(serial.trace_hash_a, parallel.trace_hash_a);
+  EXPECT_EQ(serial.trace_hash_b, parallel.trace_hash_b);
+  EXPECT_EQ(serial.dispatched, parallel.dispatched);
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.rtt_us, parallel.rtt_us);
+  EXPECT_GT(serial.dispatched, 3000u);  // the workload is non-trivial
+  EXPECT_GT(serial.rounds, 1u);         // and actually round-synchronized
+}
+
+TEST(ParallelEquivalence, RunIsDeterministicPerThreadCount) {
+  const WorkloadOut one = run_testbed_workload(2, 4 * 1024, 6, 4);
+  const WorkloadOut two = run_testbed_workload(2, 4 * 1024, 6, 4);
+  EXPECT_EQ(one.stats_hash, two.stats_hash);
+  EXPECT_EQ(one.trace_hash_a, two.trace_hash_a);
+  EXPECT_EQ(one.trace_hash_b, two.trace_hash_b);
+}
+
+TEST(ParallelEquivalence, SharedTraceRejectedForMultiThreadRuns) {
+  sim::Trace shared;
+  NodeConfig ca = make_5000_200_config();
+  NodeConfig cb = make_5000_200_config();
+  ca.trace = &shared;
+  cb.trace = &shared;
+  Testbed tb(ca, cb);  // fine at the default 1 thread
+  EXPECT_THROW(tb.set_threads(2), std::logic_error);
+  ca.trace = nullptr;
+  cb.trace = nullptr;
+  Testbed tb2(ca, cb, 2);  // per-node (here: absent) traces are fine
+  EXPECT_EQ(tb2.threads(), 2);
+}
+
+}  // namespace

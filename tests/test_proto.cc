@@ -70,7 +70,7 @@ TEST(Stack, UdpRoundTripSmall) {
   const auto data = pattern(1);
   Message m = Message::from_payload(net.tb.a.kernel_space, data);
   net.sa->send(0, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(got, data);
 }
 
@@ -86,7 +86,7 @@ TEST(Stack, UdpRoundTripFragmented) {
   const auto data = pattern(40000, 3);
   Message m = Message::from_payload(net.tb.a.kernel_space, data, 123);
   net.sa->send(0, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(got.size(), data.size());
   EXPECT_EQ(got, data);
   EXPECT_EQ(net.sb->delivered(), 1u);
@@ -104,7 +104,7 @@ TEST(Stack, ChecksumVerifiesCleanPath) {
   const auto data = pattern(10000, 5);
   Message m = Message::from_payload(net.tb.a.kernel_space, data, 8);
   net.sa->send(0, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(got, data);
   EXPECT_EQ(net.sb->checksum_failures(), 0u);
 }
@@ -122,7 +122,7 @@ TEST(Stack, ChecksumCatchesWireCorruption) {
   });
   Message m = Message::from_payload(net.tb.a.kernel_space, pattern(5000, 6));
   net.sa->send(0, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(delivered, 0u);
   EXPECT_EQ(net.sb->checksum_failures(), 1u);
   EXPECT_EQ(net.sb->stale_recoveries(), 0u) << "wire damage is not stale cache";
@@ -140,7 +140,7 @@ TEST(Stack, RawAtmRoundTrip) {
   const auto data = pattern(4096, 7);
   Message m = Message::from_payload(net.tb.a.kernel_space, data);
   net.sa->send(0, vci, m);
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(got, data);
 }
 
@@ -157,7 +157,7 @@ TEST(Stack, BidirectionalTraffic) {
     ta = net.sa->send(ta, vci, ma);
     tb2 = net.sb->send(tb2, vci, mb);
   }
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(at_a, 10u);
   EXPECT_EQ(at_b, 10u);
 }
@@ -176,7 +176,7 @@ TEST(Stack, MultipleVcisAreIndependent) {
     t = net.sa->send(t, v1, m);
     t = net.sa->send(t, v2, m);
   }
-  net.tb.eng.run();
+  net.tb.run();
   EXPECT_EQ(count[v1], 5u);
   EXPECT_EQ(count[v2], 5u);
 }

@@ -113,7 +113,7 @@ TEST(Soak, LongDuplexRunConservesEverything) {
     ta = sa->send(ta, vci, ma);
     tb2 = sb->send(tb2, vci, mb);
   }
-  tb.eng.run();
+  tb.run();
 
   // The slower 5000/200 may shed load under this pressure; conservation
   // must hold exactly on both sides.

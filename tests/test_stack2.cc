@@ -41,7 +41,7 @@ TEST_P(MtuSweep, IntegrityAcrossFragmentationRegimes) {
   proto::Message m = proto::Message::from_payload(tb.a.kernel_space, want, 33);
   sim::Tick t = 0;
   for (int i = 0; i < 2; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(ok, 2u);
   EXPECT_EQ(sb->checksum_failures(), 0u);
   EXPECT_EQ(sb->reassembly_drops(), 0u);
@@ -73,7 +73,7 @@ TEST(Stack2, ExtremeFragmentationOverloadShedsAtTheBoard) {
   proto::Message m =
       proto::Message::from_payload(tb.a.kernel_space, pattern(2000, 8));
   sa->send(0, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(ok, 0u);
   EXPECT_GT(tb.b.rxp.pdus_dropped_nobuf() + tb.b.rxp.pdus_dropped_recvfull(),
             0u);
@@ -105,7 +105,7 @@ TEST(Stack2, HeaderArenaProducesIdenticalBytes) {
     proto::Message m =
         proto::Message::from_payload(tb.a.kernel_space, pattern(30000, 9), 500);
     sa->send(0, vci, m);
-    tb.eng.run();
+    tb.run();
     return got;
   };
   const auto plain = run(false);
@@ -130,8 +130,8 @@ TEST(Stack2, HeaderArenaSlotsReusedSafelyAcrossDrainedSends) {
   proto::Message m =
       proto::Message::from_payload(tb.a.kernel_space, pattern(40000, 4));
   for (int i = 0; i < 12; ++i) {  // ~492 headers through 256 slots
-    sa->send(tb.eng.now(), vci, m);
-    tb.eng.run();  // each message drains before the next is queued
+    sa->send(tb.now(), vci, m);
+    tb.run();  // each message drains before the next is queued
   }
   EXPECT_EQ(ok, 12u);
   EXPECT_EQ(sb->checksum_failures(), 0u);
@@ -160,7 +160,7 @@ TEST(Stack2, HeaderArenaOverrunCorruptsInFlightHeaders) {
       proto::Message::from_payload(tb.a.kernel_space, pattern(40000, 4));
   sim::Tick t = 0;
   for (int i = 0; i < 6; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_LT(ok, 6u);
 }
 
@@ -174,7 +174,7 @@ TEST(Stack2, BuffersPerPduStatisticTracksScatter) {
   proto::Message m =
       proto::Message::from_payload(tb.a.kernel_space, pattern(10000, 2), 77);
   sa->send(0, vci, m);
-  tb.eng.run();
+  tb.run();
   // hdr + udp hdr + 3-4 data pages (unaligned 10 KB).
   EXPECT_GE(sa->buffers_per_pdu().mean(), 4.0);
   EXPECT_LE(sa->buffers_per_pdu().mean(), 7.0);
@@ -199,7 +199,7 @@ TEST(Stack2, InterleavedMessagesOnOneVciReassembleById) {
   proto::Message b = proto::Message::from_payload(tb.a.kernel_space, m2);
   const sim::Tick t = sa->send(0, vci, a);
   sa->send(t, vci, b);
-  tb.eng.run();
+  tb.run();
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], m1);
   EXPECT_EQ(got[1], m2);

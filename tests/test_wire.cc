@@ -138,7 +138,7 @@ TEST(WireLink, ByteAccurateModeCleanLinkIsLossless) {
   proto::Message m = proto::Message::from_payload(tb.a.kernel_space, want);
   sim::Tick t = 0;
   for (int i = 0; i < 5; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_EQ(ok, 5u);
 }
 
@@ -160,7 +160,7 @@ TEST(WireLink, BitErrorRateSplitsIntoHecDropsAndChecksumFailures) {
       tb.a.kernel_space, std::vector<std::uint8_t>(10000, 0x2F));
   sim::Tick t = 0;
   for (int i = 0; i < 20; ++i) t = sa->send(t, vci, m);
-  tb.eng.run();
+  tb.run();
   EXPECT_GT(tb.a.out.cells_corrupted(), 0u);
   EXPECT_GT(tb.a.out.cells_hec_dropped(), 0u) << "some flips hit the header";
   EXPECT_LT(delivered, 20u);

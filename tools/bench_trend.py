@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Fold BENCH_*.json perf fields into a single trend table.
+
+Every throughput-style bench emits the common perf-trajectory fields
+(wall_seconds, engine_events, events_per_sec, threads) via
+benchjson::perf_fields.  This script sweeps one or more directories (or
+explicit files) for BENCH_*.json, prints an aligned table of those fields,
+and optionally appends the rows to a TSV history file so successive CI runs
+accumulate a perf trend over commits.
+
+Usage:
+    tools/bench_trend.py [paths...] [--append FILE] [--label LABEL]
+
+Paths default to build/bench and build (bench_parallel writes to the build
+root).  Files without the perf fields (e.g. the robustness benches, which
+report goodput/latency rows instead) are listed with dashes, not errors.
+Exits nonzero only if no BENCH_*.json file is found at all.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def find_bench_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(sorted(glob.glob(os.path.join(p, "BENCH_*.json"))))
+        elif os.path.isfile(p):
+            files.append(p)
+    # De-duplicate while preserving order (a file may match twice via
+    # overlapping path arguments).
+    seen = set()
+    out = []
+    for f in files:
+        key = os.path.abspath(f)
+        if key not in seen:
+            seen.add(key)
+            out.append(f)
+    return out
+
+
+def load_rows(files):
+    rows = []
+    for path in files:
+        name = os.path.basename(path)
+        if name.startswith("BENCH_"):
+            name = name[len("BENCH_"):]
+        if name.endswith(".json"):
+            name = name[: -len(".json")]
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            rows.append({"bench": name, "error": str(exc)})
+            continue
+        row = {
+            "bench": name,
+            "wall_seconds": data.get("wall_seconds"),
+            "engine_events": data.get("engine_events"),
+            "events_per_sec": data.get("events_per_sec"),
+            "threads": data.get("threads", 1),
+        }
+        # bench_parallel carries per-thread-count runs; surface each so the
+        # trend shows serial and parallel throughput side by side.
+        subruns = []
+        for sub in data.get("runs", []):
+            if isinstance(sub, dict) and "events_per_sec" in sub:
+                subruns.append(
+                    {
+                        "bench": "%s/t%s" % (name, sub.get("threads", "?")),
+                        "wall_seconds": sub.get("wall_seconds"),
+                        "engine_events": sub.get("engine_events"),
+                        "events_per_sec": sub.get("events_per_sec"),
+                        "threads": sub.get("threads", 1),
+                    }
+                )
+        if subruns:
+            rows.extend(subruns)
+        else:
+            rows.append(row)
+    return rows
+
+
+def fmt(value, spec):
+    if value is None:
+        return "-"
+    try:
+        return spec % value
+    except TypeError:
+        return str(value)
+
+
+def print_table(rows):
+    header = ("bench", "threads", "wall_s", "events", "events/sec")
+    widths = [max(len(header[0]), max((len(r["bench"]) for r in rows), default=0)),
+              7, 9, 12, 13]
+    line = "%-*s  %*s  %*s  %*s  %*s"
+    print(line % (widths[0], header[0], widths[1], header[1], widths[2],
+                  header[2], widths[3], header[3], widths[4], header[4]))
+    for r in rows:
+        if "error" in r:
+            print("%-*s  unreadable: %s" % (widths[0], r["bench"], r["error"]))
+            continue
+        print(line % (
+            widths[0], r["bench"],
+            widths[1], fmt(r["threads"], "%d"),
+            widths[2], fmt(r["wall_seconds"], "%.3f"),
+            widths[3], fmt(r["engine_events"], "%d"),
+            widths[4], fmt(r["events_per_sec"], "%.0f"),
+        ))
+
+
+def run_label():
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        rev = "unknown"
+    return "%s@%s" % (rev, time.strftime("%Y-%m-%dT%H:%M:%S"))
+
+
+def append_history(rows, path, label):
+    fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+    with open(path, "a", encoding="utf-8") as fh:
+        if fresh:
+            fh.write("run\tbench\tthreads\twall_seconds\tengine_events"
+                     "\tevents_per_sec\n")
+        for r in rows:
+            if "error" in r or r.get("events_per_sec") is None:
+                continue
+            fh.write("%s\t%s\t%s\t%s\t%s\t%s\n" % (
+                label, r["bench"], r["threads"], r["wall_seconds"],
+                r["engine_events"], r["events_per_sec"]))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="directories or BENCH_*.json files to sweep")
+    ap.add_argument("--append", metavar="FILE",
+                    help="append rows to this TSV history file")
+    ap.add_argument("--label", help="run label for --append "
+                                    "(default: git rev + timestamp)")
+    args = ap.parse_args(argv)
+
+    paths = args.paths or ["build/bench", "build"]
+    files = find_bench_files(paths)
+    if not files:
+        print("bench_trend: no BENCH_*.json found under %s" % ", ".join(paths),
+              file=sys.stderr)
+        return 1
+
+    rows = load_rows(files)
+    print_table(rows)
+
+    measured = [r for r in rows if r.get("events_per_sec") is not None]
+    skipped = [r["bench"] for r in rows
+               if "error" not in r and r.get("events_per_sec") is None]
+    if skipped:
+        print("\n(no perf fields: %s)" % ", ".join(skipped))
+    if args.append:
+        label = args.label or run_label()
+        append_history(measured, args.append, label)
+        print("appended %d rows to %s as %s"
+              % (len(measured), args.append, label))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
