@@ -17,41 +17,28 @@ echo "== bench smoke (machine-readable output) =="
 ( cd build/bench \
   && ./bench_fault --benchmark_min_time=0.01s >/dev/null \
   && ./bench_adc_isolation >/dev/null \
+  && ./bench_qos >/dev/null \
   && ./bench_parallel >/dev/null )
 for f in build/bench/BENCH_fault.json build/bench/BENCH_adc_isolation.json \
-         build/bench/BENCH_parallel.json; do
+         build/bench/BENCH_qos.json build/bench/BENCH_parallel.json; do
   [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
 done
 
-echo "== engine perf smoke =="
+echo "== engine determinism smoke =="
 # bench_engine self-checks dispatch-order determinism (nonzero exit on
-# mismatch); on top of that, compare its events/sec against the checked-in
-# floor so a scheduler regression fails CI. The floor is deliberately
-# conservative (about a third of a typical dev-box run); the 30% haircut
-# below absorbs machine-to-machine noise on top of that.
+# mismatch) and writes BENCH_engine.json for the floor check below.
 ( cd build/bench && ./bench_engine )
-if [ -n "${OSIRIS_SANITIZE:-}" ]; then
-  # Sanitized binaries are legitimately slower; the determinism self-check
-  # above still ran, only the throughput floor is skipped.
-  echo "OSIRIS_SANITIZE set: skipping engine events/sec floor check"
-else
-  EPS="$(sed -n 's/.*"events_per_sec":\([0-9.eE+]*\).*/\1/p' build/bench/BENCH_engine.json)"
-  FLOOR="$(cat bench/engine_events_per_sec.floor)"
-  awk -v eps="$EPS" -v floor="$FLOOR" 'BEGIN {
-    if (eps + 0 <= 0 || floor + 0 <= 0) { print "bad eps/floor"; exit 1 }
-    if (eps < floor * 0.7) {
-      printf "engine perf regression: %.0f events/s < 70%% of floor %.0f\n", eps, floor
-      exit 1
-    }
-    printf "engine perf ok: %.0f events/s (floor %.0f)\n", eps, floor
-  }' || { echo "engine perf smoke failed" >&2; exit 1; }
-fi
 
-echo "== perf trend table =="
+echo "== perf trend table + per-bench floors =="
 # Fold every BENCH_*.json's common perf fields (wall_seconds, engine_events,
 # events_per_sec, threads) into one table so throughput trajectories across
 # benches — serial and parallel — are visible in a single CI artifact.
-python3 tools/bench_trend.py build/bench --append build/bench_trend.tsv
+# --floors then gates on bench/floors.tsv: engine events/sec (perf floor,
+# skipped under OSIRIS_SANITIZE) plus the QoS quality floors — 10x-incast
+# Jain fairness and aggregate-goodput retention — which apply to every
+# build flavor.
+python3 tools/bench_trend.py build/bench --append build/bench_trend.tsv \
+  --floors bench/floors.tsv
 
 echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DOSIRIS_SANITIZE=address,undefined >/dev/null

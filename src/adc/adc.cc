@@ -141,6 +141,15 @@ sim::Tick Adc::send(sim::Tick at, std::uint16_t vci, const proto::Message& m) {
     dead_ = true;
     return t;
   }
+  if (fault::fires(tenant_faults_, fault::Point::kTenantBurst)) {
+    // A misbehaving (or just greedy) application dumps a back-to-back
+    // burst instead of pacing one PDU: the extra copies land in the same
+    // transmit queue instantly. Board-side token buckets are what keep
+    // this from stealing the link from well-behaved tenants.
+    sim::Tick t = at;
+    for (int i = 0; i < 4; ++i) t = stack_->send(t, vci, m);
+    return t;
+  }
   return stack_->send(at, vci, m);
 }
 

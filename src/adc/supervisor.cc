@@ -27,6 +27,20 @@ void AdcSupervisor::watch(Adc& a, Budget b) {
   ch.tx_bytes_base = txp_->channel_bytes(a.pair());
   ch.rx_bufs_base = rxp_->channel_buffers(a.pair());
   channels_[a.pair()] = std::move(ch);
+  // Push the QoS half of the budget down into the firmware. Weight and
+  // rate limit key on the channel; the receive quota keys on each VCI the
+  // tenant owns.
+  txp_->set_queue_weight(a.pair(), b.tx_weight);
+  if (b.tx_bytes_per_sec > 0.0) {
+    const std::uint64_t burst =
+        b.tx_burst_bytes != 0 ? b.tx_burst_bytes : std::uint64_t{16 * 1024};
+    txp_->set_rate_limit(a.pair(), b.tx_bytes_per_sec, burst);
+  }
+  if (b.rx_buffer_quota != 0) {
+    for (const std::uint16_t vci : a.vcis()) {
+      rxp_->set_vci_quota(vci, b.rx_buffer_quota);
+    }
+  }
 }
 
 void AdcSupervisor::unwatch(int pair_index) { channels_.erase(pair_index); }

@@ -38,6 +38,12 @@ class AdcSupervisor {
     std::uint64_t max_violations = 8;        ///< typed rejections, lifetime
     std::uint64_t max_tx_bytes_per_poll = 0; ///< consumed tx bytes / window
     std::uint64_t max_rx_bufs_per_poll = 0;  ///< free-list pops / window
+    // QoS knobs installed on the board at watch() time (the kernel is the
+    // policy layer; the firmware DRR/token-bucket is the mechanism).
+    std::uint32_t tx_weight = 1;             ///< DRR weight (min 1)
+    double tx_bytes_per_sec = 0.0;           ///< token-bucket rate; 0 = none
+    std::uint64_t tx_burst_bytes = 0;        ///< bucket depth (0 -> 1 PDU-ish)
+    std::uint32_t rx_buffer_quota = 0;       ///< per-VCI held-buffer cap
   };
 
   /// Installs this supervisor as both processors' violation sink. One

@@ -17,6 +17,14 @@
 
 namespace osiris::board {
 
+/// Receive-side overload discipline: what the firmware does when a PDU
+/// needs a buffer and its free queue (plus fallback) is dry.
+enum class RxDropPolicy {
+  kTailDrop,            // drop the arriving PDU (the classic §3.1 behaviour)
+  kDropIncompleteFirst, // evict the oldest incomplete reassembly instead,
+                        // reusing its buffers for the arriving PDU
+};
+
 struct BoardConfig {
   double i960_hz = 25e6;
 
@@ -73,6 +81,22 @@ struct BoardConfig {
   // How long the receive firmware holds a DMA hoping to combine the next
   // contiguous cell into a double-length transfer, in units of cell times.
   double combine_wait_cell_times = 2.0;
+
+  // --- Per-VCI QoS and overload management ---------------------------------
+
+  // Deficit-round-robin quantum: bytes of credit a transmit queue earns per
+  // scheduler round, scaled by its weight. One quantum close to the typical
+  // PDU wire length keeps latency low without starving large-PDU queues.
+  std::uint32_t drr_quantum_bytes = 2048;
+
+  // Receive overload discipline (see RxDropPolicy above).
+  RxDropPolicy rx_drop_policy = RxDropPolicy::kTailDrop;
+
+  // Default cap on free-list buffers a single VCI may hold in incomplete
+  // reassemblies (0 = unlimited). A hot or skew-damaged VCI past its quota
+  // has its new PDUs dropped instead of draining the shared pool.
+  // RxProcessor::set_vci_quota overrides per VCI.
+  std::uint32_t rx_vci_buffer_quota = 0;
 };
 
 /// Interrupts the board can assert (fielded by the kernel, §3.2).
@@ -80,6 +104,9 @@ enum class Irq {
   kRxNonEmpty,       // a receive queue went empty -> non-empty
   kTxHalfEmpty,      // a previously-full transmit queue drained to half
   kAccessViolation,  // an ADC posted a descriptor the firmware rejected
+  kRxFreeLow,        // a free queue ran dry mid-reassembly (backpressure:
+                     // the host should recycle/top up instead of letting
+                     // the firmware drop PDUs silently)
 };
 
 /// Why the firmware rejected an ADC-posted descriptor. Every rejection

@@ -32,6 +32,44 @@ int RxProcessor::add_recv_channel(const dpram::QueueLayout& lay, int channel_id)
   return static_cast<int>(recv_channels_.size()) - 1;
 }
 
+void RxProcessor::set_vci_quota(std::uint16_t vci, std::uint32_t max_buffers) {
+  if (max_buffers == 0) {
+    vci_quota_.erase(vci);
+  } else {
+    vci_quota_[vci] = max_buffers;
+  }
+}
+
+std::uint32_t RxProcessor::quota_for(std::uint16_t vci) const {
+  const auto it = vci_quota_.find(vci);
+  return it != vci_quota_.end() ? it->second : cfg_.rx_vci_buffer_quota;
+}
+
+void RxProcessor::release_quota(std::uint16_t vci, std::size_t held) {
+  if (held == 0) return;
+  const auto it = vci_held_.find(vci);
+  if (it == vci_held_.end()) return;
+  it->second -= std::min<std::uint32_t>(it->second,
+                                        static_cast<std::uint32_t>(held));
+  if (it->second == 0) vci_held_.erase(it);
+}
+
+void RxProcessor::abort_pdu_buffers(std::uint64_t key, RxPdu& p) {
+  // Hand the buffers this PDU is sitting on back to the host: each
+  // still-held buffer goes up as an aborted descriptor, which the driver
+  // recycles (together with any partial accumulation under the same tag)
+  // instead of delivering. Without this, drops under sustained overload
+  // would pin the receive pool in dead reassemblies.
+  const std::uint16_t vci = key_vci_.count(key) != 0
+                                ? key_vci_[key]
+                                : static_cast<std::uint16_t>(key >> 48);
+  const sim::Tick now = eng_->now();
+  for (std::uint32_t i = p.next_push;
+       i < static_cast<std::uint32_t>(p.bufs.size()); ++i) {
+    push_buffer(p, i, /*eop=*/true, key, vci, now, dpram::kDescAborted);
+  }
+}
+
 void RxProcessor::remove_channel(int channel_id) {
   for (auto& fs : free_sources_) {
     if (fs.channel_id == channel_id) fs.detached = true;
@@ -51,6 +89,7 @@ void RxProcessor::remove_channel(int channel_id) {
     }
     for (auto it = pdus_.begin(); it != pdus_.end();) {
       if (it->second.recv_idx == static_cast<int>(i)) {
+        release_quota(it->second.vci, it->second.bufs.size());
         key_vci_.erase(it->first);
         it = pdus_.erase(it);
       } else {
@@ -86,6 +125,11 @@ void RxProcessor::quarantine_vci(std::uint16_t vci) {
   }
   for (auto it = pdus_.begin(); it != pdus_.end();) {
     if (static_cast<std::uint16_t>(it->first >> 48) == vci) {
+      // Quarantine revokes the tenant's reach, not its memory: buffers its
+      // half-built PDUs hold go back through the (still attached) receive
+      // queue as aborted descriptors for the driver to recycle.
+      abort_pdu_buffers(it->first, it->second);
+      release_quota(it->second.vci, it->second.bufs.size());
       key_vci_.erase(it->first);
       it = pdus_.erase(it);
     } else {
@@ -148,7 +192,11 @@ void RxProcessor::reset() {
   eng_->cancel(flush_timer_);
   inflight_.clear();
   gen_active_ = false;
-  for (auto& fs : free_sources_) fs.reader.reset();
+  vci_held_.clear();
+  for (auto& fs : free_sources_) {
+    fs.reader.reset();
+    fs.low_raised = false;
+  }
   for (auto& ch : recv_channels_) {
     ch.writer.reset();
     ch.push_horizon = 0;
@@ -244,6 +292,7 @@ RxProcessor::RxPdu* RxProcessor::pdu_for(std::uint16_t vci, std::uint64_t pdu,
     p.recv_idx = vm.recv_idx;
     p.free_id = vm.free_id;
     p.fallback = vm.fallback;
+    p.vci = vci;
     p.started = eng_->now();
     it = pdus_.emplace(key, std::move(p)).first;
     key_vci_[key] = vci;
@@ -252,7 +301,15 @@ RxProcessor::RxPdu* RxProcessor::pdu_for(std::uint16_t vci, std::uint64_t pdu,
 }
 
 bool RxProcessor::ensure_capacity(RxPdu& p, std::uint64_t need) {
+  alloc_fail_quota_ = false;
+  const std::uint32_t quota = quota_for(p.vci);
   while (p.alloc_cap < need) {
+    if (quota > 0 && vci_buffers_held(p.vci) >= quota) {
+      // The VCI, not the pool, is the limit: overload isolation drops this
+      // PDU rather than letting one hot VCI drain shared buffers.
+      alloc_fail_quota_ = true;
+      return false;
+    }
     int src = p.free_id;
     std::optional<dpram::Descriptor> d;
     while (src >= 0) {
@@ -261,8 +318,16 @@ bool RxProcessor::ensure_capacity(RxPdu& p, std::uint64_t need) {
         src = (src == p.free_id && p.fallback != p.free_id) ? p.fallback : -1;
         continue;
       }
-      d = fs.reader.pop();
+      if (fault::fires(faults_, fault::Point::kRxBufferExhausted)) {
+        // The pop comes back empty as if the host had fallen behind
+        // recycling — exercising the same backpressure path as a
+        // genuinely dry queue.
+        d.reset();
+      } else {
+        d = fs.reader.pop();
+      }
       if (d) {
+        fs.low_raised = false;
         ++fs.buffers_consumed;
         // Free-list validation (§3.2): an application recycles buffers by
         // writing descriptors the firmware will later trust for DMA, so a
@@ -290,14 +355,69 @@ bool RxProcessor::ensure_capacity(RxPdu& p, std::uint64_t need) {
         }
         break;
       }
-      // Source exhausted: fall back (cached fbuf queue -> uncached, §3.1).
+      // Source exhausted: raise the backpressure interrupt toward its
+      // owner (edge-triggered — once per empty episode, cleared by the
+      // next successful pop) so the host recycles or tops up instead of
+      // discovering the shortage as silent PDU drops, then fall back
+      // (cached fbuf queue -> uncached, §3.1).
+      if (!fs.low_raised) {
+        fs.low_raised = true;
+        ++backpressure_irqs_;
+        sim::trace_event(trace_, eng_->now(), "rx", "free_low",
+                         static_cast<std::uint64_t>(fs.channel_id),
+                         static_cast<std::uint64_t>(src));
+        if (irq_) irq_(Irq::kRxFreeLow, fs.channel_id);
+      }
       src = (src == p.free_id && p.fallback != p.free_id) ? p.fallback : -1;
     }
-    if (!d) return false;
+    if (!d) {
+      if (cfg_.rx_drop_policy == RxDropPolicy::kDropIncompleteFirst &&
+          evict_incomplete(p)) {
+        continue;  // the stolen buffers may already cover `need`
+      }
+      return false;
+    }
     i960_.reserve(cfg_.fw_rx_per_dma);  // free-queue pop firmware cost
     p.bufs.push_back(PduBuf{d->addr, d->len, 0, d->user, false});
     p.alloc_cap += d->len;
+    ++vci_held_[p.vci];
   }
+  return true;
+}
+
+bool RxProcessor::evict_incomplete(RxPdu& keep) {
+  // Oldest incomplete reassembly drawing on the same free source, none of
+  // whose buffers have reached the host yet (those are the driver's to
+  // reclaim): its buffers are re-issued to the arriving PDU directly, no
+  // host round-trip. Ties break on the key for deterministic replay.
+  std::uint64_t victim_key = 0;
+  RxPdu* victim = nullptr;
+  for (auto& [key, p] : pdus_) {
+    if (&p == &keep || p.complete || p.dropped) continue;
+    if (p.free_id != keep.free_id) continue;
+    if (p.next_push != 0 || p.bufs.empty()) continue;
+    if (victim == nullptr || p.started < victim->started ||
+        (p.started == victim->started && key < victim_key)) {
+      victim = &p;
+      victim_key = key;
+    }
+  }
+  if (victim == nullptr) return false;
+  // The buffers may be partially written; they are fully reused, so stale
+  // bytes are either overwritten or never delivered (filled counts reset).
+  for (const PduBuf& b : victim->bufs) {
+    keep.bufs.push_back(PduBuf{b.addr, b.cap, 0, b.user, false});
+    keep.alloc_cap += b.cap;
+  }
+  const std::size_t moved = victim->bufs.size();
+  release_quota(victim->vci, moved);
+  vci_held_[keep.vci] += static_cast<std::uint32_t>(moved);
+  if (pending_.valid && pending_.key == victim_key) pending_.valid = false;
+  ++pdus_evicted_;
+  sim::trace_event(trace_, eng_->now(), "rx", "evict_incomplete", victim->vci,
+                   moved);
+  key_vci_.erase(victim_key);
+  pdus_.erase(victim_key);
   return true;
 }
 
@@ -362,9 +482,14 @@ void RxProcessor::issue_dma(RxPdu& p, std::uint32_t offset,
   const std::uint64_t need = static_cast<std::uint64_t>(offset) + bytes.size();
   if (!ensure_capacity(p, need)) {
     p.dropped = true;
-    ++pdus_dropped_nobuf_;
-    sim::trace_event(trace_, eng_->now(), "rx", "drop_nobuf",
-                     static_cast<std::uint64_t>(p.recv_idx), need);
+    if (alloc_fail_quota_) {
+      ++pdus_dropped_quota_;
+      sim::trace_event(trace_, eng_->now(), "rx", "drop_quota", p.vci, need);
+    } else {
+      ++pdus_dropped_nobuf_;
+      sim::trace_event(trace_, eng_->now(), "rx", "drop_nobuf",
+                       static_cast<std::uint64_t>(p.recv_idx), need);
+    }
     return;
   }
   // Firmware decision time (one per DMA command).
@@ -424,6 +549,10 @@ void RxProcessor::handle_completion(std::uint16_t vci, const atm::Completion& c)
   if (it == pdus_.end()) return;
   RxPdu& p = it->second;
   if (p.dropped) {
+    // The drop decision came mid-PDU: buffers it already held go back to
+    // the host as aborted descriptors, not into oblivion.
+    abort_pdu_buffers(key, p);
+    release_quota(p.vci, p.bufs.size());
     pdus_.erase(it);
     key_vci_.erase(key);
     return;
@@ -434,6 +563,7 @@ void RxProcessor::handle_completion(std::uint16_t vci, const atm::Completion& c)
   ++pdus_completed_;
   sim::trace_event(trace_, eng_->now(), "rx", "pdu_done", vci, p.wire_len);
   try_push(key, p);
+  release_quota(p.vci, p.bufs.size());
   pdus_.erase(it);
   key_vci_.erase(key);
 }
@@ -569,20 +699,8 @@ std::uint64_t RxProcessor::purge_incomplete(sim::Duration max_age) {
     RxPdu& p = it->second;
     if (!p.complete && now >= p.started && now - p.started > max_age) {
       if (pending_.valid && pending_.key == it->first) pending_.valid = false;
-      // Hand the buffers this PDU is sitting on back to the host: each
-      // still-held buffer goes up as an aborted descriptor, which the
-      // driver recycles (together with any partial accumulation under the
-      // same tag) instead of delivering. Without this, sustained cell loss
-      // would pin the entire receive pool in dead reassemblies.
-      const std::uint16_t vci =
-          key_vci_.count(it->first) != 0
-              ? key_vci_[it->first]
-              : static_cast<std::uint16_t>(it->first >> 48);
-      for (std::uint32_t i = p.next_push;
-           i < static_cast<std::uint32_t>(p.bufs.size()); ++i) {
-        push_buffer(p, i, /*eop=*/true, it->first, vci, now,
-                    dpram::kDescAborted);
-      }
+      abort_pdu_buffers(it->first, p);
+      release_quota(p.vci, p.bufs.size());
       key_vci_.erase(it->first);
       it = pdus_.erase(it);
       ++purged;

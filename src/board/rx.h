@@ -63,7 +63,9 @@ class RxProcessor {
   void set_trace(sim::Trace* t) { trace_ = t; }
 
   /// Enables fault injection (not owned). Consults kBoardRxStall once per
-  /// arriving cell and kBoardRxCellDrop inside the SAR loop.
+  /// arriving cell, kBoardRxCellDrop inside the SAR loop, and
+  /// kRxBufferExhausted once per free-queue pop attempt (a firing makes the
+  /// pop come back empty, as if the host had fallen behind recycling).
   void set_fault_plane(fault::FaultPlane* f) { faults_ = f; }
 
   /// Wedges the receive firmware loop: arriving cells are no longer
@@ -119,6 +121,19 @@ class RxProcessor {
   void map_vci(std::uint16_t vci, int free_id, int fallback_free_id, int recv_idx);
   void unmap_vci(std::uint16_t vci);
 
+  /// Per-VCI buffer quota override (0 restores the BoardConfig default):
+  /// once `vci` holds `max_buffers` free-list buffers in incomplete
+  /// reassemblies, its new PDUs are dropped (pdus_dropped_quota) instead of
+  /// draining the shared pool. Overload isolation for a hot or
+  /// skew-damaged VCI.
+  void set_vci_quota(std::uint16_t vci, std::uint32_t max_buffers);
+
+  /// Free-list buffers currently held by `vci`'s in-progress reassemblies.
+  [[nodiscard]] std::uint32_t vci_buffers_held(std::uint16_t vci) const {
+    const auto it = vci_held_.find(vci);
+    return it == vci_held_.end() ? 0 : it->second;
+  }
+
   /// Link sink: a cell arrived on `lane`.
   void on_cell(int lane, const atm::Cell& c);
 
@@ -146,6 +161,14 @@ class RxProcessor {
   [[nodiscard]] std::uint64_t pdus_completed() const { return pdus_completed_; }
   [[nodiscard]] std::uint64_t pdus_dropped_nobuf() const { return pdus_dropped_nobuf_; }
   [[nodiscard]] std::uint64_t pdus_dropped_recvfull() const { return pdus_dropped_recvfull_; }
+  /// PDUs dropped because their VCI hit its buffer quota.
+  [[nodiscard]] std::uint64_t pdus_dropped_quota() const { return pdus_dropped_quota_; }
+  /// Incomplete reassemblies evicted to feed an arriving PDU
+  /// (RxDropPolicy::kDropIncompleteFirst).
+  [[nodiscard]] std::uint64_t pdus_evicted() const { return pdus_evicted_; }
+  /// kRxFreeLow backpressure interrupts raised (edge-triggered per free
+  /// source: one per empty episode, cleared by the next successful pop).
+  [[nodiscard]] std::uint64_t backpressure_irqs() const { return backpressure_irqs_; }
   [[nodiscard]] std::uint64_t auth_violations() const { return auth_violations_; }
   /// Free-list rejections / drops by typed reason (see board.h).
   [[nodiscard]] std::uint64_t violations(Violation v) const {
@@ -191,6 +214,7 @@ class RxProcessor {
     int channel_id;
     bool detached = false;
     std::uint64_t buffers_consumed = 0;
+    bool low_raised = false;  // kRxFreeLow edge state for this source
   };
   struct RecvChannel {
     dpram::QueueWriter writer;
@@ -214,6 +238,7 @@ class RxProcessor {
     int recv_idx = 0;
     int free_id = 0;
     int fallback = -1;
+    std::uint16_t vci = 0;  // quota accounting
     sim::Tick started = 0;
     std::vector<PduBuf> bufs;
     std::uint64_t alloc_cap = 0;  // sum of buffer capacities
@@ -249,7 +274,20 @@ class RxProcessor {
   atm::CellRouter& router_for(std::uint16_t vci);
   RxPdu* pdu_for(std::uint16_t vci, std::uint64_t pdu, std::uint64_t* key_out);
   /// Ensures buffers cover byte range end `need`; pops from free queues.
+  /// On failure sets alloc_fail_quota_ when the VCI's quota (not the pool)
+  /// was the limit, so the caller counts the right drop statistic.
   bool ensure_capacity(RxPdu& p, std::uint64_t need);
+  /// Effective buffer quota for `vci` (override, else config default).
+  [[nodiscard]] std::uint32_t quota_for(std::uint16_t vci) const;
+  /// Drops `held` buffers from `vci`'s quota count.
+  void release_quota(std::uint16_t vci, std::size_t held);
+  /// kDropIncompleteFirst: evicts the oldest incomplete reassembly sharing
+  /// `keep`'s free source whose buffers are all still board-held, moving
+  /// those buffers to `keep`. Returns true when something was evicted.
+  bool evict_incomplete(RxPdu& keep);
+  /// Pushes `p`'s still-held buffers host-ward as aborted descriptors so
+  /// the driver recycles them (buffer reclaim for drops and quarantine).
+  void abort_pdu_buffers(std::uint64_t key, RxPdu& p);
   void handle_placement(std::uint16_t vci, const atm::Placement& pl);
   void handle_completion(std::uint16_t vci, const atm::Completion& c);
   void flush_pending();
@@ -292,6 +330,9 @@ class RxProcessor {
   std::vector<RecvChannel> recv_channels_;
   std::unordered_set<std::uint16_t> quarantined_;
   std::unordered_map<std::uint16_t, VciMap> vci_map_;
+  std::unordered_map<std::uint16_t, std::uint32_t> vci_quota_;  // overrides
+  std::unordered_map<std::uint16_t, std::uint32_t> vci_held_;   // live counts
+  bool alloc_fail_quota_ = false;  // last ensure_capacity failure cause
   std::unordered_map<std::uint16_t, std::unique_ptr<atm::CellRouter>> routers_;
   std::unordered_map<std::uint64_t, RxPdu> pdus_;
   std::unordered_map<std::uint64_t, std::uint16_t> key_vci_;
@@ -324,6 +365,9 @@ class RxProcessor {
   std::uint64_t pdus_completed_ = 0;
   std::uint64_t pdus_dropped_nobuf_ = 0;
   std::uint64_t pdus_dropped_recvfull_ = 0;
+  std::uint64_t pdus_dropped_quota_ = 0;
+  std::uint64_t pdus_evicted_ = 0;
+  std::uint64_t backpressure_irqs_ = 0;
   std::uint64_t auth_violations_ = 0;
   std::uint64_t quarantine_drops_ = 0;
   std::uint64_t dead_channel_drops_ = 0;

@@ -64,11 +64,39 @@ void TxProcessor::add_queue(int channel, const dpram::QueueLayout& lay,
                             0, false, 0});
 }
 
+void TxProcessor::set_queue_weight(int channel, std::uint32_t weight) {
+  const std::uint32_t w = std::max<std::uint32_t>(1, weight);
+  for (TxQueue& q : queues_) {
+    if (q.channel == channel && !q.detached) q.weight = w;
+  }
+}
+
+void TxProcessor::set_rate_limit(int channel, double bytes_per_sec,
+                                 std::uint64_t burst_bytes) {
+  if (bytes_per_sec <= 0.0) {
+    limits_.erase(channel);
+  } else {
+    RateLimit rl;
+    rl.bytes_per_sec = bytes_per_sec;
+    rl.burst = static_cast<double>(std::max<std::uint64_t>(1, burst_bytes));
+    rl.tokens = rl.burst;  // the bucket starts full
+    rl.last = eng_->now();
+    limits_[channel] = rl;
+  }
+  // A loosened (or lifted) limit may make a deferred queue eligible now.
+  kick();
+}
+
 void TxProcessor::remove_queue(int channel) {
+  // Scheduler state is per channel: a reused pair index must not inherit
+  // the dead tenant's byte credit or (worse) its rate limit.
+  limits_.erase(channel);
   for (std::size_t i = 0; i < queues_.size(); ++i) {
     TxQueue& q = queues_[i];
     if (q.channel != channel || q.detached) continue;
     q.detached = true;
+    q.deficit = 0;
+    q.weight = 1;
     if (job_ != nullptr && job_->queue_idx == i) {
       // Abandon the in-progress PDU mid-transfer: its remaining cells are
       // never generated and its tail publishes are discarded (the dead
@@ -111,7 +139,11 @@ void TxProcessor::reset() {
   stalled_ = false;
   active_ = false;
   job_.reset();
-  for (TxQueue& q : queues_) q.reader.reset();
+  rate_defer_tick_ = 0;
+  for (TxQueue& q : queues_) {
+    q.reader.reset();
+    q.deficit = 0;
+  }
   sim::trace_event(trace_, eng_->now(), "tx", "reset", epoch_, 0);
 }
 
@@ -148,32 +180,147 @@ void TxProcessor::kick() {
 }
 
 void TxProcessor::service() {
-  if (stalled_ || !start_pdu()) active_ = false;
+  if (stalled_) {
+    active_ = false;
+    return;
+  }
+  if (start_pdu()) return;
+  active_ = false;
+  if (rate_defer_tick_ > 0) {
+    // Every eligible PDU was gated by a token bucket: re-arm at the
+    // earliest refill so a lone rate-limited queue drains without another
+    // host doorbell.
+    const std::uint64_t ep = epoch_;
+    const sim::Tick at = std::max(rate_defer_tick_, eng_->now());
+    eng_->schedule_at(at, [this, ep] {
+      if (ep != epoch_ || stalled_ || active_) return;
+      active_ = true;
+      service();
+    });
+  }
+}
+
+std::uint32_t TxProcessor::head_wire_bytes(TxQueue& q) {
+  // A queue is ready when it holds a complete PDU chain (EOP present).
+  // Claimed lengths are clamped like the consumption ledger's: a forged
+  // 4 GB word must not distort the scheduler's byte credit either.
+  std::uint64_t len = 0;
+  for (std::uint32_t k = 0;; ++k) {
+    const auto d = q.reader.peek_at(k);
+    if (!d) return 0;
+    len += std::min(d->len, kMaxAdcDescriptorBytes);
+    if ((d->flags & dpram::kDescEop) != 0) break;
+  }
+  return atm::wire_len(static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(len, 0xFFFFFFFFull)));
+}
+
+bool TxProcessor::tokens_available(int channel, std::uint32_t wire,
+                                   sim::Tick* refill_at) {
+  const auto it = limits_.find(channel);
+  if (it == limits_.end()) return true;
+  RateLimit& rl = it->second;
+  const sim::Tick now = eng_->now();
+  if (now > rl.last) {
+    // Ticks are picoseconds: bytes earned = rate * elapsed / 1e12.
+    rl.tokens = std::min(
+        rl.burst,
+        rl.tokens + rl.bytes_per_sec * (static_cast<double>(now - rl.last) *
+                                        1e-12));
+    rl.last = now;
+  }
+  // A PDU larger than the burst could never gather full credit; serving it
+  // at a full bucket (tokens go negative) preserves the long-run rate
+  // without wedging the queue.
+  const double target = std::min(static_cast<double>(wire), rl.burst);
+  if (rl.tokens >= target) return true;
+  const double secs = (target - rl.tokens) / rl.bytes_per_sec;
+  *refill_at = now + static_cast<sim::Tick>(secs * 1e12) + 1;
+  return false;
 }
 
 int TxProcessor::pick_queue() {
-  int best = -1;
-  for (std::size_t off = 0; off < queues_.size(); ++off) {
-    const std::size_t i = (rr_next_ + off) % queues_.size();
+  rate_defer_tick_ = 0;
+  if (queues_.empty()) return -1;
+
+  // Pass 1: readiness, head PDU sizes, rate eligibility, and the top
+  // priority class among eligible queues. Strict priority between classes
+  // is preserved; DRR shares the link only within a class.
+  scratch_wire_.assign(queues_.size(), 0);
+  int top = 0;
+  bool have_top = false;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
     TxQueue& q = queues_[i];
-    if (q.detached) continue;
-    // A queue is ready when it holds a complete PDU chain (EOP present).
-    bool ready = false;
-    for (std::uint32_t k = 0;; ++k) {
-      const auto d = q.reader.peek_at(k);
-      if (!d) break;
-      if ((d->flags & dpram::kDescEop) != 0) {
-        ready = true;
-        break;
-      }
+    if (q.detached) {
+      q.deficit = 0;
+      continue;
     }
-    if (!ready) continue;
-    if (best < 0 || q.priority > queues_[static_cast<std::size_t>(best)].priority) {
-      best = static_cast<int>(i);
+    const std::uint32_t wire = head_wire_bytes(q);
+    if (wire == 0) {
+      q.deficit = 0;  // classic DRR: an idle queue forfeits its credit
+      continue;
+    }
+    if (fault::fires(faults_, fault::Point::kTxQueueWedge)) {
+      ++wedge_skips_;
+      sim::trace_event(trace_, eng_->now(), "tx", "queue_wedge",
+                       static_cast<std::uint64_t>(q.channel), i);
+      continue;
+    }
+    sim::Tick refill = 0;
+    if (!tokens_available(q.channel, wire, &refill)) {
+      ++rate_deferrals_;
+      if (rate_defer_tick_ == 0 || refill < rate_defer_tick_) {
+        rate_defer_tick_ = refill;
+      }
+      continue;  // work-conserving: a dry bucket never blocks neighbours
+    }
+    scratch_wire_[i] = wire;
+    if (!have_top || q.priority > top) {
+      top = q.priority;
+      have_top = true;
     }
   }
-  if (best >= 0) rr_next_ = static_cast<std::size_t>(best) + 1;
-  return best;
+  if (!have_top) return -1;
+
+  // Pass 2: closed-form DRR over the top class. Deficits grow by
+  // weight * quantum per round, so the queue needing the fewest whole
+  // rounds to cover its head PDU is the one DRR would reach first; ties
+  // fall to rotation order from rr_next_.
+  const std::uint64_t quantum =
+      std::max<std::uint32_t>(1, cfg_.drr_quantum_bytes);
+  std::uint64_t best_rounds = 0;
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t off = 0; off < queues_.size(); ++off) {
+    const std::size_t i = (rr_next_ + off) % queues_.size();
+    const TxQueue& q = queues_[i];
+    if (scratch_wire_[i] == 0 || q.priority != top) continue;
+    const std::uint64_t earn = quantum * q.weight;
+    const std::uint64_t lack =
+        scratch_wire_[i] > q.deficit ? scratch_wire_[i] - q.deficit : 0;
+    const std::uint64_t rounds = (lack + earn - 1) / earn;
+    if (!found || rounds < best_rounds) {
+      found = true;
+      best_rounds = rounds;
+      best = i;
+    }
+  }
+
+  // Advance every contender's deficit by the rounds that elapsed, then
+  // serve the winner and charge its token bucket (eligibility above
+  // guaranteed the credit; an over-burst PDU legitimately goes negative).
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (scratch_wire_[i] == 0 || queues_[i].priority != top) continue;
+    queues_[i].deficit += best_rounds * quantum * queues_[i].weight;
+  }
+  TxQueue& w = queues_[best];
+  w.deficit -= std::min<std::uint64_t>(w.deficit, scratch_wire_[best]);
+  const auto lit = limits_.find(w.channel);
+  if (lit != limits_.end()) {
+    lit->second.tokens -= static_cast<double>(scratch_wire_[best]);
+  }
+  rr_next_ = best + 1;
+  return static_cast<int>(best);
 }
 
 void TxProcessor::check_half_empty(TxQueue& q, sim::Tick /*at*/) {

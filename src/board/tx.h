@@ -3,10 +3,13 @@
 // The host queues PDUs as chains of physical-buffer descriptors (last
 // buffer flagged EOP) on one of up to 16 transmit queues (queue 0 belongs
 // to the kernel driver, others to ADCs, §3.2). The firmware repeatedly
-// picks the highest-priority non-empty queue, reads one PDU's descriptor
-// chain, segments it into ATM cells — gathering payload from host memory
-// with DMA reads that never cross a page boundary (§2.5.2) — computes the
-// AAL trailer CRC incrementally, and clocks cells onto the striped link.
+// picks a queue from the highest priority class with a ready PDU — within
+// that class, ready queues share the link by deficit round robin over
+// per-queue weights, gated by per-channel token-bucket rate limits — reads
+// one PDU's descriptor chain, segments it into ATM cells — gathering
+// payload from host memory with DMA reads that never cross a page boundary
+// (§2.5.2) — computes the AAL trailer CRC incrementally, and clocks cells
+// onto the striped link.
 //
 // Transmit completion is signalled by advancing the queue's tail pointer
 // as each buffer finishes (no interrupt); the firmware raises an interrupt
@@ -17,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -41,19 +45,43 @@ class TxProcessor {
               link::StripedLink& link);
   ~TxProcessor();
 
-  /// Registers a transmit queue. Higher `priority` wins; ties are served
-  /// round-robin. `auth` may be empty (kernel queue). A non-empty
-  /// `owned_vcis` makes the firmware reject PDUs posted on any other VCI
-  /// (§3.2: the OS assigns an ADC its VCIs; the board enforces them).
+  /// Registers a transmit queue. Higher `priority` wins; within a priority
+  /// class, ready queues share the link by deficit round robin over their
+  /// weights (set_queue_weight; default 1). `auth` may be empty (kernel
+  /// queue). A non-empty `owned_vcis` makes the firmware reject PDUs posted
+  /// on any other VCI (§3.2: the OS assigns an ADC its VCIs; the board
+  /// enforces them).
   void add_queue(int channel, const dpram::QueueLayout& lay, int priority,
                  PageAuth auth = nullptr,
                  std::vector<std::uint16_t> owned_vcis = {});
 
+  /// DRR weight for every attached queue of `channel` (minimum 1): a queue
+  /// with weight w earns w quanta of wire-byte credit per scheduler round,
+  /// so two backlogged equal-priority queues with weights 3 and 1 share the
+  /// link 3:1.
+  void set_queue_weight(int channel, std::uint32_t weight);
+
+  /// Board-side token-bucket rate limit for `channel`: its queues send at
+  /// most `bytes_per_sec` of wire bytes sustained, with `burst_bytes` of
+  /// credit. A rate of 0 removes the limit. While the bucket is dry the
+  /// channel's queues are simply ineligible — lower-priority neighbours
+  /// keep the link busy (work-conserving) and the firmware re-arms itself
+  /// at the refill time, so a lone rate-limited queue never wedges.
+  void set_rate_limit(int channel, double bytes_per_sec,
+                      std::uint64_t burst_bytes);
+
+  /// True when `channel` currently has a token-bucket limit installed.
+  [[nodiscard]] bool rate_limited(int channel) const {
+    return limits_.contains(channel);
+  }
+
   /// Detaches every queue registered for `channel`: the firmware stops
   /// scanning it, an in-progress PDU from it is abandoned, and completion
   /// publishes already scheduled for it are discarded when they fire (the
-  /// dpram page may be re-registered by a reopened channel). Used by both
-  /// quarantine and channel teardown.
+  /// dpram page may be re-registered by a reopened channel). Scheduler and
+  /// rate-limiter bookkeeping (DRR deficit, token bucket, weight) is
+  /// released so a reused channel starts fresh. Used by both quarantine and
+  /// channel teardown.
   void remove_queue(int channel);
 
   /// True when `channel` has at least one attached (non-detached) queue.
@@ -78,7 +106,9 @@ class TxProcessor {
   void set_trace(sim::Trace* t) { trace_ = t; }
 
   /// Enables fault injection (not owned). Consults kBoardTxStall once per
-  /// descriptor read while assembling a PDU chain.
+  /// descriptor read while assembling a PDU chain, and kTxQueueWedge once
+  /// per ready queue per scheduler pass (a firing skips that queue for the
+  /// pass).
   void set_fault_plane(fault::FaultPlane* f) { faults_ = f; }
 
   /// Wedges the transmit firmware loop: kicks are ignored, the in-progress
@@ -114,6 +144,11 @@ class TxProcessor {
   /// Descriptor chains rejected as nonsensical (e.g. a corrupted length
   /// word implying more cells than the 16-bit seq space can carry).
   [[nodiscard]] std::uint64_t bad_chains() const { return bad_chains_; }
+  /// Times a ready queue was held back by its token bucket during a
+  /// scheduler pass (the firmware re-arms itself at the refill time).
+  [[nodiscard]] std::uint64_t rate_deferrals() const { return rate_deferrals_; }
+  /// Ready queues skipped for one pass by an injected kTxQueueWedge.
+  [[nodiscard]] std::uint64_t wedge_skips() const { return wedge_skips_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] sim::Resource& i960() { return i960_; }
 
@@ -127,6 +162,17 @@ class TxProcessor {
     std::uint16_t next_pdu_id = 0;
     bool detached = false;
     std::uint64_t bytes_consumed = 0;
+    std::uint32_t weight = 1;     // DRR weight within the priority class
+    std::uint64_t deficit = 0;    // DRR byte credit (reset when idle)
+  };
+
+  // Board-side token bucket (per channel). Tokens are wire bytes; refill
+  // is continuous at `bytes_per_sec`, capped at `burst`.
+  struct RateLimit {
+    double bytes_per_sec = 0.0;
+    double burst = 0.0;
+    double tokens = 0.0;
+    sim::Tick last = 0;  // last refill time
   };
 
   struct Job;
@@ -146,6 +192,13 @@ class TxProcessor {
   void step_job_fixed();
   void finish_job(sim::Tick last_dep);
   int pick_queue();
+  /// Wire bytes of the PDU at the head of `q`, or 0 when no complete chain
+  /// (EOP) is queued.
+  std::uint32_t head_wire_bytes(TxQueue& q);
+  /// Refills `channel`'s bucket to now and checks `wire` bytes of credit.
+  /// On failure stores the earliest tick the credit will exist into
+  /// `*refill_at`.
+  bool tokens_available(int channel, std::uint32_t wire, sim::Tick* refill_at);
   void check_half_empty(TxQueue& q, sim::Tick at);
   void heartbeat_step();
 
@@ -164,6 +217,8 @@ class TxProcessor {
   fault::FaultPlane* faults_ = nullptr;
   std::vector<TxQueue> queues_;
   std::size_t rr_next_ = 0;
+  std::map<int, RateLimit> limits_;   // channel -> token bucket
+  sim::Tick rate_defer_tick_ = 0;     // earliest token refill seen by pick
   bool active_ = false;
   bool stalled_ = false;
   std::uint64_t epoch_ = 0;
@@ -175,6 +230,7 @@ class TxProcessor {
   std::vector<atm::Cell> scratch_cells_;
   std::vector<std::size_t> scratch_completed_;
   std::vector<mem::PhysBuffer> scratch_segs_;  // per-cell gather program
+  std::vector<std::uint32_t> scratch_wire_;    // pick_queue head sizes
 
   // Heartbeat state (see start_heartbeat()).
   bool hb_running_ = false;
@@ -192,6 +248,8 @@ class TxProcessor {
   std::uint64_t stalls_ = 0;
   std::uint64_t dma_errors_ = 0;
   std::uint64_t bad_chains_ = 0;
+  std::uint64_t rate_deferrals_ = 0;
+  std::uint64_t wedge_skips_ = 0;
 };
 
 }  // namespace osiris::board

@@ -4,25 +4,6 @@
 
 namespace osiris::fault {
 
-const char* point_name(Point p) {
-  switch (p) {
-    case Point::kBoardRxStall: return "board_rx_stall";
-    case Point::kBoardTxStall: return "board_tx_stall";
-    case Point::kBoardRxCellDrop: return "board_rx_cell_drop";
-    case Point::kDmaError: return "dma_error";
-    case Point::kDescCorrupt: return "desc_corrupt";
-    case Point::kDpramStale: return "dpram_stale";
-    case Point::kIrqLost: return "irq_lost";
-    case Point::kIrqSpurious: return "irq_spurious";
-    case Point::kAdcGarbageDescriptor: return "adc_garbage_descriptor";
-    case Point::kAdcFreeListPoison: return "adc_free_list_poison";
-    case Point::kAdcAppDeath: return "adc_app_death";
-    case Point::kAdcRefillStall: return "adc_refill_stall";
-    case Point::kCount: break;
-  }
-  return "?";
-}
-
 void FaultPlane::arm(Point p, FaultSpec spec) {
   Slot& s = slot(p);
   s.spec = spec;
@@ -37,7 +18,9 @@ bool FaultPlane::fires(Point p) {
   Slot& s = slot(p);
   if (!s.armed) return false;
   ++s.consulted;
-  if (s.fired >= s.spec.budget) return false;
+  // budget == 0 is "armed but inert" — it must never fire, including on a
+  // spec whose `after` matches the very first consultation.
+  if (s.spec.budget == 0 || s.fired >= s.spec.budget) return false;
   const bool hit = (s.spec.after != 0 && s.consulted == s.spec.after) ||
                    (s.spec.probability > 0.0 && rng_.chance(s.spec.probability));
   if (hit) ++s.fired;

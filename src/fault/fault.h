@@ -41,10 +41,51 @@ enum class Point : int {
   kAdcFreeListPoison,     // app corrupts a free-queue entry it recycles
   kAdcAppDeath,           // app dies mid-send (partial chain, no EOP)
   kAdcRefillStall,        // app stops returning receive buffers
+  // Overload injectors (QoS / graceful-degradation experiments): drive
+  // incast, oversubscription and bursty-adversary scenarios through the
+  // same chaos plane as the hardware faults above.
+  kRxBufferExhausted,  // a free-queue pop comes back empty despite supply
+  kTenantBurst,        // app sends a back-to-back burst instead of one PDU
+  kTxQueueWedge,       // a transmit queue is skipped for one scheduler pass
   kCount,
 };
 
-[[nodiscard]] const char* point_name(Point p);
+[[nodiscard]] constexpr const char* point_name(Point p) {
+  switch (p) {
+    case Point::kBoardRxStall: return "board_rx_stall";
+    case Point::kBoardTxStall: return "board_tx_stall";
+    case Point::kBoardRxCellDrop: return "board_rx_cell_drop";
+    case Point::kDmaError: return "dma_error";
+    case Point::kDescCorrupt: return "desc_corrupt";
+    case Point::kDpramStale: return "dpram_stale";
+    case Point::kIrqLost: return "irq_lost";
+    case Point::kIrqSpurious: return "irq_spurious";
+    case Point::kAdcGarbageDescriptor: return "adc_garbage_descriptor";
+    case Point::kAdcFreeListPoison: return "adc_free_list_poison";
+    case Point::kAdcAppDeath: return "adc_app_death";
+    case Point::kAdcRefillStall: return "adc_refill_stall";
+    case Point::kRxBufferExhausted: return "rx_buffer_exhausted";
+    case Point::kTenantBurst: return "tenant_burst";
+    case Point::kTxQueueWedge: return "tx_queue_wedge";
+    case Point::kCount: break;
+  }
+  return "?";
+}
+
+namespace detail {
+// Every Point below kCount must map to a real name: a new enumerator whose
+// point_name case was forgotten would otherwise silently report "?" in
+// summaries and trend tooling.
+constexpr bool all_points_named() {
+  for (int i = 0; i < static_cast<int>(Point::kCount); ++i) {
+    const char* n = point_name(static_cast<Point>(i));
+    if (n == nullptr || (n[0] == '?' && n[1] == '\0')) return false;
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(detail::all_points_named(),
+              "point_name: add a case for every fault::Point up to kCount");
 
 /// When an armed fault fires.
 struct FaultSpec {

@@ -115,6 +115,16 @@ void OsirisDriver::attach(int adc_channel) {
       board::Irq::kTxHalfEmpty, [this, adc_channel](sim::Tick done, int ch) {
         if (ch == adc_channel) on_tx_half_empty(done);
       });
+  free_low_token_ = intc_->add_handler(
+      board::Irq::kRxFreeLow, [this, adc_channel](sim::Tick done, int ch) {
+        if (ch != adc_channel) return;
+        // The firmware is starving for buffers: drain the receive ring now
+        // so recycled buffers reach the free list before more PDUs drop.
+        ++backpressure_events_;
+        sim::trace_event(trace_, eng_->now(), "drv", "free_low",
+                         static_cast<std::uint64_t>(ch), backpressure_events_);
+        on_rx_interrupt(done);
+      });
 }
 
 void OsirisDriver::detach() {
@@ -126,7 +136,8 @@ void OsirisDriver::detach() {
   // its handlers at service time, so removal also swallows those.
   if (rx_irq_token_ >= 0) intc_->remove_handler(rx_irq_token_);
   if (tx_irq_token_ >= 0) intc_->remove_handler(tx_irq_token_);
-  rx_irq_token_ = tx_irq_token_ = -1;
+  if (free_low_token_ >= 0) intc_->remove_handler(free_low_token_);
+  rx_irq_token_ = tx_irq_token_ = free_low_token_ = -1;
   // Kill in-flight drain steps and stale completions.
   ++generation_;
   draining_ = false;

@@ -227,6 +227,14 @@ class OsirisDriver {
   [[nodiscard]] std::uint64_t spurious_irqs() const { return spurious_irqs_; }
   /// Descriptors rejected as nonsensical (corrupted id/addr/len).
   [[nodiscard]] std::uint64_t bad_descriptors() const { return bad_descriptors_; }
+  /// kRxFreeLow interrupts fielded: the firmware ran a free queue dry
+  /// mid-reassembly and asked for buffers back. The driver responds by
+  /// draining the receive ring immediately (every delivered/aborted PDU
+  /// recycles its buffers to the free list) instead of waiting for the
+  /// next kRxNonEmpty edge.
+  [[nodiscard]] std::uint64_t backpressure_events() const {
+    return backpressure_events_;
+  }
   [[nodiscard]] const std::string& last_postmortem() const {
     return last_postmortem_;
   }
@@ -336,6 +344,7 @@ class OsirisDriver {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   int rx_irq_token_ = -1;
   int tx_irq_token_ = -1;
+  int free_low_token_ = -1;
   bool detached_ = false;
   std::function<void(sim::Tick)> reset_hook_;
   std::ostream* postmortem_os_ = nullptr;
@@ -370,6 +379,7 @@ class OsirisDriver {
   std::uint64_t watchdog_polls_ = 0;
   std::uint64_t spurious_irqs_ = 0;
   std::uint64_t bad_descriptors_ = 0;
+  std::uint64_t backpressure_events_ = 0;
   mem::PageWiring wiring_;
 };
 

@@ -145,6 +145,58 @@ TEST(AdcLifecycle, OpenTrafficCloseReopenRestoresBaseline) {
   EXPECT_EQ(tb.b.frames.free_frames(), base_free_b);
 }
 
+TEST(AdcLifecycle, CloseReleasesSchedulerAndRateLimiterState) {
+  // A channel carrying a DRR weight and a token-bucket rate limit closes;
+  // a fresh tenant reusing the pair index must start with clean scheduler
+  // state — no inherited weight, no drained (or banked) bucket. The
+  // regression this guards: remove_queue() once detached the queue but
+  // left the limiter installed, so the reused pair ran throttled forever.
+  Testbed tb(make_3000_600_config(), make_3000_600_config());
+  proto::StackConfig sc;
+  sc.mode = proto::StackMode::kRawAtm;
+  const auto data = pattern(8000, 5);
+
+  {
+    adc::Adc ca(deps_of(tb.a), 7, {720}, 1, sc);
+    adc::Adc cb(deps_of(tb.b), 7, {720}, 1, sc);
+    tb.a.txp.set_queue_weight(7, 9);
+    tb.a.txp.set_rate_limit(7, /*bytes_per_sec=*/1e6, /*burst_bytes=*/2048);
+    ASSERT_TRUE(tb.a.txp.rate_limited(7));
+    std::uint64_t got = 0;
+    cb.set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {
+      ++got;
+    });
+    proto::Message m = proto::Message::from_payload(ca.space(), data);
+    ca.authorize(m.scatter());
+    sim::Tick t = tb.now();
+    for (int i = 0; i < 2; ++i) t = ca.send(t, 720, m);
+    tb.run();
+    EXPECT_EQ(got, 2u);
+    EXPECT_GT(tb.a.txp.rate_deferrals(), 0u) << "the 1 MB/s cap never bit";
+  }  // close() via destructors
+
+  EXPECT_FALSE(tb.a.txp.rate_limited(7)) << "remove_queue leaked the bucket";
+
+  // The reused pair runs at full speed: 4 x 8000 B in far less time than
+  // the old 1 MB/s cap (~36 ms) would have allowed.
+  const std::uint64_t deferrals_before = tb.a.txp.rate_deferrals();
+  adc::Adc ca2(deps_of(tb.a), 7, {720}, 1, sc);
+  adc::Adc cb2(deps_of(tb.b), 7, {720}, 1, sc);
+  std::uint64_t got2 = 0;
+  cb2.set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {
+    ++got2;
+  });
+  proto::Message m2 = proto::Message::from_payload(ca2.space(), data);
+  ca2.authorize(m2.scatter());
+  const sim::Tick start = tb.now();
+  sim::Tick t2 = start;
+  for (int i = 0; i < 4; ++i) t2 = ca2.send(t2, 720, m2);
+  tb.run();
+  EXPECT_EQ(got2, 4u);
+  EXPECT_EQ(tb.a.txp.rate_deferrals(), deferrals_before);
+  EXPECT_LT(tb.now() - start, sim::ms(5)) << "reused pair still throttled";
+}
+
 TEST(AdcLifecycle, CloseMidTrafficLeavesOtherChannelsUnharmed) {
   // The harsher variant: close the receiving channel while PDUs are still
   // in flight toward it. Completions already scheduled for the dead

@@ -10,11 +10,24 @@ accumulate a perf trend over commits.
 
 Usage:
     tools/bench_trend.py [paths...] [--append FILE] [--label LABEL]
+                         [--floors FILE]
 
 Paths default to build/bench and build (bench_parallel writes to the build
 root).  Files without the perf fields (e.g. the robustness benches, which
 report goodput/latency rows instead) are listed with dashes, not errors.
 Exits nonzero only if no BENCH_*.json file is found at all.
+
+--floors generalizes the old single-bench engine_events_per_sec.floor: the
+file (bench/floors.tsv) holds one row per gated metric —
+
+    bench <TAB> field <TAB> floor <TAB> slack <TAB> kind
+
+`bench` names BENCH_<bench>.json, `field` a top-level numeric field in it,
+and the check is  value >= floor * slack  (slack < 1 is the haircut that
+absorbs machine-to-machine noise).  kind=perf rows are skipped when
+OSIRIS_SANITIZE is set (sanitized binaries are legitimately slower);
+kind=quality rows — fairness indices, goodput retention — always apply.
+Any violated or uncheckable floor makes the script exit nonzero.
 """
 
 import argparse
@@ -116,6 +129,71 @@ def print_table(rows):
         ))
 
 
+def load_floors(path):
+    """Parses the floors TSV into a list of dicts; raises ValueError on a
+    malformed row so a typo in the gate file fails loudly, not silently."""
+    floors = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if parts[0] == "bench":  # column header
+                continue
+            if len(parts) != 5:
+                raise ValueError("%s:%d: want 5 tab-separated columns, got %d"
+                                 % (path, lineno, len(parts)))
+            bench, field, floor, slack, kind = parts
+            if kind not in ("perf", "quality"):
+                raise ValueError("%s:%d: kind must be perf|quality, got %r"
+                                 % (path, lineno, kind))
+            floors.append({
+                "bench": bench,
+                "field": field,
+                "floor": float(floor),
+                "slack": float(slack),
+                "kind": kind,
+            })
+    return floors
+
+
+def check_floors(files, floors):
+    """Checks each floor row against its bench's JSON.  Returns the number
+    of violations (missing file/field counts as one — a gate that cannot
+    run must not pass)."""
+    data_by_bench = {}
+    for path in files:
+        name = os.path.basename(path)
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    data_by_bench[name[len("BENCH_"):-len(".json")]] = \
+                        json.load(fh)
+            except (OSError, ValueError):
+                pass  # already reported as unreadable in the trend table
+    sanitized = bool(os.environ.get("OSIRIS_SANITIZE"))
+    failures = 0
+    for fl in floors:
+        tag = "%s.%s" % (fl["bench"], fl["field"])
+        if fl["kind"] == "perf" and sanitized:
+            print("floor SKIP %-32s (perf floor, OSIRIS_SANITIZE set)" % tag)
+            continue
+        data = data_by_bench.get(fl["bench"])
+        value = data.get(fl["field"]) if isinstance(data, dict) else None
+        cut = fl["floor"] * fl["slack"]
+        if not isinstance(value, (int, float)):
+            print("floor FAIL %-32s missing (want >= %g)" % (tag, cut))
+            failures += 1
+        elif value < cut:
+            print("floor FAIL %-32s %g < %g (floor %g x slack %g)"
+                  % (tag, value, cut, fl["floor"], fl["slack"]))
+            failures += 1
+        else:
+            print("floor ok   %-32s %g >= %g" % (tag, value, cut))
+    return failures
+
+
 def run_label():
     try:
         rev = subprocess.run(
@@ -149,6 +227,9 @@ def main(argv):
                     help="append rows to this TSV history file")
     ap.add_argument("--label", help="run label for --append "
                                     "(default: git rev + timestamp)")
+    ap.add_argument("--floors", metavar="FILE",
+                    help="TSV of per-bench floors to enforce "
+                         "(bench/field/floor/slack/kind)")
     args = ap.parse_args(argv)
 
     paths = args.paths or ["build/bench", "build"]
@@ -171,6 +252,16 @@ def main(argv):
         append_history(measured, args.append, label)
         print("appended %d rows to %s as %s"
               % (len(measured), args.append, label))
+    if args.floors:
+        print()
+        try:
+            floors = load_floors(args.floors)
+        except (OSError, ValueError) as exc:
+            print("bench_trend: bad floors file: %s" % exc, file=sys.stderr)
+            return 1
+        if check_floors(files, floors):
+            print("bench_trend: floor violations", file=sys.stderr)
+            return 1
     return 0
 
 
