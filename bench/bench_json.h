@@ -51,6 +51,11 @@ void perf_fields(Writer& w, double wall_seconds, std::uint64_t events,
 class Writer {
  public:
   void open_object() { sep(); out_ += '{'; fresh_ = true; }
+  void open_object(const std::string& key) {
+    sep();
+    out_ += '"' + key + "\":{";
+    fresh_ = true;
+  }
   void close_object() { out_ += '}'; fresh_ = false; }
   void open_array(const std::string& key) {
     sep();

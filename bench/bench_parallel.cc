@@ -41,6 +41,7 @@ struct RunOut {
   std::uint64_t rounds = 0;    // barrier rounds (thread-count invariant)
   std::uint64_t remote = 0;    // envelopes across partitions
   double rtt_us_mean = 0;
+  sim::EngineGroup::PhaseProfile prof;  // where the worker time went
 };
 
 std::uint64_t node_receive_setup(Node& n, proto::ProtoStack& stack,
@@ -63,6 +64,7 @@ std::uint64_t node_receive_setup(Node& n, proto::ProtoStack& stack,
 RunOut run_workload(int threads) {
   const benchjson::WallTimer wall;
   Testbed tb(make_5000_200_config(), make_3000_600_config(), threads);
+  tb.group.enable_profiling();
   proto::StackConfig sc;
   auto sa = tb.a.make_stack(sc);
   auto sb = tb.b.make_stack(sc);
@@ -103,7 +105,23 @@ RunOut run_workload(int threads) {
   out.hash = h;
   out.rounds = gs.rounds;
   out.remote = gs.remote_events;
+  out.prof = tb.group.profile();
   return out;
+}
+
+/// Worker-phase breakdown: total time per phase plus the barrier-stall
+/// distribution — the direct answer to "where does 2-thread overhead go".
+void emit_phase_profile(benchjson::Writer& w,
+                        const sim::EngineGroup::PhaseProfile& p) {
+  w.open_object("phase_ns");
+  w.field("drain_sum", p.drain_ns.sum());
+  w.field("dispatch_sum", p.dispatch_ns.sum());
+  w.field("barrier_sum", p.barrier_ns.sum());
+  w.field("drain_p50", p.drain_ns.quantile(0.50));
+  w.field("dispatch_p50", p.dispatch_ns.quantile(0.50));
+  w.field("barrier_p50", p.barrier_ns.quantile(0.50));
+  w.field("barrier_p99", p.barrier_ns.quantile(0.99));
+  w.close_object();
 }
 
 }  // namespace
@@ -142,6 +160,19 @@ int main(int argc, char** argv) {
               identical ? "yes" : "NO", speedup,
               static_cast<unsigned long long>(serial.rounds),
               static_cast<unsigned long long>(serial.remote));
+  {
+    const sim::EngineGroup::PhaseProfile& pp = parallel.prof;
+    const double total = static_cast<double>(
+        pp.drain_ns.sum() + pp.dispatch_ns.sum() + pp.barrier_ns.sum());
+    if (total > 0) {
+      std::printf("worker time (threads=%d): dispatch %.0f%%  drain %.0f%%  "
+                  "barrier stall %.0f%%\n",
+                  max_threads,
+                  100.0 * static_cast<double>(pp.dispatch_ns.sum()) / total,
+                  100.0 * static_cast<double>(pp.drain_ns.sum()) / total,
+                  100.0 * static_cast<double>(pp.barrier_ns.sum()) / total);
+    }
+  }
 
   benchjson::Writer w;
   w.open_object();
@@ -156,6 +187,7 @@ int main(int argc, char** argv) {
     w.field("rounds", r->rounds);
     w.field("remote_events", r->remote);
     w.field("rtt_us_mean", r->rtt_us_mean);
+    emit_phase_profile(w, r->prof);
     w.close_object();
   }
   w.close_array();

@@ -22,6 +22,7 @@
 
 #include "adc/adc.h"
 #include "bench_json.h"
+#include "obs/spans.h"
 #include "osiris/node.h"
 #include "proto/message.h"
 #include "sim/time.h"
@@ -42,6 +43,8 @@ adc::Adc::Deps deps_of(Node& n) {
 struct RunResult {
   std::vector<double> goodput_mbps;  // per tenant
   std::vector<std::uint64_t> delivered;
+  std::vector<double> latency_us_p50;  // per tenant, e2e PDU spans
+  std::vector<double> latency_us_p99;
   double aggregate_mbps = 0.0;
   double jain = 1.0;
   std::uint64_t rate_deferrals = 0;
@@ -65,7 +68,16 @@ double jain_index(const std::vector<double>& x) {
 /// host posting path onto the link, where the DRR arbitrates.
 RunResult run_incast(double multiplier, const std::vector<std::uint32_t>& weights,
                      std::size_t bytes = kBytes) {
-  Testbed tb(make_3000_600_config(), make_3000_600_config());
+  // PDU lifecycle spans: one per node. The tenants' ADC channel drivers
+  // stamp their own sends (per-channel FIFO on node A) and deliveries
+  // (keyed by VCI on node B), so per-tenant latency falls out of the
+  // per-VCI end-to-end families.
+  obs::PduSpans spans_a, spans_b;
+  NodeConfig ca = make_3000_600_config();
+  NodeConfig cb = make_3000_600_config();
+  ca.spans = &spans_a;
+  cb.spans = &spans_b;
+  Testbed tb(ca, cb);
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
 
@@ -88,6 +100,9 @@ RunResult run_incast(double multiplier, const std::vector<std::uint32_t>& weight
     t.rx = std::make_unique<adc::Adc>(deps_of(tb.b), pair,
                                       std::vector<std::uint16_t>{vci}, 1, sc);
     tb.a.txp.set_queue_weight(pair, weights[static_cast<std::size_t>(pair - 1)]);
+    spans_b.enable_vci(vci);
+    t.tx->driver().set_spans(&spans_a, /*tx_channel=*/pair);
+    t.rx->driver().set_spans(&spans_b);
     tenants.emplace(pair, std::move(t));
   }
   for (auto& [pair, t] : tenants) {
@@ -126,6 +141,11 @@ RunResult run_incast(double multiplier, const std::vector<std::uint32_t>& weight
     r.delivered.push_back(t.delivered);
     r.goodput_mbps.push_back(sim::mbps(t.in_window * bytes, horizon));
     r.aggregate_mbps += r.goodput_mbps.back();
+    const auto vci = static_cast<std::uint16_t>(900 + pair);
+    const sim::Log2Histogram* h = spans_b.vci_e2e(vci);
+    // Tick = picoseconds, so quantile/1e6 is microseconds.
+    r.latency_us_p50.push_back(h != nullptr ? h->quantile(0.50) / 1e6 : 0.0);
+    r.latency_us_p99.push_back(h != nullptr ? h->quantile(0.99) / 1e6 : 0.0);
   }
   r.jain = jain_index(r.goodput_mbps);
   r.rate_deferrals = tb.a.txp.rate_deferrals();
@@ -152,9 +172,13 @@ void emit_row(const char* scenario, double multiplier, const RunResult& r,
   json.field("aggregate_goodput_mbps", r.aggregate_mbps);
   json.field("jain", r.jain);
   json.open_array("tenant_goodput_mbps");
-  for (const double g : r.goodput_mbps) {
+  for (std::size_t i = 0; i < r.goodput_mbps.size(); ++i) {
     json.open_object();
-    json.field("mbps", g);
+    json.field("mbps", r.goodput_mbps[i]);
+    if (i < r.latency_us_p50.size()) {
+      json.field("latency_us_p50", r.latency_us_p50[i]);
+      json.field("latency_us_p99", r.latency_us_p99[i]);
+    }
     json.close_object();
   }
   json.close_array();

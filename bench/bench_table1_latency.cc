@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_json.h"
+#include "obs/spans.h"
 #include "osiris/harness.h"
 #include "osiris/node.h"
 
@@ -31,6 +32,53 @@ RunOut rtt(bool alpha, bool udp, std::uint32_t bytes, int threads) {
   auto sb = tb.b.make_stack(sc);
   const double us = harness::ping_pong(tb, *sa, *sb, vci, bytes, 12).rtt_us_mean;
   return RunOut{us, tb.dispatched()};
+}
+
+double us_of(double ticks) { return ticks / 1e6; }  // Tick = picoseconds
+
+/// One span-instrumented ping-pong (raw ATM, 1024 B, 5000/200) feeding the
+/// per-stage latency histograms; both directions merged so the
+/// distribution covers every PDU of the run.
+std::uint64_t span_run(benchjson::Writer& w, int threads) {
+  obs::PduSpans spans_a, spans_b;  // one per node: spans are thread-confined
+  NodeConfig ca = make_5000_200_config();
+  NodeConfig cb = make_5000_200_config();
+  ca.spans = &spans_a;
+  cb.spans = &spans_b;
+  Testbed tb(ca, cb, threads);
+  const std::uint16_t vci = tb.open_kernel_path();
+  proto::StackConfig sc;
+  sc.mode = proto::StackMode::kRawAtm;
+  auto sa = tb.a.make_stack(sc);
+  auto sb = tb.b.make_stack(sc);
+  harness::ping_pong(tb, *sa, *sb, vci, 1024, 200);
+
+  obs::PduSpans merged;
+  merged.merge_stages(spans_a);
+  merged.merge_stages(spans_b);
+
+  const sim::Log2Histogram& e2e = merged.stage(obs::Stage::kEndToEnd);
+  w.open_object("pdu_latency");
+  w.field("pdus", e2e.count());
+  w.field("e2e_us_p50", us_of(e2e.quantile(0.50)));
+  w.field("e2e_us_p90", us_of(e2e.quantile(0.90)));
+  w.field("e2e_us_p99", us_of(e2e.quantile(0.99)));
+  w.field("e2e_us_p999", us_of(e2e.quantile(0.999)));
+  w.open_object("stage_us_p50");
+  for (const obs::Stage s :
+       {obs::Stage::kEnqueueToDpram, obs::Stage::kSegment, obs::Stage::kWire,
+        obs::Stage::kReassemble, obs::Stage::kRxDma, obs::Stage::kDeliver}) {
+    w.field(obs::stage_name(s), us_of(merged.stage(s).quantile(0.50)));
+  }
+  w.close_object();
+  w.close_object();
+
+  std::printf("\nPDU lifecycle (raw ATM 1024 B, %llu PDUs): e2e p50 %.1f us, "
+              "p99 %.1f us, p999 %.1f us\n",
+              static_cast<unsigned long long>(e2e.count()),
+              us_of(e2e.quantile(0.50)), us_of(e2e.quantile(0.99)),
+              us_of(e2e.quantile(0.999)));
+  return tb.dispatched();
 }
 
 }  // namespace
@@ -81,6 +129,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   w.close_array();
+
+  events += span_run(w, threads);
 
   const double secs = wall.seconds();
   benchjson::perf_fields(w, secs, events,

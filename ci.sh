@@ -36,9 +36,11 @@ echo "== perf trend table + per-bench floors =="
 # --floors then gates on bench/floors.tsv: engine events/sec (perf floor,
 # skipped under OSIRIS_SANITIZE) plus the QoS quality floors — 10x-incast
 # Jain fairness and aggregate-goodput retention — which apply to every
-# build flavor.
+# build flavor.  --html renders the accumulated history as a self-contained
+# SVG dashboard artifact; it never affects gating.
 python3 tools/bench_trend.py build/bench --append build/bench_trend.tsv \
-  --floors bench/floors.tsv
+  --html build/bench_trend.html --floors bench/floors.tsv
+[ -s build/bench_trend.html ] || { echo "missing bench_trend.html" >&2; exit 1; }
 
 echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DOSIRIS_SANITIZE=address,undefined >/dev/null

@@ -2,18 +2,38 @@
 // linked back to back, open a path, and exchange messages over the
 // UDP/IP-like stack — printing what happened at every layer.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--stats-json=<path>] [--trace-out=<path>]
 #include <cstdio>
 
+#include "obs/spans.h"
+#include "osiris/harness.h"
 #include "osiris/node.h"
 #include "proto/message.h"
+#include "sim/trace.h"
 
 using namespace osiris;
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::OutputFlags out = harness::parse_output_flags(argc, argv);
+
   // 1. Two machines: a DECstation 5000/200 and a DEC 3000/600, boards
-  //    connected by the striped 622 Mbps link.
-  Testbed tb(make_5000_200_config(), make_3000_600_config());
+  //    connected by the striped 622 Mbps link. Tracing and PDU lifecycle
+  //    spans are attached only when an output sink asked for them.
+  sim::Trace trace_a(8192);
+  sim::Trace trace_b(8192);
+  obs::PduSpans spans_a;
+  obs::PduSpans spans_b;
+  NodeConfig ca = make_5000_200_config();
+  NodeConfig cb = make_3000_600_config();
+  if (!out.trace_out.empty()) {
+    ca.trace = &trace_a;
+    cb.trace = &trace_b;
+  }
+  if (!out.stats_json.empty() || !out.trace_out.empty()) {
+    ca.spans = &spans_a;
+    cb.spans = &spans_b;
+  }
+  Testbed tb(ca, cb);
 
   // 2. Bind a path: the x-kernel treats VCIs as abundant and dedicates
   //    one per connection (§3.1). open_kernel_path maps it on both ends.
@@ -70,5 +90,21 @@ int main() {
               static_cast<unsigned long long>(stack_b->delivered()),
               static_cast<unsigned long long>(stack_b->checksum_failures()));
   std::printf("simulated time elapsed: %.1f us\n", sim::to_us(tb.now()));
+
+  // 7. Optional observability sinks (--stats-json / --trace-out).
+  if (!out.stats_json.empty()) {
+    if (harness::write_stats_json(out.stats_json, tb, &spans_a, &spans_b))
+      std::printf("wrote metrics snapshot to %s\n", out.stats_json.c_str());
+    else
+      std::fprintf(stderr, "failed to write %s\n", out.stats_json.c_str());
+  }
+  if (!out.trace_out.empty()) {
+    if (harness::write_trace_json(out.trace_out, &trace_a, &trace_b, &spans_a,
+                                  &spans_b))
+      std::printf("wrote Chrome trace to %s (load in ui.perfetto.dev)\n",
+                  out.trace_out.c_str());
+    else
+      std::fprintf(stderr, "failed to write %s\n", out.trace_out.c_str());
+  }
   return received == 3 ? 0 : 1;
 }

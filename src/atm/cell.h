@@ -47,6 +47,13 @@ struct Cell {
   std::uint8_t hec = 0;      // header checksum, set by seal()
   std::array<std::uint8_t, kCellPayload> payload{};
 
+  // Observability sidecar (simulation metadata, NOT wire bytes): excluded
+  // from serialize_header()/encode_cell() and therefore from the HEC and
+  // from link bandwidth accounting.  Both are simulated ticks, so they are
+  // deterministic across serial and parallel runs.
+  std::uint64_t t_origin = 0;  // sender driver-enqueue tick (0 = unstamped)
+  std::uint64_t t_depart = 0;  // this cell's wire-departure tick
+
   [[nodiscard]] bool bom() const { return (flags & kFlagBom) != 0; }
   [[nodiscard]] bool lane_eom() const { return (flags & kFlagLaneEom) != 0; }
   [[nodiscard]] bool last_cell() const { return (flags & kFlagLastCell) != 0; }

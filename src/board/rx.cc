@@ -252,6 +252,11 @@ void RxProcessor::on_cell(int lane, const atm::Cell& c) {
     sim::trace_event(trace_, eng_->now(), "rx", "fifo_drop", c.vci, c.seq);
     return;
   }
+  // Wire stage: this cell's departure stamp to its acceptance here
+  // (generator cells carry no stamp and contribute nothing).
+  if (spans_ != nullptr && c.t_depart > 0 && eng_->now() >= c.t_depart) {
+    spans_->record(obs::Stage::kWire, eng_->now() - c.t_depart);
+  }
   accept_cell(lane, c);
 }
 
@@ -445,6 +450,7 @@ void RxProcessor::handle_placement(std::uint16_t vci, const atm::Placement& pl) 
   pending_.offset = pl.offset;
   pending_.bytes.assign(pl.cell.payload.begin(),
                         pl.cell.payload.begin() + pl.cell.len);
+  pending_.t_origin = pl.cell.t_origin;
   if (!cfg_.double_cell_dma_rx) {
     flush_pending();
   } else {
@@ -473,6 +479,7 @@ void RxProcessor::flush_pending() {
   const std::uint64_t local = pending_.key & 0xFFFFFFFFFFFFull;
   RxPdu* p = pdu_for(vci, local, nullptr);
   if (p->dropped) return;
+  if (p->t_origin == 0) p->t_origin = pending_.t_origin;
   issue_dma(*p, pending_.offset, pending_.bytes);
   if (!p->dropped) try_push(pending_.key, *p);
 }
@@ -561,6 +568,15 @@ void RxProcessor::handle_completion(std::uint16_t vci, const atm::Completion& c)
   p.wire_len = c.wire_bytes;
   i960_.reserve(cfg_.fw_rx_per_pdu);
   ++pdus_completed_;
+  if (spans_ != nullptr) {
+    const sim::Tick now = eng_->now();
+    if (now >= p.started) {
+      spans_->record(obs::Stage::kReassemble, now - p.started);
+    }
+    if (p.last_dma >= p.started) {
+      spans_->record(obs::Stage::kRxDma, p.last_dma - p.started);
+    }
+  }
   sim::trace_event(trace_, eng_->now(), "rx", "pdu_done", vci, p.wire_len);
   try_push(key, p);
   release_quota(p.vci, p.bufs.size());
@@ -618,6 +634,18 @@ void RxProcessor::push_buffer(RxPdu& p, std::uint32_t idx, bool eop,
   if (when < eng_->now()) when = eng_->now();
   ch.push_horizon = when;
   const int recv_idx = p.recv_idx;
+
+  // Publish the span handoff the driver closes at delivery, keyed exactly
+  // as the driver demultiplexes: (vci, 7-bit descriptor tag). Aborted
+  // descriptors are recycled, never delivered — drop their entry instead.
+  if (eop && spans_ != nullptr) {
+    const auto tag = static_cast<std::uint8_t>(pdu_tag & 0x7F);
+    if ((extra_flags & dpram::kDescAborted) != 0) {
+      spans_->rx_aborted(vci, tag);
+    } else {
+      spans_->rx_pushed(vci, tag, p.t_origin, when);
+    }
+  }
 
   // Same-tick coalescing (DESIGN.md §8): a reassembly completion pushes a
   // run of buffers with the same completion time, and the engine's batch
@@ -750,6 +778,7 @@ void RxProcessor::step_generator() {
   atm::seal(c);
   accept_cell(static_cast<int>(c.seq % atm::kLanes), c);
   ++cells_received_;
+  ++cells_generated_;
   ++gen_cell_idx_;
   if (gen_cell_idx_ == gen_trains_[gen_train_idx_].size()) {
     gen_cell_idx_ = 0;

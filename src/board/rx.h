@@ -35,6 +35,7 @@
 #include "dpram/queue.h"
 #include "fault/fault.h"
 #include "mem/cache.h"
+#include "obs/spans.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
 #include "sim/trace.h"
@@ -61,6 +62,11 @@ class RxProcessor {
 
   /// Attaches an event trace (optional; null disables).
   void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Attaches PDU lifecycle spans (optional; null disables). The firmware
+  /// records the wire/reassembly/DMA stages and publishes (vci, tag, origin,
+  /// push-tick) entries the driver closes at delivery.
+  void set_spans(obs::PduSpans* s) { spans_ = s; }
 
   /// Enables fault injection (not owned). Consults kBoardRxStall once per
   /// arriving cell, kBoardRxCellDrop inside the SAR loop, and
@@ -154,6 +160,9 @@ class RxProcessor {
 
   // Statistics.
   [[nodiscard]] std::uint64_t cells_received() const { return cells_received_; }
+  /// Cells synthesized locally by the fictitious-PDU generator (a subset of
+  /// cells_received; lets conservation audits separate wire arrivals).
+  [[nodiscard]] std::uint64_t cells_generated() const { return cells_generated_; }
   [[nodiscard]] std::uint64_t cells_bad_header() const { return cells_bad_header_; }
   [[nodiscard]] std::uint64_t cells_fifo_dropped() const { return cells_fifo_dropped_; }
   [[nodiscard]] std::uint64_t dma_ops() const { return dma_ops_; }
@@ -247,12 +256,14 @@ class RxProcessor {
     std::uint32_t wire_len = 0;
     std::uint32_t next_push = 0;
     sim::Tick last_dma = 0;
+    sim::Tick t_origin = 0;  // sender driver-enqueue stamp (0 = unstamped)
   };
   struct PendingDma {
     bool valid = false;
     std::uint64_t key = 0;  // (vci, pdu) key
     std::uint32_t offset = 0;
     std::vector<std::uint8_t> bytes;
+    sim::Tick t_origin = 0;  // origin stamp of the cell that opened this DMA
   };
   /// A scheduled receive-queue push carrying every same-tick descriptor
   /// for one channel (same-tick batch dispatch; see push_buffer()).
@@ -315,6 +326,7 @@ class RxProcessor {
   std::array<std::uint64_t, static_cast<std::size_t>(Violation::kCount)>
       violation_counts_{};
   sim::Trace* trace_ = nullptr;
+  obs::PduSpans* spans_ = nullptr;
   fault::FaultPlane* faults_ = nullptr;
 
   bool stalled_ = false;
@@ -358,6 +370,7 @@ class RxProcessor {
   bool gen_active_ = false;
 
   std::uint64_t cells_received_ = 0;
+  std::uint64_t cells_generated_ = 0;
   std::uint64_t cells_bad_header_ = 0;
   std::uint64_t cells_fifo_dropped_ = 0;
   std::uint64_t dma_ops_ = 0;

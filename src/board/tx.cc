@@ -40,6 +40,9 @@ struct TxProcessor::Job {
   std::uint32_t trailer_off = 0;
   bool trailer_ready = false;
   std::deque<sim::Tick> departures;
+  // Lifecycle span stamps (zero when spans are detached or unmatched).
+  sim::Tick t_origin = 0;  // driver-enqueue tick, carried into every cell
+  sim::Tick t_start = 0;   // firmware descriptor-handling completion
 };
 
 TxProcessor::TxProcessor(sim::Engine& eng, const BoardConfig& cfg,
@@ -379,6 +382,16 @@ bool TxProcessor::start_pdu() {
   const sim::Tick fw_t = i960_.reserve(
       cfg_.fw_tx_per_descriptor * static_cast<sim::Duration>(job->chain.size()));
 
+  // Match the driver's enqueue stamp for this channel's oldest posted PDU
+  // (FIFO order per channel; rejected chains consume their stamp too).
+  if (spans_ != nullptr) {
+    job->t_origin = spans_->take_tx_enqueue(q.channel);
+    job->t_start = fw_t;
+    if (job->t_origin > 0 && fw_t >= job->t_origin) {
+      spans_->record(obs::Stage::kEnqueueToDpram, fw_t - job->t_origin);
+    }
+  }
+
   // Consumption accounting happens before validation so a flooder's
   // rejected garbage still counts against its budget (claimed lengths
   // clamped — a forged 4 GB word should not distort the ledger).
@@ -593,6 +606,7 @@ void TxProcessor::step_job() {
   j.handover_floor = handover;
   sim::Tick dep = 0;
   for (auto& c : cells) {
+    c.t_origin = j.t_origin;
     atm::seal(c);
     dep = link_->submit(handover, c);
     j.departures.push_back(dep);
@@ -639,6 +653,9 @@ void TxProcessor::finish_job(sim::Tick last_dep) {
     });
   }
   ++pdus_sent_;
+  if (spans_ != nullptr && j.t_start > 0 && last_dep >= j.t_start) {
+    spans_->record(obs::Stage::kSegment, last_dep - j.t_start);
+  }
   sim::trace_event(trace_, eng_->now(), "tx", "pdu_done", j.vci, j.pdu_len);
   job_.reset();
   const std::uint64_t ep = epoch_;
@@ -711,6 +728,7 @@ void TxProcessor::step_job_fixed() {
     std::copy(trailer.begin(), trailer.end(), c.payload.begin());
   }
 
+  c.t_origin = j.t_origin;
   atm::seal(c);
   const sim::Tick handover = std::max(ready, j.handover_floor);
   j.handover_floor = handover;

@@ -31,6 +31,7 @@
 #include "fault/fault.h"
 #include "link/link.h"
 #include "mem/phys.h"
+#include "obs/spans.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
 #include "sim/trace.h"
@@ -104,6 +105,11 @@ class TxProcessor {
 
   /// Attaches an event trace (optional; null disables).
   void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Attaches PDU lifecycle spans (optional; null disables). The firmware
+  /// matches driver-enqueue stamps to started PDUs per channel and stamps
+  /// every outgoing cell with its PDU's origin tick.
+  void set_spans(obs::PduSpans* s) { spans_ = s; }
 
   /// Enables fault injection (not owned). Consults kBoardTxStall once per
   /// descriptor read while assembling a PDU chain, and kTxQueueWedge once
@@ -214,6 +220,7 @@ class TxProcessor {
   std::array<std::uint64_t, static_cast<std::size_t>(Violation::kCount)>
       violation_counts_{};
   sim::Trace* trace_ = nullptr;
+  obs::PduSpans* spans_ = nullptr;
   fault::FaultPlane* faults_ = nullptr;
   std::vector<TxQueue> queues_;
   std::size_t rr_next_ = 0;

@@ -281,6 +281,10 @@ sim::Tick OsirisDriver::send(sim::Tick at, std::uint16_t vci,
   t = cpu_->exec(t, w);
 
   ++pdus_sent_;
+  // Span origin: the moment the host asked the driver to transmit. Parked
+  // sends (full queue) replay in FIFO order, so the stamp still meets its
+  // own chain at the firmware.
+  if (spans_ != nullptr) spans_->tx_enqueued(span_channel_, at);
   tx_descs_accepted_ += bufs.size();
   if (tx_suspended_) {
     pending_sends_.push_back(PendingSend{vci, bufs});
@@ -372,7 +376,7 @@ void OsirisDriver::drain_step(sim::Tick at) {
   if ((d->flags & dpram::kDescEop) != 0) {
     Accum done = std::move(acc);
     accum_.erase(key);
-    t = deliver(t, d->vci, std::move(done));
+    t = deliver(t, d->vci, tag, std::move(done));
   } else if (accum_.size() > 64) {
     // Partial PDUs that never completed (dropped upstream): reclaim the
     // oldest to avoid leaking the buffer pool.
@@ -387,10 +391,14 @@ void OsirisDriver::drain_step(sim::Tick at) {
   });
 }
 
-sim::Tick OsirisDriver::deliver(sim::Tick at, std::uint16_t vci, Accum&& acc) {
+sim::Tick OsirisDriver::deliver(sim::Tick at, std::uint16_t vci,
+                                std::uint32_t tag, Accum&& acc) {
   sim::Tick t = at;
   if (acc.bytes < atm::kTrailerBytes) {
     ++crc_failures_;
+    if (spans_ != nullptr) {
+      spans_->rx_aborted(vci, static_cast<std::uint8_t>(tag));
+    }
     return recycle(t, acc.bufs);
   }
   RxPduView view;
@@ -418,6 +426,11 @@ sim::Tick OsirisDriver::deliver(sim::Tick at, std::uint16_t vci, Accum&& acc) {
                                  kb / 2});
 
   ++pdus_received_;
+  // Delivery closes the span: deliver stage (push -> here) plus the
+  // end-to-end distribution when the origin stamp survived.
+  if (spans_ != nullptr) {
+    spans_->rx_delivered(vci, static_cast<std::uint8_t>(tag), t);
+  }
   sim::trace_event(trace_, eng_->now(), "drv", "deliver", vci, view.pdu_len);
   if (rx_handler_) t = rx_handler_(t, view);
   return recycle(t, view.bufs);  // empty if the handler retained them

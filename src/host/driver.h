@@ -42,6 +42,7 @@
 #include "mem/cache.h"
 #include "mem/paging.h"
 #include "mem/wiring.h"
+#include "obs/spans.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 
@@ -125,6 +126,15 @@ class OsirisDriver {
 
   /// Attaches an event trace (optional; null disables).
   void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Attaches PDU lifecycle spans (optional; null disables). `tx_channel`
+  /// is the board-side transmit channel this driver posts on (the same
+  /// number handed to TxProcessor::add_queue), so enqueue stamps meet the
+  /// firmware's per-channel FIFO.
+  void set_spans(obs::PduSpans* s, int tx_channel = 0) {
+    spans_ = s;
+    span_channel_ = tx_channel;
+  }
 
   /// Queues one PDU (a chain of physical buffers) for transmission on
   /// `vci`, starting at `at`. Returns the time the host CPU is done (the
@@ -308,7 +318,8 @@ class OsirisDriver {
   void on_tx_half_empty(sim::Tick at);
   void drain_step(sim::Tick at);
   void watchdog_tick();
-  sim::Tick deliver(sim::Tick at, std::uint16_t vci, Accum&& acc);
+  sim::Tick deliver(sim::Tick at, std::uint16_t vci, std::uint32_t tag,
+                    Accum&& acc);
   sim::Tick recycle(sim::Tick at, const std::vector<RxBuffer>& bufs);
   /// Reclaims completed transmit descriptors (tail watch) and unwires.
   sim::Tick reap_tx(sim::Tick at);
@@ -336,6 +347,8 @@ class OsirisDriver {
 
   RxHandler rx_handler_;
   sim::Trace* trace_ = nullptr;
+  obs::PduSpans* spans_ = nullptr;
+  int span_channel_ = 0;
   board::RxProcessor* rxp_ = nullptr;
   fault::FaultPlane* faults_ = nullptr;
   fault::FaultPlane* tenant_faults_ = nullptr;
@@ -361,7 +374,7 @@ class OsirisDriver {
   std::uint64_t generation_ = 0;
   std::string last_postmortem_;
   std::vector<BufferInfo> buffers_;          // by id
-  std::map<std::uint32_t, Accum> accum_;     // (vci<<16|pdu_tag) -> partial PDU
+  std::map<std::uint32_t, Accum> accum_;     // (vci<<8|pdu_tag) -> partial PDU
   std::deque<PendingSend> pending_sends_;
   std::deque<std::vector<mem::PhysBuffer>> inflight_tx_;  // for unwiring
   std::uint64_t tx_descs_accepted_ = 0;  // monotone; counted at send()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "atm/wire.h"
 
@@ -71,7 +72,11 @@ sim::Tick StripedLink::submit(sim::Tick from, const atm::Cell& c) {
       return departed;
     }
     delivered = *parsed;
+    // The wire carries only the 53 real bytes; restore the observability
+    // sidecar the encode/decode round trip necessarily dropped.
+    delivered.t_origin = c.t_origin;
   }
+  delivered.t_depart = departed;
   if (cfg_.payload_err_p > 0.0 && rng_.chance(cfg_.payload_err_p)) {
     const auto bit = rng_.below(static_cast<std::uint64_t>(delivered.len) * 8);
     delivered.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
@@ -89,10 +94,14 @@ sim::Tick StripedLink::submit(sim::Tick from, const atm::Cell& c) {
     // the sink runs on the destination partition with no shared state but
     // the immutable sink itself.
     Sink* sinkp = &sink_;
+    auto deliver_fn = [sinkp, lane, delivered] { (*sinkp)(lane, delivered); };
+    // The cell's observability sidecar (t_origin/t_depart, 16 bytes) is
+    // budgeted into RemoteEvent's inline capacity; growing Cell further
+    // would silently heap-box every exported cell.
+    static_assert(sizeof(deliver_fn) <= sim::RemoteEvent::kInlineBytes,
+                  "exported cell envelope must stay inline");
     group_->schedule_remote(src_, dst_, arrival,
-                            sim::RemoteEvent([sinkp, lane, delivered] {
-                              (*sinkp)(lane, delivered);
-                            }));
+                            sim::RemoteEvent(std::move(deliver_fn)));
     return departed;
   }
   const std::uint32_t slot = acquire_slot(lane, delivered);

@@ -1,0 +1,67 @@
+#include "obs/export.h"
+
+#include <fstream>
+
+#include "sim/time.h"
+
+namespace osiris::obs {
+
+namespace {
+
+double us(sim::Tick t) { return sim::to_us(t); }
+
+void write_instant(std::ostream& os, bool& first, const std::string& node,
+                   const sim::TraceEvent& e) {
+  os << (first ? "" : ",") << "\n  {\"name\": \"" << e.component << "."
+     << e.event << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << us(e.at)
+     << ", \"pid\": 1, \"tid\": \"" << node
+     << "/trace\", \"args\": {\"a\": " << e.a << ", \"b\": " << e.b << "}}";
+  first = false;
+}
+
+void write_span(std::ostream& os, bool& first, const std::string& node,
+                const PduSpans::Span& s) {
+  // Unstamped spans (generator traffic) still show the rx-side window.
+  const sim::Tick begin = s.origin > 0 ? s.origin : s.pushed;
+  if (begin == 0 || s.delivered < begin) return;
+  os << (first ? "" : ",") << "\n  {\"name\": \"pdu vci=" << s.vci
+     << " tag=" << static_cast<unsigned>(s.tag)
+     << "\", \"ph\": \"X\", \"ts\": " << us(begin)
+     << ", \"dur\": " << us(s.delivered - begin)
+     << ", \"pid\": 1, \"tid\": \"" << node << "/pdu\", \"args\": {"
+     << "\"origin_us\": " << us(s.origin)
+     << ", \"pushed_us\": " << us(s.pushed)
+     << ", \"delivered_us\": " << us(s.delivered) << "}}";
+  first = false;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceSource>& srcs) {
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceSource& src : srcs) {
+    if (src.trace != nullptr) {
+      for (const sim::TraceEvent& e : src.trace->events()) {
+        write_instant(os, first, src.name, e);
+      }
+    }
+    if (src.spans != nullptr) {
+      for (const PduSpans::Span& s : src.spans->completed_spans()) {
+        write_span(os, first, src.name, s);
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceSource>& srcs) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(f, srcs);
+  return f.good();
+}
+
+}  // namespace osiris::obs

@@ -1,0 +1,38 @@
+// Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+//
+// Two sources feed one trace file:
+//   - sim::Trace rings become instant events (ph "i"), one per record, on
+//     a per-node "trace" thread row;
+//   - PduSpans completed spans become duration events (ph "X"), one per
+//     delivered PDU, on a per-node "pdu" thread row, with the per-stage
+//     split attached as args.
+//
+// Timestamps are microseconds of simulated time (Chrome's expected unit);
+// sub-microsecond precision is kept as fractional ts, which both viewers
+// accept.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/spans.h"
+#include "sim/trace.h"
+
+namespace osiris::obs {
+
+/// One named source row in the exported trace.
+struct TraceSource {
+  std::string name;                  // e.g. "node-a"
+  const sim::Trace* trace = nullptr; // optional
+  const PduSpans* spans = nullptr;   // optional
+};
+
+/// Writes a complete Chrome trace-event JSON document.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceSource>& srcs);
+
+/// Convenience: writes to `path`; returns false on I/O failure.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceSource>& srcs);
+
+}  // namespace osiris::obs

@@ -1,0 +1,83 @@
+#include "osiris/audit.h"
+
+#include <cstdint>
+#include <sstream>
+
+namespace osiris::obs {
+
+namespace {
+
+void check_eq(std::vector<std::string>& out, const char* what,
+              std::uint64_t lhs, std::uint64_t rhs) {
+  if (lhs == rhs) return;
+  std::ostringstream os;
+  os << what << ": " << lhs << " != " << rhs;
+  out.push_back(os.str());
+}
+
+void check_le(std::vector<std::string>& out, const char* what,
+              std::uint64_t lhs, std::uint64_t rhs) {
+  if (lhs <= rhs) return;
+  std::ostringstream os;
+  os << what << ": " << lhs << " > " << rhs;
+  out.push_back(os.str());
+}
+
+/// One direction of the wire: `src` transmits through its outgoing link to
+/// `dst`'s receive processor.
+void audit_direction(std::vector<std::string>& out, const char* label,
+                     Node& src, Node& dst) {
+  std::ostringstream tag;
+
+  // Every cell the SAR loop sealed was submitted to the link: the firmware
+  // counts after submit(), so a mismatch means a counting bug, not a fault.
+  {
+    std::ostringstream what;
+    what << label << ": tx cells_sent vs link cells_sent";
+    check_eq(out, what.str().c_str(), src.txp.cells_sent(),
+             src.out.cells_sent());
+  }
+
+  // Wire conservation: a submitted cell is dropped by BER loss, dropped by
+  // the receiver's HEC check in the link, or delivered to on_cell() (which
+  // counts before any FIFO/demux drop). Generator cells are board-local and
+  // excluded from the wire budget.
+  {
+    std::ostringstream what;
+    what << label
+         << ": link cells_sent vs lost + hec_dropped + delivered";
+    const std::uint64_t delivered =
+        dst.rxp.cells_received() - dst.rxp.cells_generated();
+    check_eq(out, what.str().c_str(), src.out.cells_sent(),
+             src.out.cells_lost() + src.out.cells_hec_dropped() + delivered);
+  }
+
+  // The driver can only deliver PDUs the board reassembled (resets can
+  // discard completed-but-undelivered PDUs, so <=, not ==).
+  {
+    std::ostringstream what;
+    what << label << ": driver pdus_received vs board pdus_completed";
+    check_le(out, what.str().c_str(), dst.driver.pdus_received(),
+             dst.rxp.pdus_completed());
+  }
+
+  // Descriptor conservation: the driver never retires a transmit
+  // descriptor it did not first accept.
+  {
+    std::ostringstream what;
+    what << label << ": tx descriptors retired vs accepted";
+    check_le(out, what.str().c_str(), src.driver.tx_descs_retired(),
+             src.driver.tx_descs_accepted());
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> audit(Testbed& tb) {
+  std::vector<std::string> out;
+  audit_direction(out, "a->b", tb.a, tb.b);
+  audit_direction(out, "b->a", tb.b, tb.a);
+  return out;
+}
+
+}  // namespace osiris::obs

@@ -1,10 +1,12 @@
 #include "osiris/harness.h"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
 #include "atm/checksum.h"
+#include "osiris/stats.h"
 #include "proto/message.h"
 
 namespace osiris::harness {
@@ -194,6 +196,46 @@ ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
                        last - first);
   }
   return r;
+}
+
+std::string parse_string_flag(int argc, char** argv, const std::string& flag) {
+  const std::string eq = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(eq, 0) == 0) return arg.substr(eq.size());
+  }
+  return "";
+}
+
+OutputFlags parse_output_flags(int argc, char** argv) {
+  OutputFlags f;
+  f.stats_json = parse_string_flag(argc, argv, "--stats-json");
+  f.trace_out = parse_string_flag(argc, argv, "--trace-out");
+  return f;
+}
+
+bool write_stats_json(const std::string& path, Testbed& tb,
+                      const obs::PduSpans* spans_a,
+                      const obs::PduSpans* spans_b) {
+  obs::Registry reg;
+  register_metrics(reg, tb.a, "a.");
+  register_metrics(reg, tb.b, "b.");
+  if (spans_a != nullptr) spans_a->register_into(reg, "a.span.");
+  if (spans_b != nullptr) spans_b->register_into(reg, "b.span.");
+  std::ofstream os(path);
+  if (!os) return false;
+  os << reg.snapshot().to_json() << "\n";
+  return os.good();
+}
+
+bool write_trace_json(const std::string& path, const sim::Trace* trace_a,
+                      const sim::Trace* trace_b, const obs::PduSpans* spans_a,
+                      const obs::PduSpans* spans_b) {
+  std::vector<obs::TraceSource> srcs;
+  srcs.push_back(obs::TraceSource{"a", trace_a, spans_a});
+  srcs.push_back(obs::TraceSource{"b", trace_b, spans_b});
+  return obs::write_chrome_trace_file(path, srcs);
 }
 
 int parse_threads(int argc, char** argv, int fallback) {

@@ -7,8 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/spans.h"
 #include "osiris/node.h"
 #include "proto/stack.h"
 #include "sim/stats.h"
@@ -61,5 +65,34 @@ ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
 /// Parses a `--threads N` / `--threads=N` flag from a bench or example
 /// command line; returns `fallback` when absent or malformed.
 int parse_threads(int argc, char** argv, int fallback = 1);
+
+/// Parses a string-valued `--<flag> V` / `--<flag>=V` option; returns ""
+/// when absent. `flag` includes the dashes ("--stats-json").
+std::string parse_string_flag(int argc, char** argv, const std::string& flag);
+
+/// Output sinks requested on an example/soak command line:
+///   --stats-json=<path>  write a metrics snapshot of both nodes as JSON
+///   --trace-out=<path>   write traces + PDU spans as Chrome trace-event JSON
+/// Empty paths mean the flag was absent and nothing is written.
+struct OutputFlags {
+  std::string stats_json;
+  std::string trace_out;
+};
+OutputFlags parse_output_flags(int argc, char** argv);
+
+/// Writes a metrics snapshot covering both testbed nodes (prefixes "a."
+/// and "b.", plus any spans' stage histograms) to `path` as JSON. Returns
+/// false when the file cannot be opened.
+bool write_stats_json(const std::string& path, Testbed& tb,
+                      const obs::PduSpans* spans_a = nullptr,
+                      const obs::PduSpans* spans_b = nullptr);
+
+/// Writes the nodes' Trace rings and span ledgers to `path` as Chrome
+/// trace-event JSON (load in Perfetto / chrome://tracing). Null sources are
+/// skipped; returns false when the file cannot be opened.
+bool write_trace_json(const std::string& path, const sim::Trace* trace_a,
+                      const sim::Trace* trace_b,
+                      const obs::PduSpans* spans_a = nullptr,
+                      const obs::PduSpans* spans_b = nullptr);
 
 }  // namespace osiris::harness

@@ -27,6 +27,11 @@ Node::Node(sim::Engine& engine, NodeConfig c)
   txp.set_trace(cfg.trace);
   rxp.set_trace(cfg.trace);
   driver.set_trace(cfg.trace);
+  if (cfg.spans != nullptr) {
+    txp.set_spans(cfg.spans);
+    rxp.set_spans(cfg.spans);
+    driver.set_spans(cfg.spans, /*tx_channel=*/0);
+  }
   driver.bind_rx(&rxp);
   if (cfg.faults != nullptr) {
     pm.set_fault_plane(cfg.faults);
@@ -112,6 +117,11 @@ void Testbed::set_threads(int threads) {
     if (a.cfg.faults != nullptr && a.cfg.faults == b.cfg.faults) {
       throw std::logic_error(
           "Testbed: nodes share a FaultPlane; multi-thread runs need one per "
+          "node");
+    }
+    if (a.cfg.spans != nullptr && a.cfg.spans == b.cfg.spans) {
+      throw std::logic_error(
+          "Testbed: nodes share a PduSpans; multi-thread runs need one per "
           "node");
     }
   }

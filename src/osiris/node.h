@@ -18,6 +18,7 @@
 #include "mem/cache.h"
 #include "mem/paging.h"
 #include "mem/phys.h"
+#include "obs/spans.h"
 #include "proto/stack.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
@@ -38,6 +39,11 @@ struct NodeConfig {
   /// the dual-port RAM, both board processors, the interrupt controller,
   /// and the driver. Null disables every hook.
   fault::FaultPlane* faults = nullptr;
+  /// Optional PDU lifecycle spans (not owned): wired into the driver, both
+  /// board processors, and (through the cell stamps) the link. Like the
+  /// trace, a spans object is thread-confined — one per node under
+  /// multi-threaded runs.
+  obs::PduSpans* spans = nullptr;
 };
 
 /// One workstation: memory system, TURBOchannel, dual-port RAM, the two
@@ -115,8 +121,8 @@ class Testbed {
   std::uint16_t open_kernel_path();
 
   /// Sets the worker-thread count for subsequent run() calls (clamped to
-  /// [1, 2]). Rejected when the two nodes share a Trace or FaultPlane:
-  /// those sinks are not synchronized across partitions.
+  /// [1, 2]). Rejected when the two nodes share a Trace, FaultPlane or
+  /// PduSpans: those sinks are not synchronized across partitions.
   void set_threads(int threads);
   [[nodiscard]] int threads() const { return threads_; }
 

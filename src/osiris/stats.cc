@@ -1,6 +1,8 @@
 #include "osiris/stats.h"
 
+#include <functional>
 #include <sstream>
+#include <utility>
 
 namespace osiris {
 
@@ -16,6 +18,7 @@ NodeStats snapshot(Node& n) {
   s.tx_auth_violations = n.txp.auth_violations();
 
   s.cells_received = n.rxp.cells_received();
+  s.cells_generated = n.rxp.cells_generated();
   s.cells_bad_header = n.rxp.cells_bad_header();
   s.cells_fifo_dropped = n.rxp.cells_fifo_dropped();
   s.rx_dma_ops = n.rxp.dma_ops();
@@ -24,6 +27,14 @@ NodeStats snapshot(Node& n) {
   s.pdus_dropped_nobuf = n.rxp.pdus_dropped_nobuf();
   s.pdus_dropped_recvfull = n.rxp.pdus_dropped_recvfull();
   s.rx_auth_violations = n.rxp.auth_violations();
+
+  s.pdus_dropped_quota = n.rxp.pdus_dropped_quota();
+  s.pdus_evicted = n.rxp.pdus_evicted();
+  s.backpressure_irqs = n.rxp.backpressure_irqs();
+  s.rate_deferrals = n.txp.rate_deferrals();
+  s.wedge_skips = n.txp.wedge_skips();
+  s.quarantine_drops = n.rxp.quarantine_drops();
+  s.dead_channel_drops = n.rxp.dead_channel_drops();
 
   s.interrupts = n.intc.raised();
   s.driver_pdus_received = n.driver.pdus_received();
@@ -79,6 +90,17 @@ std::string format_stats(const NodeStats& s) {
     os << "  cache: " << s.cache_dma_stale_lines << " lines made stale by DMA, "
        << s.cache_stale_reads << " stale reads observed\n";
   }
+  if (s.pdus_dropped_quota + s.pdus_evicted + s.backpressure_irqs +
+          s.rate_deferrals + s.wedge_skips + s.quarantine_drops +
+          s.dead_channel_drops >
+      0) {
+    os << "  qos: " << s.pdus_dropped_quota << " quota drops, "
+       << s.pdus_evicted << " evictions, " << s.backpressure_irqs
+       << " backpressure irqs, " << s.rate_deferrals << " rate deferrals, "
+       << s.wedge_skips << " wedge skips, " << s.quarantine_drops
+       << " quarantine drops, " << s.dead_channel_drops
+       << " dead-channel drops\n";
+  }
   if (s.board_stalls + s.cells_sar_dropped + s.dma_errors + s.bad_chains +
           s.bad_descriptors + s.dpram_stale_reads + s.dpram_corrupted_words +
           s.irqs_lost + s.spurious_irqs + s.watchdog_polls +
@@ -95,6 +117,73 @@ std::string format_stats(const NodeStats& s) {
        << ")\n";
   }
   return os.str();
+}
+
+void register_metrics(obs::Registry& r, Node& n, const std::string& prefix) {
+  Node* np = &n;
+  // Pull-model gauges: each reads the live counter at snapshot() time, so
+  // registration happens once and the hot paths are untouched.
+  auto add = [&r, &prefix](const char* name, std::function<std::uint64_t()> f) {
+    r.gauge(prefix + name,
+            [f = std::move(f)] { return static_cast<double>(f()); });
+  };
+
+  add("tx.pdus_sent", [np] { return np->txp.pdus_sent(); });
+  add("tx.cells_sent", [np] { return np->txp.cells_sent(); });
+  add("tx.dma_ops", [np] { return np->txp.dma_ops(); });
+  add("tx.dma_splits", [np] { return np->txp.dma_splits(); });
+  add("tx.suspensions", [np] { return np->driver.tx_suspensions(); });
+  add("tx.auth_violations", [np] { return np->txp.auth_violations(); });
+
+  add("rx.cells_received", [np] { return np->rxp.cells_received(); });
+  add("rx.cells_generated", [np] { return np->rxp.cells_generated(); });
+  add("rx.cells_bad_header", [np] { return np->rxp.cells_bad_header(); });
+  add("rx.cells_fifo_dropped", [np] { return np->rxp.cells_fifo_dropped(); });
+  add("rx.dma_ops", [np] { return np->rxp.dma_ops(); });
+  add("rx.pdus_completed", [np] { return np->rxp.pdus_completed(); });
+  add("rx.pdus_dropped_nobuf", [np] { return np->rxp.pdus_dropped_nobuf(); });
+  add("rx.pdus_dropped_recvfull",
+      [np] { return np->rxp.pdus_dropped_recvfull(); });
+  add("rx.auth_violations", [np] { return np->rxp.auth_violations(); });
+
+  add("qos.pdus_dropped_quota", [np] { return np->rxp.pdus_dropped_quota(); });
+  add("qos.pdus_evicted", [np] { return np->rxp.pdus_evicted(); });
+  add("qos.backpressure_irqs", [np] { return np->rxp.backpressure_irqs(); });
+  add("qos.rate_deferrals", [np] { return np->txp.rate_deferrals(); });
+  add("qos.wedge_skips", [np] { return np->txp.wedge_skips(); });
+  add("qos.quarantine_drops", [np] { return np->rxp.quarantine_drops(); });
+  add("qos.dead_channel_drops", [np] { return np->rxp.dead_channel_drops(); });
+
+  add("host.interrupts", [np] { return np->intc.raised(); });
+  add("host.pdus_received", [np] { return np->driver.pdus_received(); });
+  add("host.stale_partial_pdus",
+      [np] { return np->driver.stale_partial_pdus(); });
+  add("host.wired_frames", [np] { return np->driver.wiring().wired_frames(); });
+  add("host.dpram_host_accesses", [np] { return np->ram.host_accesses(); });
+  add("host.dpram_board_accesses", [np] { return np->ram.board_accesses(); });
+  add("host.cache_stale_reads", [np] { return np->cache.stale_reads(); });
+
+  add("fault.board_stalls", [np] { return np->txp.stalls() + np->rxp.stalls(); });
+  add("fault.cells_sar_dropped", [np] { return np->rxp.cells_sar_dropped(); });
+  add("fault.dma_errors",
+      [np] { return np->txp.dma_errors() + np->rxp.dma_errors(); });
+  add("fault.bad_chains", [np] { return np->txp.bad_chains(); });
+  add("fault.bad_descriptors", [np] { return np->driver.bad_descriptors(); });
+  add("fault.dpram_stale_reads", [np] { return np->ram.stale_reads(); });
+  add("fault.dpram_corrupted_words",
+      [np] { return np->ram.corrupted_words(); });
+  add("fault.irqs_lost", [np] { return np->intc.lost(); });
+  add("fault.spurious_irqs", [np] { return np->driver.spurious_irqs(); });
+  add("fault.watchdog_polls", [np] { return np->driver.watchdog_polls(); });
+  add("fault.watchdog_resets", [np] { return np->driver.watchdog_resets(); });
+  add("fault.generation", [np] { return np->driver.generation(); });
+
+  r.gauge(prefix + "host.bus_utilization",
+          [np] { return np->bus.bus().utilization(); });
+  r.gauge(prefix + "host.cpu_utilization",
+          [np] { return np->cpu.resource().utilization(); });
+  r.gauge(prefix + "rx.combine_fraction",
+          [np] { return np->rxp.combine_fraction(); });
 }
 
 }  // namespace osiris

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "osiris/node.h"
 
 namespace osiris {
@@ -23,6 +24,7 @@ struct NodeStats {
 
   // Receive half.
   std::uint64_t cells_received = 0;
+  std::uint64_t cells_generated = 0;  // board-local generator cells (subset of received)
   std::uint64_t cells_bad_header = 0;
   std::uint64_t cells_fifo_dropped = 0;
   std::uint64_t rx_dma_ops = 0;
@@ -31,6 +33,15 @@ struct NodeStats {
   std::uint64_t pdus_dropped_nobuf = 0;
   std::uint64_t pdus_dropped_recvfull = 0;
   std::uint64_t rx_auth_violations = 0;
+
+  // QoS / overload management (DESIGN.md §10).
+  std::uint64_t pdus_dropped_quota = 0;  // per-VCI reassembly quota hits
+  std::uint64_t pdus_evicted = 0;        // partial PDUs evicted under pressure
+  std::uint64_t backpressure_irqs = 0;   // rx overload interrupts raised
+  std::uint64_t rate_deferrals = 0;      // tx cells delayed by rate limits
+  std::uint64_t wedge_skips = 0;         // tx queues skipped while wedged
+  std::uint64_t quarantine_drops = 0;    // cells dropped on quarantined VCIs
+  std::uint64_t dead_channel_drops = 0;  // cells for unmapped/dead channels
 
   // Host.
   std::uint64_t interrupts = 0;
@@ -79,5 +90,12 @@ NodeStats snapshot(Node& n);
 
 /// Multi-line human-readable rendering.
 std::string format_stats(const NodeStats& s);
+
+/// Registers every NodeStats counter (tx/rx/host/fault/QoS) with `r` as
+/// pull-model gauges named "<prefix>tx.pdus_sent", "<prefix>rx.cells_received"
+/// and so on, so one Registry::snapshot() renders the whole node. The node
+/// must outlive the registry (the gauges read its counters live). Use a
+/// distinct prefix per node ("a.", "b.") when one registry covers a testbed.
+void register_metrics(obs::Registry& r, Node& n, const std::string& prefix = "");
 
 }  // namespace osiris

@@ -183,11 +183,21 @@ std::size_t Engine::step_tick() {
   if (n == nullptr) return 0;
   const Tick t = n->at;
   std::size_t fired = 0;
+  // The probe reads the wall clock only when attached, so the detached hot
+  // path pays a single predictable branch.
+  std::chrono::steady_clock::time_point t0;
+  if (step_probe_ != nullptr) t0 = std::chrono::steady_clock::now();
   do {
     dispatch_front();
     ++fired;
     n = peek_live();
   } while (n != nullptr && n->at == t);
+  if (step_probe_ != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    step_probe_->record(static_cast<std::uint64_t>(ns));
+  }
   return fired;
 }
 

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/stats.h"
 #include "sim/time.h"
 
 namespace osiris::sim {
@@ -284,6 +285,12 @@ class Engine {
 
   [[nodiscard]] Stats stats() const;
 
+  /// Attaches a wall-clock probe to step_tick(): each tick batch's dispatch
+  /// time (in nanoseconds) is recorded into `h`. Null (the default)
+  /// detaches the probe, leaving only a pointer test on the dispatch path
+  /// — bench_engine runs detached, so the hot loop pays nothing else.
+  void set_step_probe(Log2Histogram* h) { step_probe_ = h; }
+
  private:
   // Calendar geometry: 4096 buckets of 2^16 ticks (65.536 ns) cover a
   // ~268 µs sliding window — wide enough that cell times (~682 ns),
@@ -349,6 +356,8 @@ class Engine {
   std::uint64_t rewindows_ = 0;
   std::uint64_t boxed_at_ctor_ = 0;
   std::chrono::steady_clock::time_point created_;
+
+  Log2Histogram* step_probe_ = nullptr;  // optional step_tick() wall-clock probe
 };
 
 }  // namespace osiris::sim

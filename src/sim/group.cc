@@ -1,6 +1,7 @@
 #include "sim/group.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -138,12 +139,30 @@ void EngineGroup::worker(int wid, int threads) {
   // Partitions are owned round-robin by worker id. Ownership only decides
   // *which thread* runs a partition; imports are sequenced per destination,
   // so the dispatch order is the same for every thread count.
+  using Clock = std::chrono::steady_clock;
+  PhaseProfile* prof =
+      profiling_ && static_cast<std::size_t>(wid) < profiles_.size()
+          ? &profiles_[static_cast<std::size_t>(wid)]
+          : nullptr;
+  // Returns nanoseconds since `mark` and advances it, so consecutive phases
+  // share one clock read at each boundary.
+  Clock::time_point mark;
+  auto lap = [&mark] {
+    const auto t = Clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - mark).count();
+    mark = t;
+    return static_cast<std::uint64_t>(ns);
+  };
   while (true) {
+    if (prof != nullptr) mark = Clock::now();
     for (std::size_t p = static_cast<std::size_t>(wid); p < partitions();
          p += static_cast<std::size_t>(threads)) {
       drain_inbound(p);
     }
+    if (prof != nullptr) prof->drain_ns.record(lap());
     barrier_->arrive_and_wait([this] { compute_round(); });
+    if (prof != nullptr) prof->barrier_ns.record(lap());
     if (done_) break;
     for (std::size_t p = static_cast<std::size_t>(wid); p < partitions();
          p += static_cast<std::size_t>(threads)) {
@@ -153,13 +172,18 @@ void EngineGroup::worker(int wid, int threads) {
         engines_[p]->run_until(horizon_[p]);
       }
     }
+    if (prof != nullptr) prof->dispatch_ns.record(lap());
     barrier_->arrive_and_wait();
+    if (prof != nullptr) prof->barrier_ns.record(lap());
   }
 }
 
 Tick EngineGroup::run(int threads) {
   threads = std::clamp(threads, 1, static_cast<int>(partitions()));
   barrier_ = std::make_unique<SyncBarrier>(threads);
+  if (profiling_ && profiles_.size() < static_cast<std::size_t>(threads)) {
+    profiles_.resize(static_cast<std::size_t>(threads));
+  }
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads - 1));
   for (int w = 1; w < threads; ++w) {
@@ -174,6 +198,12 @@ Tick EngineGroup::now() const {
   Tick t = 0;
   for (const auto& eng : engines_) t = std::max(t, eng->now());
   return t;
+}
+
+EngineGroup::PhaseProfile EngineGroup::profile() const {
+  PhaseProfile out;
+  for (const auto& p : profiles_) out.merge(p);
+  return out;
 }
 
 EngineGroup::Stats EngineGroup::stats() const {

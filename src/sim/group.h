@@ -127,6 +127,31 @@ class EngineGroup {
 
   [[nodiscard]] Stats stats() const;
 
+  /// Worker-phase wall-clock breakdown: per barrier round, each worker
+  /// records how long it spent importing envelopes (drain), dispatching its
+  /// partitions' events (dispatch), and stalled at the two barriers
+  /// (barrier — two samples per round). Shows where multi-thread overhead
+  /// goes: barrier-heavy rounds mean the lookahead window is too small for
+  /// the event density, dispatch-heavy means real work dominates.
+  struct PhaseProfile {
+    Log2Histogram drain_ns;
+    Log2Histogram dispatch_ns;
+    Log2Histogram barrier_ns;
+    void merge(const PhaseProfile& o) {
+      drain_ns.merge(o.drain_ns);
+      dispatch_ns.merge(o.dispatch_ns);
+      barrier_ns.merge(o.barrier_ns);
+    }
+  };
+
+  /// Turns per-round phase timing on for subsequent run()s. Off (the
+  /// default) the worker loop takes no clock reads at all.
+  void enable_profiling(bool on = true) { profiling_ = on; }
+  [[nodiscard]] bool profiling_enabled() const { return profiling_; }
+
+  /// Phase timings merged over workers; call between run()s, not during.
+  [[nodiscard]] PhaseProfile profile() const;
+
  private:
   struct Envelope {
     Tick at = 0;
@@ -177,6 +202,11 @@ class EngineGroup {
   std::unique_ptr<SyncBarrier> barrier_;
 
   std::uint64_t rounds_ = 0;
+
+  // One slot per worker id (resized in run()); each worker writes only its
+  // own slot, so profiling is race-free without synchronization.
+  bool profiling_ = false;
+  std::vector<PhaseProfile> profiles_;
 };
 
 }  // namespace osiris::sim

@@ -28,7 +28,10 @@ struct TraceEvent {
 
 class Trace {
  public:
-  explicit Trace(std::size_t capacity = 4096) : ring_(capacity) {}
+  // Capacity is clamped to >= 1: a zero-capacity ring would make record()
+  // compute head_ % 0.
+  explicit Trace(std::size_t capacity = 4096)
+      : ring_(capacity == 0 ? 1 : capacity) {}
 
   void record(Tick at, const char* component, const char* event,
               std::uint64_t a = 0, std::uint64_t b = 0) {

@@ -18,6 +18,7 @@
 #include "atm/reassembly.h"
 #include "atm/sar.h"
 #include "fault/fault.h"
+#include "osiris/audit.h"
 #include "osiris/node.h"
 #include "osiris/stats.h"
 #include "proto/arq.h"
@@ -634,6 +635,12 @@ TEST(FaultSoak, MultiLayerFaultScheduleSurvives) {
   const std::string text = format_stats(b);
   EXPECT_NE(text.find("faults:"), std::string::npos);
   EXPECT_NE(text.find("recovery:"), std::string::npos);
+
+  // After the carnage, independently-maintained counters must still
+  // balance: every sealed cell hit the wire, every wire cell is delivered
+  // or accounted as lost, delivery never exceeds reassembly.
+  const std::vector<std::string> violations = osiris::obs::audit(net.tb);
+  for (const std::string& v : violations) ADD_FAILURE() << "audit: " << v;
 }
 
 }  // namespace

@@ -7,8 +7,11 @@
 
 #include <atomic>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/spans.h"
 #include "osiris/harness.h"
 #include "osiris/node.h"
 #include "sim/engine.h"
@@ -295,6 +298,52 @@ TEST(ParallelEquivalence, RunIsDeterministicPerThreadCount) {
   EXPECT_EQ(one.stats_hash, two.stats_hash);
   EXPECT_EQ(one.trace_hash_a, two.trace_hash_a);
   EXPECT_EQ(one.trace_hash_b, two.trace_hash_b);
+}
+
+TEST(ParallelEquivalence, ShardedSpansAndMetricsUnderTwoThreads) {
+  // The sharded-observability contract under real partition threads (this
+  // binary runs under TSan in CI): each node records spans and metrics on
+  // its own worker thread; after run() drains, aggregation on the main
+  // thread sees a consistent union, and 2-thread results equal 1-thread.
+  auto run_once = [](int threads) {
+    obs::PduSpans spans_a, spans_b;
+    NodeConfig ca = make_5000_200_config();
+    NodeConfig cb = make_3000_600_config();
+    ca.spans = &spans_a;
+    cb.spans = &spans_b;
+    Testbed tb(ca, cb, threads);
+    tb.group.enable_profiling();
+    proto::StackConfig sc;
+    sc.mode = proto::StackMode::kRawAtm;
+    auto sa = tb.a.make_stack(sc);
+    auto sb = tb.b.make_stack(sc);
+    const std::uint16_t vci = tb.open_kernel_path();
+    harness::ping_pong(tb, *sa, *sb, vci, 2048, 12);
+
+    // Aggregate the two shards by name: counts sum, histograms merge.
+    obs::Registry ra, rb;
+    spans_a.register_into(ra, "span.");
+    spans_b.register_into(rb, "span.");
+    const obs::Snapshot s = obs::aggregate({&ra, &rb});
+    std::uint64_t e2e_count = 0, e2e_sum = 0;
+    for (const auto& h : s.hists) {
+      if (h.name == "span.e2e") {
+        e2e_count = h.count;
+        e2e_sum = h.sum;
+      }
+    }
+    // Profiling ran on the worker threads and merged cleanly.
+    const sim::EngineGroup::PhaseProfile prof = tb.group.profile();
+    EXPECT_GT(prof.dispatch_ns.count(), 0u);
+    return std::pair<std::uint64_t, std::uint64_t>{e2e_count, e2e_sum};
+  };
+
+  const auto serial = run_once(1);
+  const auto parallel = run_once(2);
+  EXPECT_EQ(serial.first, 24u);  // 12 round trips = 24 PDUs
+  // Span stamps are simulated ticks, so the aggregated distribution is
+  // bit-identical across thread counts.
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(ParallelEquivalence, SharedTraceRejectedForMultiThreadRuns) {

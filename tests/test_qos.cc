@@ -19,6 +19,7 @@
 #include "adc/adc.h"
 #include "adc/supervisor.h"
 #include "fault/fault.h"
+#include "osiris/audit.h"
 #include "osiris/node.h"
 #include "proto/message.h"
 
@@ -289,6 +290,11 @@ TEST(Qos, OverloadSoakNoStarvationNoLeaks) {
   // Zero leaked frames, on both the overloaded receiver and the sender.
   EXPECT_EQ(tb.a.frames.free_frames(), base_free_a);
   EXPECT_EQ(tb.b.frames.free_frames(), base_free_b);
+
+  // Cross-counter conservation still holds after quota drops, evictions
+  // and wedges: the books must balance even when the data path degrades.
+  const std::vector<std::string> violations = osiris::obs::audit(tb);
+  for (const std::string& v : violations) ADD_FAILURE() << "audit: " << v;
 }
 
 TEST(Qos, QuarantineReclaimsSchedulerAndLimiterState) {

@@ -10,7 +10,7 @@ accumulate a perf trend over commits.
 
 Usage:
     tools/bench_trend.py [paths...] [--append FILE] [--label LABEL]
-                         [--floors FILE]
+                         [--floors FILE] [--html FILE]
 
 Paths default to build/bench and build (bench_parallel writes to the build
 root).  Files without the perf fields (e.g. the robustness benches, which
@@ -28,6 +28,14 @@ absorbs machine-to-machine noise).  kind=perf rows are skipped when
 OSIRIS_SANITIZE is set (sanitized binaries are legitimately slower);
 kind=quality rows — fairness indices, goodput retention — always apply.
 Any violated or uncheckable floor makes the script exit nonzero.
+
+--html renders a self-contained dashboard (inline SVG, no dependencies):
+the events/sec trajectory of every bench series across the accumulated
+--append history with floor lines and violation markers, the latest PDU
+latency percentiles and per-stage medians from BENCH_table1_latency.json,
+the QoS quality gates from BENCH_qos.json, and the parallel phase
+breakdown from BENCH_parallel.json.  Writing the dashboard never affects
+the exit status; only --floors gates.
 """
 
 import argparse
@@ -219,6 +227,256 @@ def append_history(rows, path, label):
                 r["engine_events"], r["events_per_sec"]))
 
 
+# --------------------------------------------------------------------------
+# HTML dashboard (--html).  Everything below is presentation only: pure
+# stdlib, inline SVG, no exit-status effect.
+
+_PALETTE = ["#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed",
+            "#0891b2", "#be185d", "#4d7c0f", "#9333ea", "#b91c1c"]
+
+
+def load_history(path):
+    """Reads the --append TSV back as {bench: [(run_index, label, value)]}.
+    Missing/empty file yields {} — the dashboard then plots only the
+    current run."""
+    series = {}
+    labels = []
+    if not path or not os.path.exists(path):
+        return series, labels
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline().rstrip("\n").split("\t")
+        try:
+            i_run = header.index("run")
+            i_bench = header.index("bench")
+            i_eps = header.index("events_per_sec")
+        except ValueError:
+            return {}, []
+        for raw in fh:
+            parts = raw.rstrip("\n").split("\t")
+            if len(parts) <= max(i_run, i_bench, i_eps):
+                continue
+            run, bench = parts[i_run], parts[i_bench]
+            try:
+                eps = float(parts[i_eps])
+            except ValueError:
+                continue
+            if run not in labels:
+                labels.append(run)
+            series.setdefault(bench, []).append((labels.index(run), run, eps))
+    return series, labels
+
+
+def _svg_line_chart(series, labels, floors, width=900, height=320):
+    """events/sec trajectories, one polyline per bench series.  Floor rows
+    gating events_per_sec draw as dashed lines; points under them get a red
+    ring."""
+    pad_l, pad_r, pad_t, pad_b = 70, 180, 16, 40
+    pw, ph = width - pad_l - pad_r, height - pad_t - pad_b
+    all_vals = [v for pts in series.values() for (_, _, v) in pts]
+    floor_cuts = {fl["bench"]: fl["floor"] * fl["slack"] for fl in floors
+                  if fl["field"] == "events_per_sec"}
+    all_vals.extend(floor_cuts.values())
+    if not all_vals:
+        return "<p>(no events/sec history)</p>"
+    vmax = max(all_vals) * 1.08
+    nruns = max(len(labels), 1)
+
+    def sx(i):
+        return pad_l + (pw * i / max(nruns - 1, 1) if nruns > 1 else pw / 2)
+
+    def sy(v):
+        return pad_t + ph * (1 - v / vmax)
+
+    out = ['<svg viewBox="0 0 %d %d" xmlns="http://www.w3.org/2000/svg">'
+           % (width, height)]
+    # y grid + labels (events/sec, engineering notation)
+    for k in range(5):
+        v = vmax * k / 4
+        y = sy(v)
+        out.append('<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" '
+                   'stroke="#e5e7eb"/>' % (pad_l, y, width - pad_r, y))
+        out.append('<text x="%d" y="%.1f" font-size="11" fill="#6b7280" '
+                   'text-anchor="end">%.1fM</text>'
+                   % (pad_l - 6, y + 4, v / 1e6))
+    # x labels: first/last run label (short rev part)
+    for i in (0, nruns - 1):
+        if i < len(labels):
+            out.append('<text x="%.1f" y="%d" font-size="10" fill="#6b7280" '
+                       'text-anchor="middle">%s</text>'
+                       % (sx(i), height - pad_b + 16,
+                          html_escape(labels[i].split("@")[0])))
+    for idx, (bench, pts) in enumerate(sorted(series.items())):
+        color = _PALETTE[idx % len(_PALETTE)]
+        coords = " ".join("%.1f,%.1f" % (sx(i), sy(v)) for (i, _, v) in pts)
+        out.append('<polyline points="%s" fill="none" stroke="%s" '
+                   'stroke-width="1.8"/>' % (coords, color))
+        cut = floor_cuts.get(bench.split("/")[0])
+        for (i, run, v) in pts:
+            bad = cut is not None and v < cut
+            out.append('<circle cx="%.1f" cy="%.1f" r="%s" fill="%s"%s>'
+                       '<title>%s  %s  %.0f ev/s</title></circle>'
+                       % (sx(i), sy(v), "4.5" if bad else "3",
+                          "#dc2626" if bad else color,
+                          ' stroke="#7f1d1d" stroke-width="2"' if bad else "",
+                          html_escape(bench), html_escape(run), v))
+        # legend
+        ly = pad_t + 14 * idx
+        out.append('<rect x="%d" y="%d" width="10" height="10" fill="%s"/>'
+                   % (width - pad_r + 10, ly, color))
+        out.append('<text x="%d" y="%d" font-size="11" fill="#374151">%s'
+                   '</text>' % (width - pad_r + 25, ly + 9,
+                                html_escape(bench)))
+    for bench, cut in floor_cuts.items():
+        y = sy(cut)
+        out.append('<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" '
+                   'stroke="#dc2626" stroke-dasharray="6 4"/>'
+                   % (pad_l, y, width - pad_r, y))
+        out.append('<text x="%d" y="%.1f" font-size="10" fill="#dc2626">'
+                   'floor %s</text>' % (pad_l + 4, y - 4, html_escape(bench)))
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _svg_bar_chart(items, unit, width=520, color="#2563eb"):
+    """Horizontal bars for (label, value) pairs; linear scale from zero."""
+    if not items:
+        return "<p>(no data)</p>"
+    bar_h, gap, pad_l, pad_r = 20, 8, 150, 90
+    height = len(items) * (bar_h + gap) + gap
+    vmax = max(v for (_, v) in items) or 1.0
+    pw = width - pad_l - pad_r
+    out = ['<svg viewBox="0 0 %d %d" xmlns="http://www.w3.org/2000/svg">'
+           % (width, height)]
+    for i, (label, v) in enumerate(items):
+        y = gap + i * (bar_h + gap)
+        w = pw * v / vmax
+        out.append('<text x="%d" y="%.1f" font-size="11" fill="#374151" '
+                   'text-anchor="end">%s</text>'
+                   % (pad_l - 8, y + bar_h * 0.7, html_escape(label)))
+        out.append('<rect x="%d" y="%d" width="%.1f" height="%d" '
+                   'fill="%s" rx="2"/>' % (pad_l, y, max(w, 1), bar_h, color))
+        out.append('<text x="%.1f" y="%.1f" font-size="11" fill="#111827">'
+                   '%.2f %s</text>'
+                   % (pad_l + max(w, 1) + 6, y + bar_h * 0.7, v,
+                      html_escape(unit)))
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _gate_bullets(data, floors):
+    """Quality-gate bullets: measured value vs its floor."""
+    rows = []
+    for fl in floors:
+        if fl["kind"] != "quality":
+            continue
+        value = None
+        if isinstance(data.get(fl["bench"]), dict):
+            value = data[fl["bench"]].get(fl["field"])
+        cut = fl["floor"] * fl["slack"]
+        ok = isinstance(value, (int, float)) and value >= cut
+        rows.append(
+            '<li><span style="color:%s;font-weight:bold">%s</span> '
+            "%s.%s = %s (gate &ge; %g)</li>"
+            % ("#059669" if ok else "#dc2626", "PASS" if ok else "FAIL",
+               html_escape(fl["bench"]), html_escape(fl["field"]),
+               "%.4g" % value if isinstance(value, (int, float)) else "missing",
+               cut))
+    return "<ul>%s</ul>" % "".join(rows) if rows else ""
+
+
+def html_escape(s):
+    return (str(s).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def write_dashboard(path, files, rows, history_path, floors):
+    data_by_bench = {}
+    for f in files:
+        name = os.path.basename(f)
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            try:
+                with open(f, "r", encoding="utf-8") as fh:
+                    data_by_bench[name[len("BENCH_"):-len(".json")]] = \
+                        json.load(fh)
+            except (OSError, ValueError):
+                pass
+    series, labels = load_history(history_path)
+    if not series:  # no history yet: plot the current run as a single point
+        for r in rows:
+            if r.get("events_per_sec") is not None:
+                series[r["bench"]] = [(0, "current", r["events_per_sec"])]
+        labels = ["current"]
+
+    parts = ["<!DOCTYPE html><html><head><meta charset='utf-8'>"
+             "<title>OSIRIS bench trend</title><style>"
+             "body{font-family:system-ui,sans-serif;max-width:960px;"
+             "margin:24px auto;color:#111827}h2{border-bottom:1px solid "
+             "#e5e7eb;padding-bottom:4px}table{border-collapse:collapse}"
+             "td,th{padding:3px 10px;border-bottom:1px solid #f3f4f6;"
+             "text-align:right}th:first-child,td:first-child{text-align:left}"
+             "</style></head><body>",
+             "<h1>OSIRIS bench trend</h1>",
+             "<p>Generated %s · %d bench files · history: %s</p>"
+             % (html_escape(time.strftime("%Y-%m-%d %H:%M:%S")), len(files),
+                html_escape(history_path or "(none)"))]
+
+    parts.append("<h2>Events/sec trajectory</h2>")
+    parts.append(_svg_line_chart(series, labels, floors))
+
+    lat = data_by_bench.get("table1_latency", {}).get("pdu_latency")
+    if isinstance(lat, dict):
+        parts.append("<h2>PDU end-to-end latency (latest run)</h2>")
+        pct = [(k.replace("e2e_us_", ""), lat[k]) for k in
+               ("e2e_us_p50", "e2e_us_p90", "e2e_us_p99", "e2e_us_p999")
+               if isinstance(lat.get(k), (int, float))]
+        parts.append(_svg_bar_chart(pct, "&#181;s"))
+        stages = lat.get("stage_us_p50")
+        if isinstance(stages, dict) and stages:
+            parts.append("<h3>Per-stage medians</h3>")
+            parts.append(_svg_bar_chart(sorted(stages.items()), "&#181;s",
+                                        color="#059669"))
+
+    if floors:
+        parts.append("<h2>Quality gates</h2>")
+        parts.append(_gate_bullets(data_by_bench, floors))
+
+    par = data_by_bench.get("parallel", {})
+    runs = [r for r in par.get("runs", [])
+            if isinstance(r, dict) and isinstance(r.get("phase_ns"), dict)]
+    if runs:
+        parts.append("<h2>Parallel phase breakdown (worker time)</h2>")
+        parts.append("<table><tr><th>threads</th><th>dispatch</th>"
+                     "<th>drain</th><th>barrier stall</th></tr>")
+        for r in runs:
+            p = r["phase_ns"]
+            tot = sum(p.get(k, 0) for k in
+                      ("dispatch_sum", "drain_sum", "barrier_sum")) or 1
+            parts.append(
+                "<tr><td>%s</td><td>%.1f%%</td><td>%.1f%%</td>"
+                "<td>%.1f%%</td></tr>"
+                % (r.get("threads", "?"),
+                   100.0 * p.get("dispatch_sum", 0) / tot,
+                   100.0 * p.get("drain_sum", 0) / tot,
+                   100.0 * p.get("barrier_sum", 0) / tot))
+        parts.append("</table>")
+
+    parts.append("<h2>Latest run</h2>")
+    parts.append("<table><tr><th>bench</th><th>threads</th><th>wall s</th>"
+                 "<th>events</th><th>events/sec</th></tr>")
+    for r in rows:
+        if "error" in r:
+            continue
+        parts.append("<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td>"
+                     "<td>%s</td></tr>"
+                     % (html_escape(r["bench"]), fmt(r["threads"], "%d"),
+                        fmt(r["wall_seconds"], "%.3f"),
+                        fmt(r["engine_events"], "%d"),
+                        fmt(r["events_per_sec"], "%.0f")))
+    parts.append("</table></body></html>")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(parts))
+
+
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("paths", nargs="*", default=None,
@@ -230,6 +488,8 @@ def main(argv):
     ap.add_argument("--floors", metavar="FILE",
                     help="TSV of per-bench floors to enforce "
                          "(bench/field/floor/slack/kind)")
+    ap.add_argument("--html", metavar="FILE",
+                    help="write a self-contained SVG dashboard here")
     args = ap.parse_args(argv)
 
     paths = args.paths or ["build/bench", "build"]
@@ -252,13 +512,18 @@ def main(argv):
         append_history(measured, args.append, label)
         print("appended %d rows to %s as %s"
               % (len(measured), args.append, label))
+    floors = []
     if args.floors:
-        print()
         try:
             floors = load_floors(args.floors)
         except (OSError, ValueError) as exc:
             print("bench_trend: bad floors file: %s" % exc, file=sys.stderr)
             return 1
+    if args.html:
+        write_dashboard(args.html, files, rows, args.append, floors)
+        print("wrote dashboard to %s" % args.html)
+    if args.floors:
+        print()
         if check_floors(files, floors):
             print("bench_trend: floor violations", file=sys.stderr)
             return 1
