@@ -18,11 +18,23 @@ echo "== bench smoke (machine-readable output) =="
   && ./bench_fault --benchmark_min_time=0.01s >/dev/null \
   && ./bench_adc_isolation >/dev/null \
   && ./bench_qos >/dev/null \
+  && ./bench_chaos >/dev/null \
   && ./bench_parallel >/dev/null )
 for f in build/bench/BENCH_fault.json build/bench/BENCH_adc_isolation.json \
-         build/bench/BENCH_qos.json build/bench/BENCH_parallel.json; do
+         build/bench/BENCH_qos.json build/bench/BENCH_chaos.json \
+         build/bench/BENCH_parallel.json; do
   [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
 done
+
+echo "== chaos sweep (fixed seeds, serial + 2 worker threads) =="
+# Deterministic fault-injection sweep over generated schedules: every run
+# must drain with zero invariant violations. On failure the sweep shrinks
+# the schedule to a 1-minimal action set and leaves a replayable artifact
+# (schedule + postmortem) at build/chaos_repro.txt — attach it to the bug;
+# `tools/chaos_sweep --replay build/chaos_repro.txt` reproduces it exactly.
+./build/tools/chaos_sweep --seeds 40 --repro-out build/chaos_repro.txt
+./build/tools/chaos_sweep --seeds 10 --threads 2 \
+  --repro-out build/chaos_repro.txt
 
 echo "== engine determinism smoke =="
 # bench_engine self-checks dispatch-order determinism (nonzero exit on
@@ -46,6 +58,12 @@ echo "== sanitized build (address,undefined) =="
 cmake -B build-asan -S . -DOSIRIS_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== chaos sweep under ASan/UBSan =="
+# A bounded slice of the sweep re-runs sanitized: recovery paths (adaptor
+# reset, ARQ resync, reassembly reconciliation) must be memory-clean, not
+# just invariant-clean.
+./build-asan/tools/chaos_sweep --seeds 8 --repro-out build/chaos_repro.txt
 
 echo "== sanitized build (thread) =="
 # ThreadSanitizer pass over the partitioned-engine tests: the barrier and

@@ -193,8 +193,11 @@ void RxProcessor::reset() {
   inflight_.clear();
   gen_active_ = false;
   vci_held_.clear();
+  // reset_all, not reset: a stale head word published by a channel driver
+  // the firmware cannot see would make the reborn board DMA into free
+  // buffers whose owners no longer expect them.
   for (auto& fs : free_sources_) {
-    fs.reader.reset();
+    fs.reader.reset_all();
     fs.low_raised = false;
   }
   for (auto& ch : recv_channels_) {

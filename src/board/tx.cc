@@ -143,8 +143,12 @@ void TxProcessor::reset() {
   active_ = false;
   job_.reset();
   rate_defer_tick_ = 0;
+  // reset_all, not reset: trusting a stale head word would replay whatever
+  // descriptors a channel driver had queued before the reset (duplicated
+  // PDUs on the wire). Channel drivers resynchronize their cached cursors
+  // through their own generation check (OsirisDriver::maybe_resync).
   for (TxQueue& q : queues_) {
-    q.reader.reset();
+    q.reader.reset_all();
     q.deficit = 0;
   }
   sim::trace_event(trace_, eng_->now(), "tx", "reset", epoch_, 0);
@@ -373,7 +377,23 @@ bool TxProcessor::start_pdu() {
       return false;
     }
     const auto d = q.reader.peek_at(k);
-    if (!d) throw std::logic_error("TxProcessor: chain vanished");
+    if (!d) {
+      // A glitching dual-port RAM read (kDpramStale) can return a stale
+      // head word here, making the queue look shorter than the
+      // eligibility scan saw an instant ago. Nothing has been consumed;
+      // abandon the pass and re-poll instead of trusting an invariant a
+      // flaky RAM read just violated.
+      sim::trace_event(trace_, eng_->now(), "tx", "chain_glitch",
+                       static_cast<std::uint64_t>(q.channel), k);
+      const std::uint64_t ep = epoch_;
+      eng_->schedule_at(eng_->now() + cfg_.fw_tx_per_descriptor,
+                        [this, ep] {
+                          if (ep != epoch_ || stalled_ || active_) return;
+                          active_ = true;
+                          service();
+                        });
+      return false;
+    }
     job->chain.push_back(*d);
     if ((d->flags & dpram::kDescEop) != 0) break;
   }

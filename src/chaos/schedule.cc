@@ -1,0 +1,191 @@
+#include "chaos/schedule.h"
+
+#include <array>
+#include <iomanip>
+#include <sstream>
+
+namespace osiris::chaos {
+
+namespace {
+
+std::optional<fault::Point> point_from_name(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(fault::Point::kCount); ++i) {
+    const auto p = static_cast<fault::Point>(i);
+    if (name == fault::point_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+// "key=value" → value, or nullopt when the token's key differs.
+std::optional<std::string> take(const std::string& token, const char* key) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) return std::nullopt;
+  return token.substr(prefix.size());
+}
+
+}  // namespace
+
+bool is_tenant_point(fault::Point p) {
+  switch (p) {
+    case fault::Point::kAdcGarbageDescriptor:
+    case fault::Point::kAdcFreeListPoison:
+    case fault::Point::kAdcAppDeath:
+    case fault::Point::kAdcRefillStall:
+    case fault::Point::kTenantBurst:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Schedule::to_text() const {
+  std::ostringstream os;
+  os << "osiris-chaos-schedule v1\n";
+  os << "seed " << seed << "\n";
+  for (const Action& a : actions) {
+    os << "action node=" << (a.node == 0 ? 'a' : 'b')
+       << " point=" << fault::point_name(a.point) << " start=" << a.start
+       << " end=" << a.end << " p=" << std::setprecision(17)
+       << a.spec.probability << " after=" << a.spec.after
+       << " budget=" << a.spec.budget << " wfrom=" << a.spec.window_from
+       << " wuntil=" << a.spec.window_until << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<Schedule> Schedule::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "osiris-chaos-schedule v1") {
+    return std::nullopt;
+  }
+  Schedule sch;
+  bool saw_seed = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "end") {
+      saw_end = true;
+      break;  // anything after `end` is postmortem commentary
+    }
+    if (word == "seed") {
+      if (!(ls >> sch.seed)) return std::nullopt;
+      saw_seed = true;
+      continue;
+    }
+    if (word != "action") return std::nullopt;
+    Action a;
+    bool saw_node = false, saw_point = false;
+    std::string tok;
+    while (ls >> tok) {
+      if (auto v = take(tok, "node")) {
+        if (*v != "a" && *v != "b") return std::nullopt;
+        a.node = (*v == "a") ? 0 : 1;
+        saw_node = true;
+      } else if (auto v2 = take(tok, "point")) {
+        const auto p = point_from_name(*v2);
+        if (!p) return std::nullopt;
+        a.point = *p;
+        saw_point = true;
+      } else if (auto v3 = take(tok, "start")) {
+        a.start = std::stoull(*v3);
+      } else if (auto v4 = take(tok, "end")) {
+        a.end = std::stoull(*v4);
+      } else if (auto v5 = take(tok, "p")) {
+        a.spec.probability = std::stod(*v5);
+      } else if (auto v6 = take(tok, "after")) {
+        a.spec.after = std::stoull(*v6);
+      } else if (auto v7 = take(tok, "budget")) {
+        a.spec.budget = std::stoull(*v7);
+      } else if (auto v8 = take(tok, "wfrom")) {
+        a.spec.window_from = std::stoull(*v8);
+      } else if (auto v9 = take(tok, "wuntil")) {
+        a.spec.window_until = std::stoull(*v9);
+      } else {
+        return std::nullopt;  // unknown key: refuse rather than misreplay
+      }
+    }
+    if (!saw_node || !saw_point) return std::nullopt;
+    sch.actions.push_back(a);
+  }
+  if (!saw_seed || !saw_end) return std::nullopt;
+  return sch;
+}
+
+Schedule generate(std::uint64_t seed, const GenOptions& opt) {
+  // Independent stream from the runner's traffic/fault RNGs: mixing in a
+  // tag keeps the schedule shape decoupled from what the planes later draw.
+  sim::Rng rng(seed ^ 0xC4A05'5C4EDULL);
+  Schedule sch;
+  sch.seed = seed;
+
+  std::vector<fault::Point> pool = opt.eligible;
+  if (pool.empty()) {
+    for (int i = 0; i < static_cast<int>(fault::Point::kCount); ++i) {
+      pool.push_back(static_cast<fault::Point>(i));
+    }
+  }
+
+  const int n = opt.min_actions +
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                    opt.max_actions - opt.min_actions + 1)));
+  for (int i = 0; i < n; ++i) {
+    Action a;
+    a.node = static_cast<int>(rng.below(2));
+    a.point = pool[rng.below(pool.size())];
+    // Arm inside the first 70% of the horizon so the fault overlaps live
+    // traffic; disarm within ~40% after that (or never, 1 in 4).
+    a.start = rng.below(opt.horizon * 7 / 10 + 1);
+    a.end = rng.chance(0.25) ? 0
+                             : a.start + sim::us(50) +
+                                   rng.below(opt.horizon * 4 / 10 + 1);
+
+    // Per-class spec shaping. Every budget is finite: a generated schedule
+    // may degrade the run but can never stop it from draining (stall
+    // points rely on the watchdog for rescue, so keep their budgets tiny).
+    switch (a.point) {
+      case fault::Point::kBoardRxStall:
+      case fault::Point::kBoardTxStall:
+        a.spec.probability = 0.0;
+        a.spec.after = 1 + rng.below(400);
+        a.spec.budget = 1 + rng.below(2);
+        break;
+      case fault::Point::kAdcAppDeath:
+      case fault::Point::kAdcFreeListPoison:
+      case fault::Point::kAdcGarbageDescriptor:
+        // Channel-lethal tenant misbehaviour: one shot, late-ish.
+        a.spec.probability = 0.0;
+        a.spec.after = 1 + rng.below(60);
+        a.spec.budget = 1;
+        break;
+      case fault::Point::kIrqLost:
+      case fault::Point::kIrqSpurious:
+      case fault::Point::kDpramStale:
+      case fault::Point::kDescCorrupt:
+        a.spec.probability = 0.002 + 0.02 * rng.uniform();
+        a.spec.budget = 1 + rng.below(6);
+        break;
+      default:
+        // Drop/error/overload class: frequent but budgeted.
+        a.spec.probability = 0.005 + 0.045 * rng.uniform();
+        a.spec.budget = 1 + rng.below(10);
+        break;
+    }
+    // Occasionally add a consultation window on top, exercising the
+    // window_from/window_until path.
+    if (rng.chance(0.3)) {
+      a.spec.window_from = 1 + rng.below(20);
+      if (rng.chance(0.5)) {
+        a.spec.window_until = a.spec.window_from + 1 + rng.below(200);
+      }
+    }
+    sch.actions.push_back(a);
+  }
+  return sch;
+}
+
+}  // namespace osiris::chaos

@@ -1,0 +1,76 @@
+// Deterministic chaos schedules (DESIGN.md §12).
+//
+// A ChaosSchedule is a seeded timeline of arm/disarm actions over any
+// subset of the fault points on either node of a two-node testbed. Each
+// action carries a full FaultSpec — probabilistic, deterministic-Nth, a
+// firing budget, and a consultation window — plus a wall-time window
+// [start, end) in simulated ticks during which the point is armed. The
+// generator aligns those windows with the runner's traffic phases (warmup
+// / steady / drain) so faults land where traffic actually exercises the
+// hook points.
+//
+// Schedules serialize to a line-oriented text format so a failing run is
+// a file: record it, attach it to a bug, replay it byte-for-byte. The
+// parser stops at the `end` line, so a replay artifact can carry a human
+// postmortem appended after the schedule without breaking round-trips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sim/time.h"
+
+namespace osiris::chaos {
+
+/// One timed fault action: arm `point` on `node`'s plane at `start` with
+/// `spec`, and (when `end` > `start`) disarm it again at `end`. Points in
+/// the kAdc*/kTenantBurst range target the node's per-tenant plane (the
+/// one handed to its ADC); everything else targets the node-level
+/// hardware plane.
+struct Action {
+  int node = 0;  // 0 = testbed node a, 1 = node b
+  fault::Point point = fault::Point::kDmaError;
+  sim::Tick start = 0;
+  sim::Tick end = 0;  // 0 = stay armed until the run drains
+  fault::FaultSpec spec;
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// True for points consulted on a per-tenant (ADC application) plane
+/// rather than the node-level hardware plane.
+[[nodiscard]] bool is_tenant_point(fault::Point p);
+
+struct Schedule {
+  std::uint64_t seed = 0;  // generator seed; 0 for hand-built schedules
+  std::vector<Action> actions;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+  /// Portable text serialization (see file comment for the format).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses to_text() output (ignoring anything after the `end` line, and
+  /// `#` comment lines anywhere). Returns nullopt on malformed input.
+  static std::optional<Schedule> parse(const std::string& text);
+};
+
+/// Generator tuning. The defaults match ChaosRunner's traffic shape.
+struct GenOptions {
+  sim::Tick horizon = sim::ms(25);  // traffic duration to place windows in
+  int min_actions = 2;
+  int max_actions = 6;
+  /// Points the generator may pick; empty = every point (hardware and
+  /// tenant) is eligible.
+  std::vector<fault::Point> eligible;
+};
+
+/// Deterministically expands `seed` into a schedule: same seed + options,
+/// same schedule, on every platform. Specs are always budget-bounded so a
+/// generated schedule can never keep a run from draining.
+[[nodiscard]] Schedule generate(std::uint64_t seed, const GenOptions& opt = {});
+
+}  // namespace osiris::chaos

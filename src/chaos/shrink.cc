@@ -1,0 +1,106 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace osiris::chaos {
+
+namespace {
+
+Schedule with_actions(const Schedule& base, std::vector<Action> actions) {
+  Schedule s;
+  s.seed = base.seed;
+  s.actions = std::move(actions);
+  return s;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Schedule& failing, const RunnerConfig& cfg,
+                    int max_trials) {
+  ShrinkResult res;
+  res.minimal = failing;
+
+  RunnerConfig quiet = cfg;
+  quiet.collect_postmortem = false;  // only the final rerun pays for it
+
+  auto fails = [&](const std::vector<Action>& actions) {
+    ++res.trials;
+    return !run_schedule(with_actions(failing, actions), quiet).ok();
+  };
+
+  res.reproduced = fails(failing.actions);
+  if (res.reproduced) {
+    // ddmin (Zeller/Hildebrandt): try dropping complements of ever-finer
+    // chunks while the failure persists.
+    std::vector<Action> cur = failing.actions;
+    std::size_t granularity = 2;
+    while (cur.size() >= 2 && res.trials < max_trials) {
+      const std::size_t chunk =
+          (cur.size() + granularity - 1) / granularity;
+      bool reduced = false;
+      for (std::size_t off = 0; off < cur.size() && res.trials < max_trials;
+           off += chunk) {
+        std::vector<Action> complement;
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+          if (i < off || i >= off + chunk) complement.push_back(cur[i]);
+        }
+        if (!complement.empty() && fails(complement)) {
+          cur = std::move(complement);
+          granularity = granularity > 2 ? granularity - 1 : 2;
+          reduced = true;
+          break;
+        }
+      }
+      if (!reduced) {
+        if (granularity >= cur.size()) break;
+        granularity = std::min(cur.size(), granularity * 2);
+      }
+    }
+    // Greedy 1-minimality: no single remaining action is removable.
+    for (std::size_t i = 0; i < cur.size() && res.trials < max_trials;) {
+      std::vector<Action> without = cur;
+      without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!without.empty() && fails(without)) {
+        cur = std::move(without);
+        i = 0;  // removals can unlock earlier ones
+      } else {
+        ++i;
+      }
+    }
+    res.minimal = with_actions(failing, cur);
+  }
+
+  RunnerConfig verbose = cfg;
+  verbose.collect_postmortem = true;
+  res.report = run_schedule(res.minimal, verbose);
+  return res;
+}
+
+bool write_artifact(const std::string& path, const ShrinkResult& r) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << r.minimal.to_text();
+  out << "\n# ---- postmortem (ignored by Schedule::parse) ----\n";
+  out << "# shrink: " << r.trials << " trials, "
+      << r.minimal.actions.size() << " actions in minimal schedule, input "
+      << (r.reproduced ? "reproduced" : "did NOT reproduce") << "\n";
+  if (r.report.violations.empty()) {
+    out << "# minimal schedule ran clean on the final rerun\n";
+  }
+  for (const std::string& v : r.report.violations) {
+    out << "violation: " << v << "\n";
+  }
+  out << "fingerprint: " << r.report.fingerprint << "\n";
+  out << "arq: sent " << r.report.arq_sent << " delivered "
+      << r.report.arq_delivered << " retransmissions "
+      << r.report.arq_retransmissions << " resyncs " << r.report.arq_resyncs
+      << "\n";
+  out << "resets: node_a " << r.report.resets_a << " node_b "
+      << r.report.resets_b << "\n";
+  out << "faults_fired: " << r.report.faults_fired << "\n";
+  out << r.report.postmortem;
+  return static_cast<bool>(out);
+}
+
+}  // namespace osiris::chaos

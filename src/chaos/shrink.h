@@ -1,0 +1,41 @@
+// Delta-debugging schedule shrinker.
+//
+// A failing chaos schedule usually carries several actions that have
+// nothing to do with the violation. Because runs are deterministic —
+// same schedule, same RunnerConfig, same violations — the schedule can
+// be minimized mechanically: ddmin over the action list (complement
+// reduction with increasing granularity), then a greedy pass proving
+// 1-minimality (removing any single remaining action makes the failure
+// disappear). The minimal schedule plus the postmortem of its run is
+// written as one replayable artifact: Schedule::parse() reads the
+// schedule back out, ignoring the appended postmortem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/runner.h"
+#include "chaos/schedule.h"
+
+namespace osiris::chaos {
+
+struct ShrinkResult {
+  Schedule minimal;   // smallest still-failing schedule found
+  Report report;      // the minimal schedule's run (with postmortem)
+  bool reproduced = false;  // the input schedule failed when re-run
+  int trials = 0;     // runs spent shrinking (bounded by max_trials)
+};
+
+/// Shrinks `failing` to a 1-minimal action set under `cfg`. When the
+/// input does not reproduce a violation, returns it unshrunk with
+/// reproduced = false. `max_trials` bounds the total number of runs.
+ShrinkResult shrink(const Schedule& failing, const RunnerConfig& cfg,
+                    int max_trials = 200);
+
+/// Writes the replay artifact: the minimal schedule's serialization
+/// followed by a human postmortem (violations, fault-plane summaries,
+/// stats, trace tails) after the `end` line. Returns false when `path`
+/// cannot be opened.
+bool write_artifact(const std::string& path, const ShrinkResult& r);
+
+}  // namespace osiris::chaos

@@ -78,6 +78,13 @@ struct Descriptor {
 enum DescriptorFlags : std::uint16_t {
   kDescEop = 1u << 0,      // last buffer of a PDU
   kDescAborted = 1u << 1,  // reassembly abandoned; recycle, don't deliver
+  // Ownership seal, maintained by QueueWriter/QueueReader and invisible to
+  // queue clients: the writer stamps each descriptor with the parity of
+  // its current lap around the ring, and the reader refuses entries whose
+  // seal does not match the lap it expects at that slot. A glitched
+  // (stale) read of the head word near wrap-around can otherwise expose
+  // previous-lap descriptors as fresh entries.
+  kDescLapSeal = 1u << 15,
 };
 
 constexpr std::uint32_t kDescriptorWords = 4;

@@ -43,26 +43,56 @@ OpResult QueueWriter::push(const Descriptor& d) {
   const std::uint32_t tail = ram_->read(side_, lay_.tail_word());
   ++r.ram_accesses;
   if ((head_ + 1) % lay_.capacity == tail) return r;  // full
-  write_descriptor(*ram_, side_, lay_, head_, d);
+  Descriptor sealed = d;
+  sealed.flags = static_cast<std::uint16_t>(
+      (sealed.flags & ~kDescLapSeal) | (lap_odd_ ? 0u : kDescLapSeal));
+  write_descriptor(*ram_, side_, lay_, head_, sealed);
   ram_->maybe_corrupt(side_, lay_.slot_word(head_), kDescriptorWords);
   r.ram_accesses += kDescriptorWords;
   head_ = (head_ + 1) % lay_.capacity;
+  if (head_ == 0) lap_odd_ = !lap_odd_;
   ram_->write(side_, lay_.head_word(), head_);
   ++r.ram_accesses;
   r.ok = true;
   return r;
 }
 
+namespace {
+
+// Reset-time scrub: every word is written TWICE so that a subsequent
+// glitched (kDpramStale) read — which returns the value before the most
+// recent write — still sees zero, and cannot resurrect pre-reset cursors
+// or lap seals.
+void scrub_queue(DualPortRam& ram, Side side, const QueueLayout& lay) {
+  for (int pass = 0; pass < 2; ++pass) {
+    ram.write(side, lay.head_word(), 0);
+    ram.write(side, lay.tail_word(), 0);
+    ram.write(side, lay.ctrl_word(), 0);
+    for (std::uint32_t s = 0; s < lay.capacity; ++s) {
+      ram.write(side, lay.slot_word(s) + 2, 0);  // vci/flags word: lap seal
+    }
+  }
+}
+
+}  // namespace
+
 void QueueWriter::reset() {
   head_ = 0;
-  ram_->write(side_, lay_.head_word(), 0);
-  ram_->write(side_, lay_.tail_word(), 0);
-  ram_->write(side_, lay_.ctrl_word(), 0);
+  lap_odd_ = false;
+  scrub_queue(*ram_, side_, lay_);
 }
 
 void QueueReader::reset() {
   tail_ = 0;
+  lap_odd_ = false;
   ram_->write(side_, lay_.tail_word(), 0);
+  ram_->write(side_, lay_.tail_word(), 0);
+}
+
+void QueueReader::reset_all() {
+  tail_ = 0;
+  lap_odd_ = false;
+  scrub_queue(*ram_, side_, lay_);
 }
 
 bool QueueReader::empty() const {
@@ -83,9 +113,17 @@ std::optional<Descriptor> QueueReader::peek_at(std::uint32_t k, OpResult* res) c
     if (res != nullptr) *res = r;
     return std::nullopt;
   }
-  const Descriptor d =
+  Descriptor d =
       read_descriptor(*ram_, side_, lay_, (tail_ + k) % lay_.capacity);
   r.ram_accesses += kDescriptorWords;
+  // The head word is advisory: a glitched (stale) read near wrap-around
+  // can claim entries the writer never published. Only the lap seal
+  // stamped into the descriptor itself proves ownership.
+  if (((d.flags & kDescLapSeal) != 0) != seal_expected(k)) {
+    if (res != nullptr) *res = r;
+    return std::nullopt;
+  }
+  d.flags = static_cast<std::uint16_t>(d.flags & ~kDescLapSeal);
   r.ok = true;
   if (res != nullptr) *res = r;
   return d;
@@ -93,10 +131,12 @@ std::optional<Descriptor> QueueReader::peek_at(std::uint32_t k, OpResult* res) c
 
 void QueueReader::advance() {
   tail_ = (tail_ + 1) % lay_.capacity;
+  if (tail_ == 0) lap_odd_ = !lap_odd_;
   ram_->write(side_, lay_.tail_word(), tail_);
 }
 
 std::uint32_t QueueReader::consume(std::uint32_t n) {
+  if (tail_ + n >= lay_.capacity) lap_odd_ = !lap_odd_;
   tail_ = (tail_ + n) % lay_.capacity;
   return tail_;
 }
@@ -115,7 +155,15 @@ std::optional<Descriptor> QueueReader::pop(OpResult* res) {
   }
   Descriptor d = read_descriptor(*ram_, side_, lay_, tail_);
   r.ram_accesses += kDescriptorWords;
+  if (((d.flags & kDescLapSeal) != 0) != seal_expected(0)) {
+    // Stale head word claimed an entry the writer never published; do not
+    // consume — the slot still belongs to the writer.
+    if (res != nullptr) *res = r;
+    return std::nullopt;
+  }
+  d.flags = static_cast<std::uint16_t>(d.flags & ~kDescLapSeal);
   tail_ = (tail_ + 1) % lay_.capacity;
+  if (tail_ == 0) lap_odd_ = !lap_odd_;
   ram_->write(side_, lay_.tail_word(), tail_);
   ++r.ram_accesses;
   r.ok = true;

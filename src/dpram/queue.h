@@ -46,8 +46,10 @@ class QueueWriter {
   [[nodiscard]] std::uint32_t size() const;
 
   /// Adaptor reset: zeroes the cached head and the RAM head/tail/ctrl
-  /// words. Both endpoints of a queue must be reset together — a cached
-  /// cursor surviving a RAM zero would corrupt the fresh queue.
+  /// words, and scrubs every slot's lap seal (each word written twice, so
+  /// even a stale read cannot resurrect pre-reset queue state). Both
+  /// endpoints of a queue must be reset together — a cached cursor
+  /// surviving a RAM zero would corrupt the fresh queue.
   void reset();
 
   [[nodiscard]] const QueueLayout& layout() const { return lay_; }
@@ -56,7 +58,8 @@ class QueueWriter {
   DualPortRam* ram_;
   QueueLayout lay_;
   Side side_;
-  std::uint32_t head_ = 0;  // writer-owned cached copy
+  std::uint32_t head_ = 0;   // writer-owned cached copy
+  bool lap_odd_ = false;     // parity of the writer's current ring lap
 };
 
 class QueueReader {
@@ -96,13 +99,28 @@ class QueueReader {
   /// matching writer's reset zeroes the head).
   void reset();
 
+  /// Firmware-side reset: zeroes the cached tail AND all three RAM words
+  /// (head/tail/ctrl). A rebooting board processor must not trust a head
+  /// word published by a writer it cannot see — trusting it would replay
+  /// whatever stale descriptors are still sitting in the dual-port RAM.
+  /// The writer's cached head is then stale; its owner resynchronizes on
+  /// its next generation check (OsirisDriver::maybe_resync).
+  void reset_all();
+
   [[nodiscard]] const QueueLayout& layout() const { return lay_; }
 
  private:
+  // Expected kDescLapSeal value for the entry `k` past the cached tail.
+  [[nodiscard]] bool seal_expected(std::uint32_t k) const {
+    const bool odd = lap_odd_ != (tail_ + k >= lay_.capacity);
+    return !odd;  // even laps are sealed, odd laps (and virgin slots) not
+  }
+
   DualPortRam* ram_;
   QueueLayout lay_;
   Side side_;
-  std::uint32_t tail_ = 0;  // reader-owned cached copy
+  std::uint32_t tail_ = 0;   // reader-owned cached copy
+  bool lap_odd_ = false;     // parity of the lap the cached tail is on
 };
 
 }  // namespace osiris::dpram

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/rng.h"
 
@@ -92,15 +93,42 @@ struct FaultSpec {
   double probability = 0.0;  // chance of firing at each consultation
   std::uint64_t after = 0;   // also fire on the Nth consultation (1-based; 0 = off)
   std::uint64_t budget = ~0ull;  // maximum total firings
+  // Consultation window: the spec is eligible to fire only on consultation
+  // numbers n (1-based, counted since arm) with window_from <= n and, when
+  // window_until != 0, n <= window_until. Outside the window the point
+  // counts the consultation but never rolls the dice, so a chaos schedule
+  // can align a fault with a traffic phase without changing its RNG draw
+  // sequence inside the window. Zero in both fields = always eligible.
+  std::uint64_t window_from = 0;
+  std::uint64_t window_until = 0;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// One ledger entry per firing: which point fired, on which of its
+/// consultations (1-based, since the arm() that made it fire).
+struct Firing {
+  Point point = Point::kCount;
+  std::uint64_t consultation = 0;
+
+  friend bool operator==(const Firing&, const Firing&) = default;
 };
 
 class FaultPlane {
  public:
   explicit FaultPlane(std::uint64_t seed = 0xFA177) : rng_(seed) {}
 
+  /// Arms (or re-arms) `p`. Per-spec consulted/fired counters restart at
+  /// zero — `after` and the consultation window are relative to this arm —
+  /// but the lifetime counters and the firing ledger are preserved.
   void arm(Point p, FaultSpec spec);
+  /// Clears the armed flag only: per-spec statistics, lifetime counters
+  /// and the firing ledger all survive, so a scenario driver can disarm a
+  /// point mid-run and still account for everything it did. Use
+  /// reset_stats() for a clean slate between scenario phases.
   void disarm(Point p);
   [[nodiscard]] bool armed(Point p) const { return slot(p).armed; }
+  [[nodiscard]] FaultSpec spec(Point p) const { return slot(p).spec; }
 
   /// The hook: rolls the dice for `p`. Returns true when the fault fires
   /// at this consultation (and counts it against the budget).
@@ -113,13 +141,57 @@ class FaultPlane {
   /// need to pick *which* word/bit to damage.
   std::uint64_t roll(std::uint64_t bound) { return rng_.below(bound); }
 
-  // Per-point statistics.
+  // Per-point statistics (relative to the last arm()).
   [[nodiscard]] std::uint64_t consulted(Point p) const { return slot(p).consulted; }
   [[nodiscard]] std::uint64_t fired(Point p) const { return slot(p).fired; }
   [[nodiscard]] std::uint64_t total_fired() const;
 
+  // Lifetime statistics: monotone across arm()/disarm() cycles, cleared
+  // only by reset_stats(). The *_cell accessors return stable addresses
+  // (the plane's slot array never reallocates) for pull-model metrics
+  // registration (obs::Registry::counter).
+  [[nodiscard]] std::uint64_t lifetime_consulted(Point p) const {
+    return slot(p).lifetime_consulted;
+  }
+  [[nodiscard]] std::uint64_t lifetime_fired(Point p) const {
+    return slot(p).lifetime_fired;
+  }
+  [[nodiscard]] const std::uint64_t* lifetime_consulted_cell(Point p) const {
+    return &slot(p).lifetime_consulted;
+  }
+  [[nodiscard]] const std::uint64_t* lifetime_fired_cell(Point p) const {
+    return &slot(p).lifetime_fired;
+  }
+
+  /// Chronological record of every firing (bounded; see ledger_dropped()).
+  /// arm() and disarm() leave it intact.
+  [[nodiscard]] const std::vector<Firing>& ledger() const { return ledger_; }
+  /// Firings not recorded because the ledger hit its cap.
+  [[nodiscard]] std::uint64_t ledger_dropped() const { return ledger_dropped_; }
+
+  /// Clears every statistic — per-spec and lifetime counters, the firing
+  /// ledger — while leaving armed specs armed. This is the between-phases
+  /// reset a scenario driver wants; note it restarts `after`/window
+  /// consultation counting for armed points, exactly like a fresh arm().
+  void reset_stats();
+
+  /// Per-point armed state + statistics, for save()/restore() around an
+  /// exploratory phase (lifetime counters and the ledger are observability
+  /// and are deliberately NOT part of the state).
+  struct PointState {
+    FaultSpec spec;
+    bool armed = false;
+    std::uint64_t consulted = 0;
+    std::uint64_t fired = 0;
+  };
+  using PlaneState = std::array<PointState, static_cast<std::size_t>(Point::kCount)>;
+  [[nodiscard]] PlaneState save() const;
+  void restore(const PlaneState& st);
+
   /// One line per armed or fired point.
   [[nodiscard]] std::string summary() const;
+
+  static constexpr std::size_t kLedgerCap = 4096;
 
  private:
   struct Slot {
@@ -127,6 +199,8 @@ class FaultPlane {
     bool armed = false;
     std::uint64_t consulted = 0;
     std::uint64_t fired = 0;
+    std::uint64_t lifetime_consulted = 0;
+    std::uint64_t lifetime_fired = 0;
   };
 
   [[nodiscard]] Slot& slot(Point p) { return slots_[static_cast<std::size_t>(p)]; }
@@ -135,6 +209,8 @@ class FaultPlane {
   }
 
   std::array<Slot, static_cast<std::size_t>(Point::kCount)> slots_{};
+  std::vector<Firing> ledger_;
+  std::uint64_t ledger_dropped_ = 0;
   sim::Rng rng_;
 };
 

@@ -76,7 +76,9 @@ OsirisDriver::OsirisDriver(sim::Engine& eng, const MachineConfig& mc,
       cfg_(cfg),
       tx_writer_(ram, lay.tx, dpram::Side::kHost),
       free_writer_(ram, lay.free, dpram::Side::kHost),
-      recv_reader_(ram, lay.recv, dpram::Side::kHost) {}
+      recv_reader_(ram, lay.recv, dpram::Side::kHost) {
+  board_epoch_ = txp_->epoch();
+}
 
 OsirisDriver::~OsirisDriver() {
   *alive_ = false;
@@ -240,7 +242,7 @@ sim::Tick OsirisDriver::push_chain(sim::Tick at, std::uint16_t vci,
 }
 
 sim::Tick OsirisDriver::post_raw(sim::Tick at, const dpram::Descriptor& d) {
-  sim::Tick t = cpu_->pio(at, 1, 0);  // tail read (the app's full check)
+  sim::Tick t = cpu_->pio(maybe_resync(at), 1, 0);  // tail read (full check)
   if (tx_writer_.full()) return t;
   tx_writer_.push(d);
   t = cpu_->pio(t, kPushReads, kPushWrites);
@@ -257,7 +259,7 @@ sim::Tick OsirisDriver::post_raw(sim::Tick at, const dpram::Descriptor& d) {
 
 sim::Tick OsirisDriver::send(sim::Tick at, std::uint16_t vci,
                              const std::vector<mem::PhysBuffer>& bufs) {
-  sim::Tick t = reap_tx(at);
+  sim::Tick t = reap_tx(maybe_resync(at));
 
   // Wire every page the board will DMA from (§2.4).
   std::uint32_t pages = 0;
@@ -309,6 +311,7 @@ void OsirisDriver::on_tx_half_empty(sim::Tick at) {
 }
 
 void OsirisDriver::on_rx_interrupt(sim::Tick at) {
+  at = maybe_resync(at);
   if (draining_) return;  // thread already active
   draining_ = true;
   const sim::Tick t = cpu_->exec(at, Work{mc_->thread_dispatch, 0});
@@ -581,11 +584,40 @@ sim::Tick OsirisDriver::force_reset(sim::Tick at) {
     }
   }
 
-  // Reset both board halves, then reinitialize every host-side queue
-  // cursor (both ends cache positions in host registers; RAM words and
-  // caches must be cleared together or they disagree after the reset).
+  // Reset both board halves (all channels' board-side cursors and RAM
+  // words are zeroed — other channel drivers on this board resynchronize
+  // through their own maybe_resync generation check), then rebuild this
+  // driver's host-side state.
   txp_->reset();
   if (rxp_ != nullptr) rxp_->reset();
+  board_epoch_ = txp_->epoch();
+  const sim::Tick t = resync_host_state(at);
+
+  // Fresh deadline for the rebooted firmware's first beat.
+  wd_tx_seen_ = wd_rx_seen_ = false;
+  wd_tx_change_ = wd_rx_change_ = wd_txtail_change_ = eng_->now();
+  wd_txtail_ = 0;
+  return t;
+}
+
+sim::Tick OsirisDriver::maybe_resync(sim::Tick at) {
+  if (detached_ || txp_->epoch() == board_epoch_) return at;
+  // Another driver's watchdog (in practice: the kernel's) reset the board
+  // under us. Every cached cursor, in-flight chain and posted free buffer
+  // of this channel is stale; completions scheduled before the reset must
+  // die at the generation check.
+  board_epoch_ = txp_->epoch();
+  ++resyncs_observed_;
+  ++generation_;
+  sim::trace_event(trace_, eng_->now(), "drv", "resync", generation_,
+                   board_epoch_);
+  return resync_host_state(at);
+}
+
+sim::Tick OsirisDriver::resync_host_state(sim::Tick at) {
+  // Reinitialize every host-side queue cursor (both ends cache positions
+  // in host registers; RAM words and caches must be cleared together or
+  // they disagree after the reset).
   tx_writer_.reset();
   free_writer_.reset();
   for (auto& w : extra_free_writers_) w.reset();
@@ -603,7 +635,7 @@ sim::Tick OsirisDriver::force_reset(sim::Tick at) {
 
   // Upper layers forget retained buffers and partial reassembly before
   // the pool is re-posted wholesale below.
-  if (reset_hook_) reset_hook_(at);
+  for (const auto& [token, hook] : reset_hooks_) hook(at);
 
   sim::Tick t = cpu_->exec(at, Work{mc_->thread_dispatch, 0});
   for (std::uint32_t id = 0; id < buffers_.size(); ++id) {
@@ -626,11 +658,6 @@ sim::Tick OsirisDriver::force_reset(sim::Tick at) {
     t = push_chain(t, ps.vci, ps.bufs);
   }
   for (auto& ps : replay) pending_sends_.push_back(std::move(ps));
-
-  // Fresh deadline for the rebooted firmware's first beat.
-  wd_tx_seen_ = wd_rx_seen_ = false;
-  wd_tx_change_ = wd_rx_change_ = wd_txtail_change_ = eng_->now();
-  wd_txtail_ = 0;
   return t;
 }
 

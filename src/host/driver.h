@@ -145,13 +145,13 @@ class OsirisDriver {
   /// Returns retained receive buffers to their free pools. Each push costs
   /// the usual dual-port-RAM PIO.
   sim::Tick release(sim::Tick at, const std::vector<RxBuffer>& bufs) {
-    return recycle(at, bufs);
+    return recycle(maybe_resync(at), bufs);
   }
 
   /// Reclaims all partial PDU accumulations (buffers received without an
   /// EOP because cells were lost upstream). Returns completion time.
   sim::Tick flush_partials(sim::Tick at) {
-    sim::Tick t = at;
+    sim::Tick t = maybe_resync(at);
     for (auto& [key, acc] : accum_) {
       ++stale_partial_;
       t = recycle(t, acc.bufs);
@@ -208,12 +208,23 @@ class OsirisDriver {
   /// the board firmware is the policeman. Returns host-CPU completion.
   sim::Tick post_raw(sim::Tick at, const dpram::Descriptor& d);
 
-  /// Hook run during force_reset(), after queues are reinitialized and
-  /// before buffers are re-posted: upper layers must forget retained
-  /// receive buffers (the pool is re-posted wholesale) and discard any
-  /// partial reassembly state.
-  void set_reset_hook(std::function<void(sim::Tick)> h) {
-    reset_hook_ = std::move(h);
+  /// Registers a hook run during force_reset(), after queues are
+  /// reinitialized and before buffers are re-posted: upper layers must
+  /// forget retained receive buffers (the pool is re-posted wholesale),
+  /// discard partial reassembly state, and resynchronize any transmit-side
+  /// bookkeeping keyed to pre-reset descriptor watermarks. Several layers
+  /// register independently (the stack's reassembly flush, ARQ's session
+  /// resync); hooks run in registration order. Returns a token for
+  /// remove_reset_hook().
+  int add_reset_hook(std::function<void(sim::Tick)> h) {
+    const int token = next_reset_hook_token_++;
+    reset_hooks_.push_back({token, std::move(h)});
+    return token;
+  }
+  /// Unregisters a hook; stale or already-removed tokens are no-ops.
+  void remove_reset_hook(int token) {
+    std::erase_if(reset_hooks_,
+                  [token](const auto& e) { return e.first == token; });
   }
 
   /// Optional stream for the human-readable reset postmortem (the trace
@@ -229,6 +240,21 @@ class OsirisDriver {
   /// Immediate adaptor reset (what the watchdog fires; callable directly
   /// by tests). Returns the time the host CPU finished recovery.
   sim::Tick force_reset(sim::Tick at);
+
+  /// Generation check for channel drivers that did NOT initiate an
+  /// adaptor reset (many drivers share one board, §3.2): the kernel
+  /// watchdog's force_reset() zeroes every channel's board-side cursors
+  /// and RAM queue words, leaving this driver's cached cursors, in-flight
+  /// accounting and posted free pool stale. Every host-facing entry point
+  /// calls this; when the board epoch has moved it rebuilds host-side
+  /// state exactly as force_reset() does (reset hooks included) and bumps
+  /// generation() so pre-reset completions die at their epoch checks.
+  sim::Tick maybe_resync(sim::Tick at);
+  /// Board resets this driver observed (via maybe_resync) but did not
+  /// initiate.
+  [[nodiscard]] std::uint64_t resyncs_observed() const {
+    return resyncs_observed_;
+  }
 
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
   [[nodiscard]] std::uint64_t watchdog_resets() const { return watchdog_resets_; }
@@ -264,8 +290,9 @@ class OsirisDriver {
   /// ARQ frame arena) use these to decide when a buffer may be rewritten;
   /// reusing it earlier races the board's DMA reads. A watchdog reset
   /// retires everything outstanding (lost chains never complete; replayed
-  /// parked chains are re-accepted), so post-reset reuse can race a replay
-  /// — the end-to-end checksum catches that window.
+  /// parked chains are re-accepted), which would let post-reset reuse race
+  /// a replayed chain — zero-copy senders must therefore re-quarantine
+  /// their slots from a reset hook (ArqEndpoint::on_driver_reset does).
   [[nodiscard]] std::uint64_t tx_descs_accepted() const {
     return tx_descs_accepted_;
   }
@@ -275,7 +302,7 @@ class OsirisDriver {
 
   /// Polls the transmit tail word and retires completed descriptors now
   /// (otherwise reclaim happens as a side effect of the next send()).
-  sim::Tick reclaim_tx(sim::Tick at) { return reap_tx(at); }
+  sim::Tick reclaim_tx(sim::Tick at) { return reap_tx(maybe_resync(at)); }
 
   // Statistics.
   [[nodiscard]] std::uint64_t pdus_sent() const { return pdus_sent_; }
@@ -316,6 +343,10 @@ class OsirisDriver {
 
   void on_rx_interrupt(sim::Tick at);
   void on_tx_half_empty(sim::Tick at);
+  /// Shared tail of force_reset()/maybe_resync(): rebuilds every piece of
+  /// host-side state invalidated by a board reset (cursors, in-flight
+  /// accounting, reset hooks, pool re-post, parked-send replay).
+  sim::Tick resync_host_state(sim::Tick at);
   void drain_step(sim::Tick at);
   void watchdog_tick();
   sim::Tick deliver(sim::Tick at, std::uint16_t vci, std::uint32_t tag,
@@ -359,7 +390,8 @@ class OsirisDriver {
   int tx_irq_token_ = -1;
   int free_low_token_ = -1;
   bool detached_ = false;
-  std::function<void(sim::Tick)> reset_hook_;
+  std::vector<std::pair<int, std::function<void(sim::Tick)>>> reset_hooks_;
+  int next_reset_hook_token_ = 0;
   std::ostream* postmortem_os_ = nullptr;
 
   // Watchdog state.
@@ -372,6 +404,8 @@ class OsirisDriver {
   std::uint32_t wd_txtail_ = 0;
   sim::Tick wd_txtail_change_ = 0;
   std::uint64_t generation_ = 0;
+  std::uint64_t board_epoch_ = 0;       // TxProcessor epoch last seen
+  std::uint64_t resyncs_observed_ = 0;  // resets observed, not initiated
   std::string last_postmortem_;
   std::vector<BufferInfo> buffers_;          // by id
   std::map<std::uint32_t, Accum> accum_;     // (vci<<8|pdu_tag) -> partial PDU

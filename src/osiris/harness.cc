@@ -1,6 +1,7 @@
 #include "osiris/harness.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -212,6 +213,17 @@ OutputFlags parse_output_flags(int argc, char** argv) {
   OutputFlags f;
   f.stats_json = parse_string_flag(argc, argv, "--stats-json");
   f.trace_out = parse_string_flag(argc, argv, "--trace-out");
+  return f;
+}
+
+ChaosFlags parse_chaos_flags(int argc, char** argv) {
+  ChaosFlags f;
+  const std::string seed = parse_string_flag(argc, argv, "--chaos-seed");
+  if (!seed.empty()) {
+    f.seed = std::strtoull(seed.c_str(), nullptr, 10);
+    f.seed_set = true;
+  }
+  f.replay = parse_string_flag(argc, argv, "--chaos-replay");
   return f;
 }
 

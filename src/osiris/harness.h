@@ -80,6 +80,22 @@ struct OutputFlags {
 };
 OutputFlags parse_output_flags(int argc, char** argv);
 
+/// Chaos-mode options on an example/soak command line (DESIGN.md §12):
+///   --chaos-seed=<n>       generate schedule <n> and run it through the
+///                          chaos runner instead of the normal scenario
+///   --chaos-replay=<file>  parse a recorded schedule (or shrink artifact —
+///                          the parser ignores the appended postmortem) and
+///                          run exactly that
+/// Pure flag parsing: executing a schedule is the caller's job (via
+/// osiris_chaos), so binaries that never use chaos mode don't link it.
+struct ChaosFlags {
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::string replay;
+  [[nodiscard]] bool active() const { return seed_set || !replay.empty(); }
+};
+ChaosFlags parse_chaos_flags(int argc, char** argv);
+
 /// Writes a metrics snapshot covering both testbed nodes (prefixes "a."
 /// and "b.", plus any spans' stage histograms) to `path` as JSON. Returns
 /// false when the file cannot be opened.

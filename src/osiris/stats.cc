@@ -184,6 +184,20 @@ void register_metrics(obs::Registry& r, Node& n, const std::string& prefix) {
           [np] { return np->cpu.resource().utilization(); });
   r.gauge(prefix + "rx.combine_fraction",
           [np] { return np->rxp.combine_fraction(); });
+
+  // Per-point fault-plane activity. The lifetime cells are stable
+  // addresses that survive arm()/disarm() cycles, so a chaos schedule's
+  // full activity shows up in --stats-json and the trend dashboard
+  // without parsing FaultPlane::summary() text.
+  if (n.cfg.faults != nullptr) {
+    const fault::FaultPlane* fp = n.cfg.faults;
+    for (int i = 0; i < static_cast<int>(fault::Point::kCount); ++i) {
+      const auto p = static_cast<fault::Point>(i);
+      const std::string base = prefix + "fault.point." + fault::point_name(p);
+      r.counter(base + ".consulted", fp->lifetime_consulted_cell(p));
+      r.counter(base + ".fired", fp->lifetime_fired_cell(p));
+    }
+  }
 }
 
 }  // namespace osiris

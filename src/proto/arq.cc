@@ -35,6 +35,16 @@ ArqEndpoint::ArqEndpoint(sim::Engine& eng, ProtoStack& stack,
     slots_.push_back(Slot{space_->alloc(kSlotBytes), 0});
   }
   attach();
+  reset_hook_token_ = stack_->driver().add_reset_hook(
+      [this](sim::Tick at) { on_driver_reset(at); });
+}
+
+ArqEndpoint::~ArqEndpoint() {
+  if (reset_hook_token_ >= 0) {
+    stack_->driver().remove_reset_hook(reset_hook_token_);
+  }
+  eng_->cancel(resync_timer_);
+  for (auto& [vci, s] : tx_) eng_->cancel(s.timer);
 }
 
 void ArqEndpoint::attach() {
@@ -148,6 +158,59 @@ void ArqEndpoint::on_timeout(std::uint16_t vci) {
                                          cfg_.backoff);
   if (cfg_.max_rto > 0 && s.cur_rto > cfg_.max_rto) s.cur_rto = cfg_.max_rto;
   arm_timer(vci, s, t);
+}
+
+// Session resynchronization after a generation-checked adaptor reset.
+//
+// A force_reset leaves the sender's ARQ state disagreeing with reality in
+// two ways:
+//
+//  1. The driver credits every lost in-flight chain as retired
+//     (tx_descs_retired_ += inflight), then replays parked sends. A frame
+//     arena slot whose busy_until watermark predates the reset therefore
+//     looks free even when a *replayed* chain still references it — the
+//     next send would rewrite it mid-DMA and put a torn frame on the wire
+//     (previously only the end-to-end checksum caught this). Every busy
+//     slot is re-quarantined to the post-reset accepted watermark, which
+//     all replayed chains are at or below.
+//
+//  2. Frames in the retransmit window were on the board or the wire when
+//     the reset discarded them. Waiting out the current (possibly
+//     backed-off) RTO — and burning retry budget on a path that is known
+//     to have just been rebuilt — delays convergence for no reason.
+//     Retries and RTO are reset and the base frame of every live VCI is
+//     retransmitted immediately, from a scheduled event: this hook runs
+//     inside force_reset(), and transmitting synchronously would re-enter
+//     the driver mid-reset.
+void ArqEndpoint::on_driver_reset(sim::Tick /*at*/) {
+  host::OsirisDriver& drv = stack_->driver();
+  const std::uint64_t accepted = drv.tx_descs_accepted();
+  for (Slot& s : slots_) {
+    if (s.busy_until != 0) s.busy_until = accepted;
+  }
+  bool live = false;
+  for (auto& [vci, s] : tx_) {
+    if (s.dead || s.window.empty()) continue;
+    s.retries = 0;
+    s.cur_rto = cfg_.rto;
+    live = true;
+  }
+  if (!live || resync_pending_) return;
+  ++resyncs_;
+  resync_pending_ = true;
+  resync_timer_ =
+      eng_->schedule_timer_at(eng_->now(), [this] { resync_kick(); });
+}
+
+void ArqEndpoint::resync_kick() {
+  resync_pending_ = false;
+  sim::Tick t = eng_->now();
+  for (auto& [vci, s] : tx_) {
+    if (s.dead || s.window.empty()) continue;
+    ++retransmissions_;
+    t = send_frame(t, vci, s.window.front().framed);
+    arm_timer(vci, s, t);
+  }
 }
 
 void ArqEndpoint::give_up(std::uint16_t /*vci*/, TxState& s) {

@@ -56,6 +56,12 @@ class ArqEndpoint {
               host::HostCpu& cpu, const host::MachineConfig& mc,
               ArqConfig cfg = {});
 
+  /// Unregisters the driver reset hook and cancels pending timers.
+  ~ArqEndpoint();
+
+  ArqEndpoint(const ArqEndpoint&) = delete;
+  ArqEndpoint& operator=(const ArqEndpoint&) = delete;
+
   /// (Re)installs this endpoint as the stack's sink. The constructor does
   /// this; call again if another layer has since taken the sink.
   void attach();
@@ -96,6 +102,9 @@ class ArqEndpoint {
   [[nodiscard]] std::uint64_t arena_overflows() const {
     return arena_overflows_;
   }
+  /// Adaptor resets that found unacked frames and resynchronized: slots
+  /// re-quarantined, backoff cleared, base frames retransmitted at once.
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
 
  private:
   struct Unacked {
@@ -129,6 +138,9 @@ class ArqEndpoint {
   sim::Tick send_ack(sim::Tick at, std::uint16_t vci);
   void arm_timer(std::uint16_t vci, TxState& s, sim::Tick at);
   void on_timeout(std::uint16_t vci);
+  /// Driver reset hook: see the comment block in arq.cc.
+  void on_driver_reset(sim::Tick at);
+  void resync_kick();
   void give_up(std::uint16_t vci, TxState& s);
   std::vector<std::uint8_t> frame(std::uint8_t type, std::uint16_t vci,
                                   std::uint32_t seq, std::uint32_t ack,
@@ -159,6 +171,10 @@ class ArqEndpoint {
   std::map<std::uint16_t, TxState> tx_;
   std::map<std::uint16_t, RxState> rx_;
 
+  int reset_hook_token_ = -1;
+  sim::TimerHandle resync_timer_;
+  bool resync_pending_ = false;
+
   std::uint64_t delivered_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t acks_sent_ = 0;
@@ -167,6 +183,7 @@ class ArqEndpoint {
   std::uint64_t malformed_ = 0;
   std::uint64_t gave_up_ = 0;
   std::uint64_t arena_overflows_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace osiris::proto

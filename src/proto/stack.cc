@@ -63,10 +63,16 @@ ProtoStack::ProtoStack(sim::Engine& eng, const host::MachineConfig& mc,
   if (cfg_.ip_mtu <= kIpHeader) throw std::invalid_argument("MTU too small");
 }
 
+ProtoStack::~ProtoStack() {
+  if (reset_hook_token_ >= 0) drv_->remove_reset_hook(reset_hook_token_);
+}
+
 void ProtoStack::attach() {
   drv_->set_rx_handler(
       [this](sim::Tick at, host::RxPduView& pdu) { return on_pdu(at, pdu); });
-  drv_->set_reset_hook([this](sim::Tick) { on_driver_reset(); });
+  if (reset_hook_token_ >= 0) drv_->remove_reset_hook(reset_hook_token_);
+  reset_hook_token_ =
+      drv_->add_reset_hook([this](sim::Tick) { on_driver_reset(); });
 }
 
 void ProtoStack::on_driver_reset() {

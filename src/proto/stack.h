@@ -51,8 +51,20 @@ class ProtoStack {
              mem::DataCache& cache, mem::PhysicalMemory& pm,
              host::OsirisDriver& drv, StackConfig cfg);
 
+  /// Unregisters the reset hook attach() installed (the driver outlives
+  /// the stacks built on it; see Node/Adc member ordering).
+  ~ProtoStack();
+
+  ProtoStack(const ProtoStack&) = delete;
+  ProtoStack& operator=(const ProtoStack&) = delete;
+
   /// Installs this stack as the driver's receive handler.
   void attach();
+
+  /// Partial reassemblies currently outstanding (a post-drain leak check:
+  /// after traffic quiesces and lost fragments age out or are reset away,
+  /// this should be zero).
+  [[nodiscard]] std::size_t pending_reassemblies() const { return reasm_.size(); }
 
   /// Switches outgoing protocol headers to a preallocated slot ring in
   /// `space`. Application device channels need this: the board only DMAs
@@ -117,6 +129,7 @@ class ProtoStack {
   host::OsirisDriver* drv_;
   StackConfig cfg_;
   Sink sink_;
+  int reset_hook_token_ = -1;
   std::uint16_t next_ip_id_ = 1;
   std::map<std::uint64_t, Reassembly> reasm_;  // (vci<<32|ip_id)
   mem::AddressSpace* hdr_space_ = nullptr;

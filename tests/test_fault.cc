@@ -123,6 +123,61 @@ TEST(FaultPlane, DisarmAndNullPlaneAreSafe) {
   EXPECT_FALSE(fp.summary().empty());
 }
 
+TEST(FaultPlane, DisarmPreservesLedgerResetStatsClearsIt) {
+  fault::FaultPlane fp;
+  fp.arm(fault::Point::kDmaError, {.probability = 1.0, .budget = 2});
+  EXPECT_TRUE(fp.fires(fault::Point::kDmaError));
+  EXPECT_TRUE(fp.fires(fault::Point::kDmaError));
+  ASSERT_EQ(fp.ledger().size(), 2u);
+  EXPECT_EQ(fp.ledger()[0].point, fault::Point::kDmaError);
+  EXPECT_EQ(fp.ledger()[0].consultation, 1u);
+  EXPECT_EQ(fp.ledger()[1].consultation, 2u);
+
+  // Disarming mid-scenario must not destroy the accounting of what the
+  // point already did: the ledger and lifetime counters survive.
+  fp.disarm(fault::Point::kDmaError);
+  EXPECT_FALSE(fp.armed(fault::Point::kDmaError));
+  EXPECT_EQ(fp.ledger().size(), 2u);
+  EXPECT_EQ(fp.lifetime_fired(fault::Point::kDmaError), 2u);
+  EXPECT_EQ(fp.lifetime_consulted(fault::Point::kDmaError), 2u);
+
+  // Re-arming restarts per-spec counters (so `after` is relative to the
+  // new arm) but keeps appending to the same lifetime ledger.
+  fp.arm(fault::Point::kDmaError, {.probability = 0.0, .after = 1, .budget = 1});
+  EXPECT_TRUE(fp.fires(fault::Point::kDmaError));
+  EXPECT_EQ(fp.ledger().size(), 3u);
+  EXPECT_EQ(fp.ledger()[2].consultation, 1u);  // counted since the re-arm
+  EXPECT_EQ(fp.lifetime_fired(fault::Point::kDmaError), 3u);
+
+  // reset_stats() is the between-phases clean slate: every statistic goes,
+  // armed specs stay armed.
+  fp.arm(fault::Point::kIrqLost, {.probability = 0.0, .after = 2, .budget = 1});
+  fp.reset_stats();
+  EXPECT_TRUE(fp.armed(fault::Point::kDmaError));
+  EXPECT_TRUE(fp.armed(fault::Point::kIrqLost));
+  EXPECT_TRUE(fp.ledger().empty());
+  EXPECT_EQ(fp.lifetime_fired(fault::Point::kDmaError), 0u);
+  EXPECT_EQ(fp.lifetime_consulted(fault::Point::kDmaError), 0u);
+  EXPECT_EQ(fp.consulted(fault::Point::kDmaError), 0u);
+  EXPECT_EQ(fp.fired(fault::Point::kDmaError), 0u);
+}
+
+TEST(FaultPlane, ConsultationWindowGatesFiring) {
+  fault::FaultPlane fp;
+  // Eligible only on consultations 3..5 (1-based, since arm).
+  fp.arm(fault::Point::kIrqLost, {.probability = 1.0,
+                                  .window_from = 3,
+                                  .window_until = 5});
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fp.fires(fault::Point::kIrqLost)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  ASSERT_EQ(fp.ledger().size(), 3u);
+  EXPECT_EQ(fp.ledger()[0].consultation, 3u);
+  EXPECT_EQ(fp.ledger()[2].consultation, 5u);
+}
+
 TEST(FaultPlane, CorruptWordFlipsExactlyOneBit) {
   fault::FaultPlane fp(77);
   for (int i = 0; i < 50; ++i) {
@@ -559,6 +614,65 @@ TEST(Arq, BacksOffAndDrainsAgainstRateLimitedPeer) {
 }
 
 // ------------------------------------------------- The acceptance soak
+
+TEST(Arq, ResyncSurvivesForceResetRacingRetransmitTimer) {
+  // Deterministic reproduction of the nastiest recovery interleaving: the
+  // sender's transmit firmware wedges with ARQ frames unacked (so a
+  // retransmit timer is in flight), the watchdog force-resets the adaptor
+  // under that timer, and the session must resynchronize — re-posting the
+  // window through the reborn adaptor — without ever delivering a
+  // duplicate or reordering, and without the pending timer double-sending.
+  FaultNet net(/*faults_on_b=*/false, /*a_cell_loss=*/0.0,
+               /*faults_on_a=*/true);
+  net.fp.arm(fault::Point::kBoardTxStall, {.probability = 0.0,
+                                           .after = 25,
+                                           .budget = 1});
+  net.tb.a.start_watchdog(sim::ms(1), sim::ms(2), /*until=*/sim::sec(5));
+
+  proto::ArqConfig ac;
+  ac.window = 8;
+  ac.rto = sim::us(500);  // shorter than the watchdog rescue: the timer
+  ac.max_rto = sim::ms(4);  // fires into the wedge before the reset lands
+  ac.max_retries = 20;
+  proto::ArqEndpoint arq_a(net.tb.a.eng, *net.sa, net.tb.a.kernel_space,
+                           net.tb.a.cpu, net.tb.a.cfg.machine, ac);
+  proto::ArqEndpoint arq_b(net.tb.b.eng, *net.sb, net.tb.b.kernel_space,
+                           net.tb.b.cpu, net.tb.b.cfg.machine, ac);
+  arq_a.bind(net.vci);
+  arq_b.bind(net.vci);
+
+  constexpr std::uint32_t kMessages = 30;
+  constexpr std::size_t kBytes = 200;
+  std::uint32_t delivered = 0;
+  std::uint64_t order_errors = 0, payload_errors = 0;
+  arq_b.set_sink([&](sim::Tick, std::uint16_t,
+                     std::vector<std::uint8_t>&& data) {
+    if (data.size() != kBytes || tag_of(data) != delivered) ++order_errors;
+    if (data != tagged(kBytes, tag_of(data))) ++payload_errors;
+    ++delivered;
+  });
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    net.tb.a.eng.schedule_at(
+        static_cast<sim::Tick>(i) * sim::us(100), [&net, &arq_a, i] {
+          arq_a.send(net.tb.a.eng.now(), net.vci, tagged(kBytes, i));
+        });
+  }
+  net.tb.run();
+
+  // The wedge bit, the watchdog rescued it, and the session resynced.
+  EXPECT_EQ(net.fp.fired(fault::Point::kBoardTxStall), 1u);
+  EXPECT_GE(net.tb.a.driver.watchdog_resets(), 1u);
+  EXPECT_GE(arq_a.resyncs(), 1u);
+  EXPECT_GT(arq_a.retransmissions(), 0u);
+
+  // Exactly-once, in-order, byte-exact — and prompt convergence: the
+  // sender is idle, not wedged behind a dead timer or a stale window.
+  EXPECT_EQ(delivered, kMessages);
+  EXPECT_EQ(order_errors, 0u);
+  EXPECT_EQ(payload_errors, 0u);
+  EXPECT_TRUE(arq_a.idle());
+  EXPECT_FALSE(arq_a.dead(net.vci));
+}
 
 TEST(FaultSoak, MultiLayerFaultScheduleSurvives) {
   // 5000 ARQ messages through 1% cell loss, probabilistic DMA errors on
