@@ -35,7 +35,7 @@ double rtt_kernel(bool alpha, std::uint32_t bytes, int extra_crossings) {
              alpha ? make_3000_600_config() : make_5000_200_config());
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(sc);
   auto sb = tb.b.make_stack(sc);
   const auto data = payload(bytes);

@@ -67,9 +67,9 @@ ScenarioResult run_scenario(bool with_adversary) {
     const auto vci = static_cast<std::uint16_t>(900 + pair);
     Tenant t;
     t.tx = std::make_unique<adc::Adc>(deps_of(tb.a), pair,
-                                      std::vector<std::uint16_t>{vci}, 1, sc);
+                                      std::vector<atm::Vci>{vci}, 1, sc);
     t.rx = std::make_unique<adc::Adc>(deps_of(tb.b), pair,
-                                      std::vector<std::uint16_t>{vci}, 1, sc);
+                                      std::vector<atm::Vci>{vci}, 1, sc);
     tenants.emplace(pair, std::move(t));
   }
   for (auto& [pair, t] : tenants) {
@@ -94,7 +94,7 @@ ScenarioResult run_scenario(bool with_adversary) {
   if (with_adversary) {
     adversary.arm(fault::Point::kAdcGarbageDescriptor, {1.0, 0, ~0ull});
     attacker = std::make_unique<adc::Adc>(deps_of(tb.a), 3,
-                                          std::vector<std::uint16_t>{910},
+                                          std::vector<atm::Vci>{910},
                                           /*priority=*/3, sc);
     attacker->set_fault_plane(&adversary);
     adc::AdcSupervisor::Budget tight;

@@ -43,7 +43,7 @@ void arq_loss_row(double loss, benchjson::Writer& json) {
   // the pool runs dry and the link collapses (the cliff this table would
   // otherwise show at 2%).
   tb.b.start_watchdog(sim::ms(1), sim::ms(5), /*until=*/sim::sec(1));
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = true;
   auto sa = tb.a.make_stack(sc);

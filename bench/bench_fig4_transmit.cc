@@ -24,7 +24,7 @@ struct RunOut {
 RunOut run(std::uint32_t msg_bytes, bool alpha_sender, bool cksum) {
   Testbed tb(alpha_sender ? make_3000_600_config() : make_5000_200_config(),
              make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = cksum;
   auto sa = tb.a.make_stack(sc);

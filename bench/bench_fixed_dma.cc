@@ -28,7 +28,7 @@ Result run(bool fixed, std::uint32_t msg_bytes, std::uint32_t offset) {
   NodeConfig ca = make_3000_600_config();
   ca.board.fixed_length_dma_tx = fixed;
   Testbed tb(std::move(ca), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = true;
   auto sa = tb.a.make_stack(sc);

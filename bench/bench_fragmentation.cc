@@ -23,7 +23,7 @@ struct Result {
 
 Result run(std::uint32_t msg_bytes, std::uint32_t mtu, std::uint32_t align_off) {
   Testbed tb(make_5000_200_config(), make_5000_200_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.ip_mtu = mtu;
   auto sa = tb.a.make_stack(sc);

@@ -58,7 +58,7 @@ int main() {
   std::puts("interrupts only when a full queue drains to half empty.");
   {
     Testbed tb(make_3000_600_config(), make_3000_600_config());
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     auto sa = tb.a.make_stack(proto::StackConfig{});
     auto sb = tb.b.make_stack(proto::StackConfig{});
     tb.a.intc.reset_stats();

@@ -45,7 +45,7 @@ struct RunOut {
 };
 
 std::uint64_t node_receive_setup(Node& n, proto::ProtoStack& stack,
-                                 std::uint16_t vci,
+                                 atm::Vci vci,
                                  const proto::StackConfig& sc,
                                  std::uint64_t* delivered) {
   n.map_kernel_vci(vci);
@@ -76,7 +76,7 @@ RunOut run_workload(int threads) {
   tb.run();
 
   // Phase 2: cross-partition traffic over the striped links.
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   const harness::LatencyResult lat = harness::ping_pong(tb, *sa, *sb, vci,
                                                         1024, 50);
 

@@ -96,9 +96,9 @@ RunResult run_incast(double multiplier, const std::vector<std::uint32_t>& weight
     const auto vci = static_cast<std::uint16_t>(900 + pair);
     Tenant t;
     t.tx = std::make_unique<adc::Adc>(deps_of(tb.a), pair,
-                                      std::vector<std::uint16_t>{vci}, 1, sc);
+                                      std::vector<atm::Vci>{vci}, 1, sc);
     t.rx = std::make_unique<adc::Adc>(deps_of(tb.b), pair,
-                                      std::vector<std::uint16_t>{vci}, 1, sc);
+                                      std::vector<atm::Vci>{vci}, 1, sc);
     tb.a.txp.set_queue_weight(pair, weights[static_cast<std::size_t>(pair - 1)]);
     spans_b.enable_vci(vci);
     t.tx->driver().set_spans(&spans_a, /*tx_channel=*/pair);

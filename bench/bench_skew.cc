@@ -30,7 +30,7 @@ Result run(const char* strategy, double skew_us) {
   cb.board.reassembly = strategy;
   ca.link = link::skewed_config(skew_us, 101);
   Testbed tb(std::move(ca), std::move(cb));
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
 

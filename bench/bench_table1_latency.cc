@@ -25,7 +25,7 @@ struct RunOut {
 RunOut rtt(bool alpha, bool udp, std::uint32_t bytes, int threads) {
   Testbed tb(alpha ? make_3000_600_config() : make_5000_200_config(),
              alpha ? make_3000_600_config() : make_5000_200_config(), threads);
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.mode = udp ? proto::StackMode::kUdpIp : proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);
@@ -46,7 +46,7 @@ std::uint64_t span_run(benchjson::Writer& w, int threads) {
   ca.spans = &spans_a;
   cb.spans = &spans_b;
   Testbed tb(ca, cb, threads);
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);

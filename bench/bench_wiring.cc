@@ -20,7 +20,7 @@ double send_latency_us(bool alpha, mem::WiringMode mode, std::uint32_t bytes) {
   cfg.driver.wiring = mode;
   Testbed tb(std::move(cfg),
              alpha ? make_3000_600_config() : make_5000_200_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   sb->set_sink([](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {});
@@ -35,7 +35,7 @@ double tx_mbps(bool alpha, mem::WiringMode mode) {
   NodeConfig cfg = alpha ? make_3000_600_config() : make_5000_200_config();
   cfg.driver.wiring = mode;
   Testbed tb(std::move(cfg), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   return harness::transmit_throughput(tb, tb.a, *sa, *sb, vci, 64 * 1024, 20)

@@ -19,10 +19,11 @@ echo "== bench smoke (machine-readable output) =="
   && ./bench_adc_isolation >/dev/null \
   && ./bench_qos >/dev/null \
   && ./bench_chaos >/dev/null \
-  && ./bench_parallel >/dev/null )
+  && ./bench_parallel >/dev/null \
+  && ./bench_demux >/dev/null )
 for f in build/bench/BENCH_fault.json build/bench/BENCH_adc_isolation.json \
          build/bench/BENCH_qos.json build/bench/BENCH_chaos.json \
-         build/bench/BENCH_parallel.json; do
+         build/bench/BENCH_parallel.json build/bench/BENCH_demux.json; do
   [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
 done
 
@@ -46,9 +47,10 @@ echo "== perf trend table + per-bench floors =="
 # events_per_sec, threads) into one table so throughput trajectories across
 # benches — serial and parallel — are visible in a single CI artifact.
 # --floors then gates on bench/floors.tsv: engine events/sec (perf floor,
-# skipped under OSIRIS_SANITIZE) plus the QoS quality floors — 10x-incast
-# Jain fairness and aggregate-goodput retention — which apply to every
-# build flavor.  --html renders the accumulated history as a self-contained
+# skipped under OSIRIS_SANITIZE), the demux flow-table gates (single-probe
+# speedup floor plus ns/cell and flatness ceilings), and the QoS quality
+# floors — 10x-incast Jain fairness and aggregate-goodput retention —
+# which apply to every build flavor.  --html renders the accumulated history as a self-contained
 # SVG dashboard artifact; it never affects gating.
 python3 tools/bench_trend.py build/bench --append build/bench_trend.tsv \
   --html build/bench_trend.html --floors bench/floors.tsv

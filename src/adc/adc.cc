@@ -4,7 +4,7 @@
 
 namespace osiris::adc {
 
-Adc::Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
+Adc::Adc(const Deps& d, int pair_index, std::vector<atm::Vci> vcis,
          int priority, proto::StackConfig stack_cfg)
     : pair_(pair_index),
       vcis_(std::move(vcis)),
@@ -59,7 +59,7 @@ Adc::Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
   d.txp.add_queue(pair_index, lay.tx, priority, auth, vcis_);
   const int free_id = d.rxp.add_free_source(lay.free, auth, pair_index);
   const int recv_idx = d.rxp.add_recv_channel(lay.recv, pair_index);
-  for (const std::uint16_t vci : vcis_) {
+  for (const atm::Vci vci : vcis_) {
     d.rxp.map_vci(vci, free_id, -1, recv_idx);
   }
 
@@ -80,7 +80,7 @@ void Adc::close() {
   // dpram pages and addresses first, then unhook the host-side handlers,
   // then release memory — the firmware must never DMA into freed frames.
   txp_->remove_queue(pair_);
-  for (const std::uint16_t vci : vcis_) rxp_->unmap_vci(vci);
+  for (const atm::Vci vci : vcis_) rxp_->unmap_vci(vci);
   rxp_->remove_channel(pair_);
   if (irq_token_ >= 0) {
     intc_->remove_handler(irq_token_);
@@ -97,7 +97,7 @@ void Adc::set_fault_plane(fault::FaultPlane* f) {
   driver_->set_tenant_fault_plane(f);
 }
 
-sim::Tick Adc::send(sim::Tick at, std::uint16_t vci, const proto::Message& m) {
+sim::Tick Adc::send(sim::Tick at, atm::Vci vci, const proto::Message& m) {
   if (dead_ || closed_) return at;
   if (fault::fires(tenant_faults_, fault::Point::kAdcGarbageDescriptor)) {
     // The application forges a descriptor on its mapped transmit page
@@ -118,7 +118,7 @@ sim::Tick Adc::send(sim::Tick at, std::uint16_t vci, const proto::Message& m) {
       case 2:  // VCI the channel doesn't own
         g.addr = 0x1000;
         g.len = 64;
-        g.vci = static_cast<std::uint16_t>(vci + 0x55);
+        g.vci = (vci + 0x55) & atm::kMaxVci;
         break;
       default:  // page outside the authorized list (beyond physical memory)
         g.addr = 0xFFFF0000u;

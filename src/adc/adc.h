@@ -65,7 +65,7 @@ class Adc {
   /// transmit priority. Registers the queues with both board processors,
   /// guarded by this ADC's page-authorization predicate; the board also
   /// enforces the VCI list on transmit.
-  Adc(const Deps& d, int pair_index, std::vector<std::uint16_t> vcis,
+  Adc(const Deps& d, int pair_index, std::vector<atm::Vci> vcis,
       int priority, proto::StackConfig stack_cfg);
 
   /// Closes the channel if close() hasn't run yet.
@@ -87,7 +87,7 @@ class Adc {
   [[nodiscard]] mem::AddressSpace& space() { return *space_; }
   [[nodiscard]] proto::ProtoStack& stack() { return *stack_; }
   [[nodiscard]] host::OsirisDriver& driver() { return *driver_; }
-  [[nodiscard]] const std::vector<std::uint16_t>& vcis() const { return vcis_; }
+  [[nodiscard]] const std::vector<atm::Vci>& vcis() const { return vcis_; }
   [[nodiscard]] int pair() const { return pair_; }
 
   /// Grants DMA permission for the pages backing `bufs` (the OS does this
@@ -101,7 +101,7 @@ class Adc {
   /// misbehaviour surfaces: kAdcGarbageDescriptor posts a forged
   /// descriptor instead of the message; kAdcAppDeath posts a truncated
   /// chain (no EOP) and kills the application — subsequent sends no-op.
-  sim::Tick send(sim::Tick at, std::uint16_t vci, const proto::Message& m);
+  sim::Tick send(sim::Tick at, atm::Vci vci, const proto::Message& m);
 
   void set_sink(proto::ProtoStack::Sink s) { stack_->set_sink(std::move(s)); }
 
@@ -123,7 +123,7 @@ class Adc {
 
  private:
   int pair_;
-  std::vector<std::uint16_t> vcis_;
+  std::vector<atm::Vci> vcis_;
   std::unordered_set<std::uint32_t> auth_frames_;
   std::unique_ptr<mem::AddressSpace> space_;
   std::unique_ptr<host::OsirisDriver> driver_;

@@ -26,7 +26,7 @@ void AdcSupervisor::watch(Adc& a, Budget b) {
   ch.budget = b;
   ch.tx_bytes_base = txp_->channel_bytes(a.pair());
   ch.rx_bufs_base = rxp_->channel_buffers(a.pair());
-  channels_[a.pair()] = std::move(ch);
+  *channels_.insert(static_cast<std::uint32_t>(a.pair())).first = std::move(ch);
   // Push the QoS half of the budget down into the firmware. Weight and
   // rate limit key on the channel; the receive quota keys on each VCI the
   // tenant owns.
@@ -37,19 +37,21 @@ void AdcSupervisor::watch(Adc& a, Budget b) {
     txp_->set_rate_limit(a.pair(), b.tx_bytes_per_sec, burst);
   }
   if (b.rx_buffer_quota != 0) {
-    for (const std::uint16_t vci : a.vcis()) {
+    for (const atm::Vci vci : a.vcis()) {
       rxp_->set_vci_quota(vci, b.rx_buffer_quota);
     }
   }
 }
 
-void AdcSupervisor::unwatch(int pair_index) { channels_.erase(pair_index); }
+void AdcSupervisor::unwatch(int pair_index) {
+  channels_.erase(static_cast<std::uint32_t>(pair_index));
+}
 
 void AdcSupervisor::on_violation(board::Violation v, int channel) {
   ++seen_[static_cast<std::size_t>(v)];
-  const auto it = channels_.find(channel);
-  if (it == channels_.end()) return;  // kernel queue, or an unwatched pair
-  Channel& ch = it->second;
+  Channel* chp = channels_.find(static_cast<std::uint32_t>(channel));
+  if (chp == nullptr) return;  // kernel queue, or an unwatched pair
+  Channel& ch = *chp;
   ++ch.violations;
   sim::trace_event(trace_, eng_->now(), "sup", board::violation_name(v),
                    static_cast<std::uint64_t>(channel), ch.violations);
@@ -68,25 +70,25 @@ void AdcSupervisor::on_violation(board::Violation v, int channel) {
 }
 
 void AdcSupervisor::quarantine(int pair_index) {
-  const auto it = channels_.find(pair_index);
-  if (it == channels_.end() || it->second.quarantined) return;
-  Channel& ch = it->second;
+  Channel* chp = channels_.find(static_cast<std::uint32_t>(pair_index));
+  if (chp == nullptr || chp->quarantined) return;
+  Channel& ch = *chp;
   ch.quarantined = true;
   ++quarantines_;
   txp_->remove_queue(pair_index);
-  for (const std::uint16_t vci : ch.adc->vcis()) rxp_->quarantine_vci(vci);
+  for (const atm::Vci vci : ch.adc->vcis()) rxp_->quarantine_vci(vci);
   sim::trace_event(trace_, eng_->now(), "sup", "quarantine",
                    static_cast<std::uint64_t>(pair_index), ch.violations);
 }
 
 bool AdcSupervisor::quarantined(int pair_index) const {
-  const auto it = channels_.find(pair_index);
-  return it != channels_.end() && it->second.quarantined;
+  const Channel* ch = channels_.find(static_cast<std::uint32_t>(pair_index));
+  return ch != nullptr && ch->quarantined;
 }
 
 std::uint64_t AdcSupervisor::violations(int pair_index) const {
-  const auto it = channels_.find(pair_index);
-  return it == channels_.end() ? 0 : it->second.violations;
+  const Channel* ch = channels_.find(static_cast<std::uint32_t>(pair_index));
+  return ch == nullptr ? 0 : ch->violations;
 }
 
 void AdcSupervisor::start(sim::Duration period, sim::Tick until) {
@@ -106,8 +108,9 @@ void AdcSupervisor::poll() {
     polling_ = false;
     return;
   }
-  for (auto& [pair, ch] : channels_) {
-    if (ch.quarantined) continue;
+  channels_.for_each([this](std::uint32_t key, Channel& ch) {
+    const int pair = static_cast<int>(key);
+    if (ch.quarantined) return;
     const std::uint64_t tx_now = txp_->channel_bytes(pair);
     const std::uint64_t rx_now = rxp_->channel_buffers(pair);
     const std::uint64_t tx_delta = tx_now - ch.tx_bytes_base;
@@ -122,7 +125,7 @@ void AdcSupervisor::poll() {
                        static_cast<std::uint64_t>(pair), tx_delta);
       quarantine(pair);
     }
-  }
+  });
   eng_->schedule(poll_period_, [this, alive = alive_] {
     if (*alive) poll();
   });

@@ -19,10 +19,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "adc/adc.h"
+#include "flow/table.h"
 #include "board/board.h"
 #include "board/rx.h"
 #include "board/tx.h"
@@ -101,7 +101,11 @@ class AdcSupervisor {
   board::TxProcessor* txp_;
   board::RxProcessor* rxp_;
   sim::Trace* trace_ = nullptr;
-  std::unordered_map<int, Channel> channels_;
+  // Watched channels keyed by pair index. Same cache-conscious flow table
+  // as the receive path's VCI state: the violation sink fires from inside
+  // firmware cell handling, so the lookup it does per violation should not
+  // chase tree or chain pointers.
+  flow::FlowTable<Channel> channels_;
   std::array<std::uint64_t, static_cast<std::size_t>(board::Violation::kCount)>
       seen_{};
   std::uint64_t quarantines_ = 0;

@@ -2,9 +2,10 @@
 
 namespace osiris::atm {
 
-std::array<std::uint8_t, 8> serialize_header(const Cell& c) {
+std::array<std::uint8_t, 9> serialize_header(const Cell& c) {
   return {
-      static_cast<std::uint8_t>(c.vci >> 8),
+      static_cast<std::uint8_t>((c.vci >> 16) & 0xFF),
+      static_cast<std::uint8_t>((c.vci >> 8) & 0xFF),
       static_cast<std::uint8_t>(c.vci & 0xFF),
       static_cast<std::uint8_t>(c.pdu_id >> 8),
       static_cast<std::uint8_t>(c.pdu_id & 0xFF),

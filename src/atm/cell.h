@@ -16,8 +16,41 @@
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 
 namespace osiris::atm {
+
+/// Virtual circuit identifier. Real ATM concatenates VPI (8 bits at the
+/// UNI) and VCI (16 bits) into a 24-bit demux key; we address the full
+/// 24-bit space end-to-end so a million-flow table is actually reachable.
+using Vci = std::uint32_t;
+
+/// Significant bits in a Vci. Values above kMaxVci are invalid on the wire.
+constexpr unsigned kVciBits = 24;
+constexpr Vci kMaxVci = (Vci{1} << kVciBits) - 1;
+
+/// Packs a VCI plus a per-VCI subkey (PDU id, tag, ...) into one uint64
+/// map key: vci in the top 24 bits, subkey in the low 40. The template
+/// static_asserts that the vci argument arrives as a type wide enough for
+/// 24 bits — so a call site still passing a uint16_t (the pre-widening
+/// key type, which would silently truncate the VPI byte) fails to compile.
+struct VciKey {
+  static constexpr unsigned kSubBits = 40;
+  static constexpr std::uint64_t kSubMask = (std::uint64_t{1} << kSubBits) - 1;
+
+  template <class V>
+  static constexpr std::uint64_t pack(V vci, std::uint64_t sub) {
+    static_assert(std::is_unsigned_v<V> && sizeof(V) * 8 >= kVciBits + 1,
+                  "vci argument would truncate a 24-bit VCI");
+    return (static_cast<std::uint64_t>(vci) << kSubBits) | (sub & kSubMask);
+  }
+  static constexpr Vci vci_of(std::uint64_t key) {
+    return static_cast<Vci>(key >> kSubBits);
+  }
+  static constexpr std::uint64_t sub_of(std::uint64_t key) {
+    return key & kSubMask;
+  }
+};
 
 /// Data bytes per cell (48-byte ATM payload minus 4 bytes AAL overhead).
 constexpr std::uint32_t kCellPayload = 44;
@@ -39,7 +72,7 @@ enum CellFlags : std::uint8_t {
 };
 
 struct Cell {
-  std::uint16_t vci = 0;
+  Vci vci = 0;  // 24 significant bits (VPI·VCI)
   std::uint16_t pdu_id = 0;  // per-VCI PDU identifier (strategy A)
   std::uint16_t seq = 0;     // cell index within the PDU (strategy A)
   std::uint8_t flags = 0;
@@ -60,7 +93,7 @@ struct Cell {
 };
 
 /// Serializes the header fields (excluding hec) for HEC computation.
-std::array<std::uint8_t, 8> serialize_header(const Cell& c);
+std::array<std::uint8_t, 9> serialize_header(const Cell& c);
 
 /// 8-bit header checksum (stand-in for ATM HEC). A cell whose header was
 /// corrupted in flight fails this check and is dropped by the receiver.

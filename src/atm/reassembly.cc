@@ -11,8 +11,8 @@ namespace osiris::atm {
 
 void SeqRouter::on_cell(int /*lane*/, const Cell& c, std::vector<Placement>& place,
                         std::vector<Completion>& done) {
-  auto [it, fresh] = pdus_.try_emplace(c.pdu_id);
-  Pdu& p = it->second;
+  auto [pp, fresh] = pdus_.emplace(c.pdu_id);
+  Pdu& p = *pp;
   if (fresh) {
     p.key = next_key_++;
   } else if (c.bom() && !p.have.empty() && p.have[0]) {
@@ -41,13 +41,13 @@ void SeqRouter::on_cell(int /*lane*/, const Cell& c, std::vector<Placement>& pla
 
   if (p.ncells != 0 && p.received == p.ncells) {
     done.push_back({p.key, p.wire_bytes});
-    pdus_.erase(it);
+    pdus_.erase(c.pdu_id);
   }
 }
 
 std::uint64_t SeqRouter::purge() {
   const auto n = static_cast<std::uint64_t>(pdus_.size());
-  for (const auto& [id, p] : pdus_) dropped_ += p.received;
+  pdus_.for_each([this](std::uint64_t, const Pdu& p) { dropped_ += p.received; });
   pdus_.clear();
   return n;
 }
@@ -69,11 +69,15 @@ std::uint64_t SeqRouter::purge() {
 //   ... with kFlagLaneEom:        ncells <= s+4 (no further cell on lane)
 //   ... without kFlagLaneEom:     ncells >= s+5 (another cell on this lane)
 
-QuadRouter::Pdu& QuadRouter::pdu_state(std::uint64_t idx) { return pdus_[idx]; }
+QuadRouter::Pdu& QuadRouter::pdu_state(std::uint64_t idx) {
+  // Indices only move forward; retired ones are never revisited.
+  while (idx - base_ >= ring_.size()) ring_.emplace_back();
+  return ring_[idx - base_];
+}
 
 std::size_t QuadRouter::inflight() const {
   std::size_t n = 0;
-  for (const auto& [idx, p] : pdus_) {
+  for (const Pdu& p : ring_) {
     if (!p.completed && p.received > 0) ++n;
   }
   return n;
@@ -124,15 +128,15 @@ void QuadRouter::place_cell(int lane, const Cell& c, std::uint64_t pdu_idx,
   }
 
   // Drop fully completed PDUs that no lane can still reference.
-  while (!pdus_.empty()) {
-    const auto it = pdus_.begin();
-    if (!it->second.completed) break;
+  while (!ring_.empty()) {
+    if (!ring_.front().completed) break;
     bool referenced = false;
     for (const Lane& ln : lanes_) {
-      if (ln.pdu <= it->first) referenced = true;
+      if (ln.pdu <= base_) referenced = true;
     }
     if (referenced) break;
-    pdus_.erase(it);
+    ring_.pop_front();
+    ++base_;
   }
 }
 
@@ -184,7 +188,7 @@ void QuadRouter::drain(std::vector<Placement>& place, std::vector<Completion>& d
 
 std::uint64_t QuadRouter::purge() {
   std::uint64_t abandoned = 0;
-  for (const auto& [idx, p] : pdus_) {
+  for (const Pdu& p : ring_) {
     if (!p.completed && p.received > 0) {
       ++abandoned;
       dropped_ += p.received;
@@ -194,7 +198,7 @@ std::uint64_t QuadRouter::purge() {
   // index must exceed any previously used one (placements are keyed by it).
   std::uint64_t next = 0;
   for (const Lane& l : lanes_) next = std::max(next, l.pdu);
-  if (!pdus_.empty()) next = std::max(next, pdus_.rbegin()->first);
+  if (!ring_.empty()) next = std::max(next, base_ + ring_.size() - 1);
   ++next;
   for (Lane& l : lanes_) {
     dropped_ += l.queue.size();
@@ -202,7 +206,8 @@ std::uint64_t QuadRouter::purge() {
     l.pdu = next;
     l.in_lane = 0;
   }
-  pdus_.clear();
+  ring_.clear();
+  base_ = next;
   return abandoned;
 }
 

@@ -28,11 +28,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "atm/cell.h"
+#include "flow/openmap.h"
 
 namespace osiris::atm {
 
@@ -98,7 +98,10 @@ class SeqRouter final : public CellRouter {
     std::vector<bool> have;
   };
 
-  std::map<std::uint16_t, Pdu> pdus_;  // active PDUs by 16-bit pdu_id
+  // Active PDUs by 16-bit pdu_id. A flat open-addressed table: the old
+  // std::map here was an ordered tree paying pointer chases per cell for
+  // an ordering nothing needed.
+  flow::OpenMap<Pdu> pdus_;
   std::uint64_t next_key_ = 0;
 };
 
@@ -137,7 +140,12 @@ class QuadRouter final : public CellRouter {
   /// Attempts to drain lane queues until no further attribution is possible.
   void drain(std::vector<Placement>& place, std::vector<Completion>& done);
 
-  std::map<std::uint64_t, Pdu> pdus_;
+  // PDU states live in a contiguous ring indexed by (idx - base_): PDU
+  // indices are dense and monotonically increasing (lanes advance by +1,
+  // purge jumps all lanes to one fresh index), and completed PDUs retire
+  // strictly from the front — exactly a ring, no ordered map needed.
+  std::deque<Pdu> ring_;
+  std::uint64_t base_ = 0;  // PDU index of ring_.front()
   Lane lanes_[kLanes];
 };
 

@@ -35,7 +35,7 @@ std::uint32_t cells_for(std::uint32_t pdu_len) {
   return (wire_len(pdu_len) + kCellPayload - 1) / kCellPayload;
 }
 
-Cell make_cell_header(std::uint16_t vci, std::uint16_t pdu_id, std::uint32_t seq,
+Cell make_cell_header(Vci vci, std::uint16_t pdu_id, std::uint32_t seq,
                       std::uint32_t ncells, std::uint32_t wire_bytes) {
   if (seq >= ncells) throw std::invalid_argument("make_cell_header: seq >= ncells");
   Cell c;
@@ -52,7 +52,7 @@ Cell make_cell_header(std::uint16_t vci, std::uint16_t pdu_id, std::uint32_t seq
   return c;
 }
 
-void segment_into(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+void segment_into(std::span<const std::uint8_t> pdu, Vci vci,
                   std::uint16_t pdu_id, std::vector<Cell>& out) {
   Trailer t;
   t.pdu_len = static_cast<std::uint32_t>(pdu.size());
@@ -83,7 +83,7 @@ void segment_into(std::span<const std::uint8_t> pdu, std::uint16_t vci,
   }
 }
 
-std::vector<Cell> segment(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+std::vector<Cell> segment(std::span<const std::uint8_t> pdu, Vci vci,
                           std::uint16_t pdu_id) {
   std::vector<Cell> out;
   segment_into(pdu, vci, pdu_id, out);

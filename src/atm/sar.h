@@ -44,21 +44,21 @@ constexpr std::uint32_t wire_len(std::uint32_t pdu_len) {
 /// Fills in the header of cell `seq` of a PDU with `ncells` cells total:
 /// sequence number, flags (BOM / per-lane EOM / last-cell), and payload
 /// length for the given wire length. Payload bytes are NOT filled.
-Cell make_cell_header(std::uint16_t vci, std::uint16_t pdu_id, std::uint32_t seq,
+Cell make_cell_header(Vci vci, std::uint16_t pdu_id, std::uint32_t seq,
                       std::uint32_t ncells, std::uint32_t wire_bytes);
 
 /// Reference segmenter: turns a user PDU into the full cell train,
 /// computing the CRC-32 and appending the trailer. The board's transmit
 /// firmware produces an identical train incrementally via DMA; tests
 /// compare the two.
-std::vector<Cell> segment(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+std::vector<Cell> segment(std::span<const std::uint8_t> pdu, Vci vci,
                           std::uint16_t pdu_id);
 
 /// Allocation-free variant of segment(): fills `out` (cleared first) so a
 /// hot caller can reuse one vector across PDUs. Cell payloads are written
 /// straight from `pdu` plus the trailer tail — no staging copy of the wire
 /// stream is made.
-void segment_into(std::span<const std::uint8_t> pdu, std::uint16_t vci,
+void segment_into(std::span<const std::uint8_t> pdu, Vci vci,
                   std::uint16_t pdu_id, std::vector<Cell>& out);
 
 /// Reference assembler: collects cells (any order, identified by seq),

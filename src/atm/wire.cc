@@ -47,11 +47,15 @@ WireCell encode_cell(const Cell& c) {
   if (c.len == 0 || c.len > kCellPayload) {
     throw std::invalid_argument("encode_cell: bad payload length");
   }
+  if (c.vci > kMaxVci) {
+    throw std::invalid_argument("encode_cell: vci exceeds 24-bit wire field");
+  }
 
   WireCell w{};
-  // ATM header: GFC=0, VPI=0, 16-bit VCI, PTI = flag bits, CLP=0.
-  w[0] = 0;
-  w[1] = static_cast<std::uint8_t>((c.vci >> 12) & 0x0F);
+  // ATM UNI header: GFC=0, then the 24-bit VPI·VCI concatenation spanning
+  // bytes 0..3, PTI = flag bits, CLP=0.
+  w[0] = static_cast<std::uint8_t>((c.vci >> 20) & 0x0F);
+  w[1] = static_cast<std::uint8_t>((c.vci >> 12) & 0xFF);
   w[2] = static_cast<std::uint8_t>((c.vci >> 4) & 0xFF);
   std::uint8_t pti = 0;
   if (c.bom()) pti |= kPtiBom;
@@ -77,8 +81,9 @@ std::optional<Cell> decode_cell(const WireCell& w) {
   if (hec8(w.data()) != w[4]) return std::nullopt;
 
   Cell c;
-  c.vci = static_cast<std::uint16_t>(((w[1] & 0x0F) << 12) | (w[2] << 4) |
-                                     ((w[3] >> 4) & 0x0F));
+  c.vci = (static_cast<Vci>(w[0] & 0x0F) << 20) |
+          (static_cast<Vci>(w[1]) << 12) | (static_cast<Vci>(w[2]) << 4) |
+          ((w[3] >> 4) & 0x0F);
   const std::uint8_t pti = static_cast<std::uint8_t>((w[3] >> 1) & 0x07);
   c.flags = 0;
   if ((pti & kPtiBom) != 0) c.flags |= kFlagBom;

@@ -32,26 +32,41 @@ int RxProcessor::add_recv_channel(const dpram::QueueLayout& lay, int channel_id)
   return static_cast<int>(recv_channels_.size()) - 1;
 }
 
-void RxProcessor::set_vci_quota(std::uint16_t vci, std::uint32_t max_buffers) {
-  if (max_buffers == 0) {
-    vci_quota_.erase(vci);
-  } else {
-    vci_quota_[vci] = max_buffers;
+RxProcessor::VciState& RxProcessor::state_insert(atm::Vci vci) {
+  return *flows_.insert(vci).first;
+}
+
+void RxProcessor::maybe_release(atm::Vci vci, VciState& st) {
+  if (st.flags == 0 && st.quota == 0 && st.held == 0 && st.router == nullptr) {
+    flows_.erase(vci);
   }
 }
 
-std::uint32_t RxProcessor::quota_for(std::uint16_t vci) const {
-  const auto it = vci_quota_.find(vci);
-  return it != vci_quota_.end() ? it->second : cfg_.rx_vci_buffer_quota;
+void RxProcessor::set_vci_quota(atm::Vci vci, std::uint32_t max_buffers) {
+  if (max_buffers == 0) {
+    VciState* st = flows_.find(vci);
+    if (st != nullptr) {
+      st->quota = 0;
+      maybe_release(vci, *st);
+    }
+  } else {
+    state_insert(vci).quota = max_buffers;
+  }
 }
 
-void RxProcessor::release_quota(std::uint16_t vci, std::size_t held) {
+std::uint32_t RxProcessor::quota_for(atm::Vci vci) const {
+  const VciState* st = flows_.find(vci);
+  return st != nullptr && st->quota != 0 ? st->quota
+                                         : cfg_.rx_vci_buffer_quota;
+}
+
+void RxProcessor::release_quota(atm::Vci vci, std::size_t held) {
   if (held == 0) return;
-  const auto it = vci_held_.find(vci);
-  if (it == vci_held_.end()) return;
-  it->second -= std::min<std::uint32_t>(it->second,
-                                        static_cast<std::uint32_t>(held));
-  if (it->second == 0) vci_held_.erase(it);
+  VciState* st = flows_.find(vci);
+  if (st == nullptr) return;
+  st->held -= std::min<std::uint32_t>(st->held,
+                                      static_cast<std::uint32_t>(held));
+  if (st->held == 0) maybe_release(vci, *st);
 }
 
 void RxProcessor::abort_pdu_buffers(std::uint64_t key, RxPdu& p) {
@@ -60,9 +75,7 @@ void RxProcessor::abort_pdu_buffers(std::uint64_t key, RxPdu& p) {
   // recycles (together with any partial accumulation under the same tag)
   // instead of delivering. Without this, drops under sustained overload
   // would pin the receive pool in dead reassemblies.
-  const std::uint16_t vci = key_vci_.count(key) != 0
-                                ? key_vci_[key]
-                                : static_cast<std::uint16_t>(key >> 48);
+  const atm::Vci vci = atm::VciKey::vci_of(key);
   const sim::Tick now = eng_->now();
   for (std::uint32_t i = p.next_push;
        i < static_cast<std::uint32_t>(p.bufs.size()); ++i) {
@@ -81,21 +94,16 @@ void RxProcessor::remove_channel(int channel_id) {
     // Discard reassembly state headed for the dead channel; its buffers
     // belong to an address space being torn down, not to the free pool.
     if (pending_.valid) {
-      const auto it = pdus_.find(pending_.key);
-      if (it != pdus_.end() &&
-          it->second.recv_idx == static_cast<int>(i)) {
+      const RxPdu* p = pdus_.find(pending_.key);
+      if (p != nullptr && p->recv_idx == static_cast<int>(i)) {
         pending_.valid = false;
       }
     }
-    for (auto it = pdus_.begin(); it != pdus_.end();) {
-      if (it->second.recv_idx == static_cast<int>(i)) {
-        release_quota(it->second.vci, it->second.bufs.size());
-        key_vci_.erase(it->first);
-        it = pdus_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    pdus_.erase_if([this, i](std::uint64_t, RxPdu& p) {
+      if (p.recv_idx != static_cast<int>(i)) return false;
+      release_quota(p.vci, p.bufs.size());
+      return true;
+    });
     sim::trace_event(trace_, eng_->now(), "rx", "channel_detach",
                      static_cast<std::uint64_t>(channel_id), i);
   }
@@ -116,48 +124,48 @@ std::uint64_t RxProcessor::channel_buffers(int channel_id) const {
   return n;
 }
 
-void RxProcessor::quarantine_vci(std::uint16_t vci) {
-  quarantined_.insert(vci);
-  routers_.erase(vci);
-  if (pending_.valid &&
-      static_cast<std::uint16_t>(pending_.key >> 48) == vci) {
+void RxProcessor::quarantine_vci(atm::Vci vci) {
+  VciState& st = state_insert(vci);
+  st.flags |= VciState::kQuarantined;
+  st.router.reset();
+  if (pending_.valid && atm::VciKey::vci_of(pending_.key) == vci) {
     pending_.valid = false;
   }
-  for (auto it = pdus_.begin(); it != pdus_.end();) {
-    if (static_cast<std::uint16_t>(it->first >> 48) == vci) {
-      // Quarantine revokes the tenant's reach, not its memory: buffers its
-      // half-built PDUs hold go back through the (still attached) receive
-      // queue as aborted descriptors for the driver to recycle.
-      abort_pdu_buffers(it->first, it->second);
-      release_quota(it->second.vci, it->second.bufs.size());
-      key_vci_.erase(it->first);
-      it = pdus_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  pdus_.erase_if([this, vci](std::uint64_t key, RxPdu& p) {
+    if (atm::VciKey::vci_of(key) != vci) return false;
+    // Quarantine revokes the tenant's reach, not its memory: buffers its
+    // half-built PDUs hold go back through the (still attached) receive
+    // queue as aborted descriptors for the driver to recycle.
+    abort_pdu_buffers(key, p);
+    release_quota(p.vci, p.bufs.size());
+    return true;
+  });
   sim::trace_event(trace_, eng_->now(), "rx", "vci_quarantine", vci, 0);
 }
 
-void RxProcessor::map_vci(std::uint16_t vci, int free_id, int fallback_free_id,
+void RxProcessor::map_vci(atm::Vci vci, int free_id, int fallback_free_id,
                           int recv_idx) {
+  VciState& st = state_insert(vci);
   // A fresh kernel-established mapping lifts any quarantine left from a
   // previous owner of the VCI.
-  quarantined_.erase(vci);
-  vci_map_[vci] = VciMap{free_id, fallback_free_id, recv_idx};
+  st.flags = (st.flags | VciState::kMapped) &
+             ~static_cast<std::uint32_t>(VciState::kQuarantined);
+  st.free_id = free_id;
+  st.fallback = fallback_free_id;
+  st.recv_idx = recv_idx;
 }
 
-void RxProcessor::unmap_vci(std::uint16_t vci) {
-  vci_map_.erase(vci);
-  routers_.erase(vci);
+void RxProcessor::unmap_vci(atm::Vci vci) {
+  VciState* st = flows_.find(vci);
+  if (st == nullptr) return;
+  st->flags &= ~static_cast<std::uint32_t>(VciState::kMapped);
+  st->router.reset();
+  maybe_release(vci, *st);
 }
 
-atm::CellRouter& RxProcessor::router_for(std::uint16_t vci) {
-  auto it = routers_.find(vci);
-  if (it == routers_.end()) {
-    it = routers_.emplace(vci, atm::make_router(cfg_.reassembly.c_str())).first;
-  }
-  return *it->second;
+atm::CellRouter& RxProcessor::router_for(VciState& st) {
+  if (st.router == nullptr) st.router = atm::make_router(cfg_.reassembly.c_str());
+  return *st.router;
 }
 
 std::size_t RxProcessor::fifo_occupancy() {
@@ -184,15 +192,19 @@ void RxProcessor::reset() {
   ++epoch_;
   stalled_ = false;
   pdus_.clear();
-  key_vci_.clear();
-  routers_.clear();
   pending_.valid = false;
   pending_.bytes.clear();
   open_batch_ = kNoBatch;  // pre-reset batches die at the epoch check
   eng_->cancel(flush_timer_);
   inflight_.clear();
   gen_active_ = false;
-  vci_held_.clear();
+  // Reassembly and held-buffer state die with the reset; mappings, quota
+  // overrides and quarantine flags are host-side policy and survive.
+  flows_.for_each([this](std::uint32_t vci, VciState& st) {
+    st.held = 0;
+    st.router.reset();
+    maybe_release(vci, st);
+  });
   // reset_all, not reset: a stale head word published by a channel driver
   // the firmware cannot see would make the reborn board DMA into free
   // buffers whose owners no longer expect them.
@@ -264,14 +276,17 @@ void RxProcessor::on_cell(int lane, const atm::Cell& c) {
 }
 
 void RxProcessor::accept_cell(int lane, const atm::Cell& c) {
+  // Early demultiplexing (§3.1): ONE flow-table probe yields everything
+  // the cell path needs — quarantine bit, mapping, and the router.
+  VciState* st = flows_.find(c.vci);
   // Quarantined VCI (§3.2 hardening): the supervisor cut this tenant off;
   // its traffic is dropped with attribution, before any buffer is spent.
-  if (quarantined_.contains(c.vci)) {
+  if (st != nullptr && st->quarantined()) {
     ++quarantine_drops_;
     return;
   }
   // Unmapped VCI: no reassembly state, no host buffers — drop.
-  if (!vci_map_.contains(c.vci)) {
+  if (st == nullptr || !st->mapped()) {
     ++cells_bad_header_;
     return;
   }
@@ -284,28 +299,33 @@ void RxProcessor::accept_cell(int lane, const atm::Cell& c) {
   }
   std::vector<atm::Placement> places;
   std::vector<atm::Completion> dones;
-  router_for(c.vci).on_cell(lane, c, places, dones);
+  // The router object is heap-owned, so this reference stays valid even
+  // if flow-table inserts below move the VciState slab.
+  router_for(*st).on_cell(lane, c, places, dones);
   for (const auto& pl : places) handle_placement(c.vci, pl);
   for (const auto& dn : dones) handle_completion(c.vci, dn);
 }
 
-RxProcessor::RxPdu* RxProcessor::pdu_for(std::uint16_t vci, std::uint64_t pdu,
+RxProcessor::RxPdu* RxProcessor::pdu_for(atm::Vci vci, std::uint64_t pdu,
                                          std::uint64_t* key_out) {
   const std::uint64_t key = pdu_map_key(vci, pdu);
   if (key_out != nullptr) *key_out = key;
-  auto it = pdus_.find(key);
-  if (it == pdus_.end()) {
-    const auto& vm = vci_map_.at(vci);
-    RxPdu p;
-    p.recv_idx = vm.recv_idx;
-    p.free_id = vm.free_id;
-    p.fallback = vm.fallback;
-    p.vci = vci;
-    p.started = eng_->now();
-    it = pdus_.emplace(key, std::move(p)).first;
-    key_vci_[key] = vci;
+  auto [p, fresh] = pdus_.emplace(key);
+  if (fresh) {
+    const VciState* st = flows_.find(vci);
+    if (st == nullptr || !st->mapped()) {
+      // The VCI was unmapped while this payload sat in the combine window;
+      // there is nowhere to deliver, so the late cell is dropped.
+      pdus_.erase(key);
+      return nullptr;
+    }
+    p->recv_idx = st->recv_idx;
+    p->free_id = st->free_id;
+    p->fallback = st->fallback;
+    p->vci = vci;
+    p->started = eng_->now();
   }
-  return &it->second;
+  return p;
 }
 
 bool RxProcessor::ensure_capacity(RxPdu& p, std::uint64_t need) {
@@ -388,7 +408,7 @@ bool RxProcessor::ensure_capacity(RxPdu& p, std::uint64_t need) {
     i960_.reserve(cfg_.fw_rx_per_dma);  // free-queue pop firmware cost
     p.bufs.push_back(PduBuf{d->addr, d->len, 0, d->user, false});
     p.alloc_cap += d->len;
-    ++vci_held_[p.vci];
+    ++state_insert(p.vci).held;
   }
   return true;
 }
@@ -400,16 +420,16 @@ bool RxProcessor::evict_incomplete(RxPdu& keep) {
   // host round-trip. Ties break on the key for deterministic replay.
   std::uint64_t victim_key = 0;
   RxPdu* victim = nullptr;
-  for (auto& [key, p] : pdus_) {
-    if (&p == &keep || p.complete || p.dropped) continue;
-    if (p.free_id != keep.free_id) continue;
-    if (p.next_push != 0 || p.bufs.empty()) continue;
+  pdus_.for_each([&](std::uint64_t key, RxPdu& p) {
+    if (&p == &keep || p.complete || p.dropped) return;
+    if (p.free_id != keep.free_id) return;
+    if (p.next_push != 0 || p.bufs.empty()) return;
     if (victim == nullptr || p.started < victim->started ||
         (p.started == victim->started && key < victim_key)) {
       victim = &p;
       victim_key = key;
     }
-  }
+  });
   if (victim == nullptr) return false;
   // The buffers may be partially written; they are fully reused, so stale
   // bytes are either overwritten or never delivered (filled counts reset).
@@ -419,17 +439,16 @@ bool RxProcessor::evict_incomplete(RxPdu& keep) {
   }
   const std::size_t moved = victim->bufs.size();
   release_quota(victim->vci, moved);
-  vci_held_[keep.vci] += static_cast<std::uint32_t>(moved);
+  state_insert(keep.vci).held += static_cast<std::uint32_t>(moved);
   if (pending_.valid && pending_.key == victim_key) pending_.valid = false;
   ++pdus_evicted_;
   sim::trace_event(trace_, eng_->now(), "rx", "evict_incomplete", victim->vci,
                    moved);
-  key_vci_.erase(victim_key);
   pdus_.erase(victim_key);
   return true;
 }
 
-void RxProcessor::handle_placement(std::uint16_t vci, const atm::Placement& pl) {
+void RxProcessor::handle_placement(atm::Vci vci, const atm::Placement& pl) {
   const std::uint64_t key = pdu_map_key(vci, pl.pdu);
 
   // Try to combine with the pending payload (§2.5.1): contiguous offsets
@@ -478,10 +497,10 @@ void RxProcessor::flush_pending() {
   pending_.valid = false;
   eng_->cancel(flush_timer_);
   // Create or find the PDU's reassembly state (key encodes the VCI).
-  const auto vci = static_cast<std::uint16_t>(pending_.key >> 48);
-  const std::uint64_t local = pending_.key & 0xFFFFFFFFFFFFull;
+  const atm::Vci vci = atm::VciKey::vci_of(pending_.key);
+  const std::uint64_t local = atm::VciKey::sub_of(pending_.key);
   RxPdu* p = pdu_for(vci, local, nullptr);
-  if (p->dropped) return;
+  if (p == nullptr || p->dropped) return;
   if (p->t_origin == 0) p->t_origin = pending_.t_origin;
   issue_dma(*p, pending_.offset, pending_.bytes);
   if (!p->dropped) try_push(pending_.key, *p);
@@ -552,19 +571,18 @@ void RxProcessor::issue_dma(RxPdu& p, std::uint32_t offset,
   p.last_dma = std::max(p.last_dma, t);
 }
 
-void RxProcessor::handle_completion(std::uint16_t vci, const atm::Completion& c) {
+void RxProcessor::handle_completion(atm::Vci vci, const atm::Completion& c) {
   const std::uint64_t key = pdu_map_key(vci, c.pdu);
   if (pending_.valid && pending_.key == key) flush_pending();
-  const auto it = pdus_.find(key);
-  if (it == pdus_.end()) return;
-  RxPdu& p = it->second;
+  RxPdu* pp = pdus_.find(key);
+  if (pp == nullptr) return;
+  RxPdu& p = *pp;
   if (p.dropped) {
     // The drop decision came mid-PDU: buffers it already held go back to
     // the host as aborted descriptors, not into oblivion.
     abort_pdu_buffers(key, p);
     release_quota(p.vci, p.bufs.size());
-    pdus_.erase(it);
-    key_vci_.erase(key);
+    pdus_.erase(key);
     return;
   }
   p.complete = true;
@@ -583,8 +601,7 @@ void RxProcessor::handle_completion(std::uint16_t vci, const atm::Completion& c)
   sim::trace_event(trace_, eng_->now(), "rx", "pdu_done", vci, p.wire_len);
   try_push(key, p);
   release_quota(p.vci, p.bufs.size());
-  pdus_.erase(it);
-  key_vci_.erase(key);
+  pdus_.erase(key);
 }
 
 void RxProcessor::try_push(std::uint64_t key, RxPdu& p) {
@@ -601,8 +618,7 @@ void RxProcessor::try_push(std::uint64_t key, RxPdu& p) {
       base += p.bufs[i].cap;
     }
   }
-  const std::uint16_t vci = key_vci_.count(key) != 0 ? key_vci_[key]
-                                                     : static_cast<std::uint16_t>(key >> 48);
+  const atm::Vci vci = atm::VciKey::vci_of(key);
   while (p.next_push < p.bufs.size()) {
     const std::uint32_t i = p.next_push;
     PduBuf& b = p.bufs[i];
@@ -622,7 +638,7 @@ void RxProcessor::try_push(std::uint64_t key, RxPdu& p) {
 }
 
 void RxProcessor::push_buffer(RxPdu& p, std::uint32_t idx, bool eop,
-                              std::uint64_t pdu_tag, std::uint16_t vci,
+                              std::uint64_t pdu_tag, atm::Vci vci,
                               sim::Tick at, std::uint16_t extra_flags) {
   RecvChannel& ch = recv_channels_[static_cast<std::size_t>(p.recv_idx)];
   const PduBuf& b = p.bufs[idx];
@@ -639,10 +655,10 @@ void RxProcessor::push_buffer(RxPdu& p, std::uint32_t idx, bool eop,
   const int recv_idx = p.recv_idx;
 
   // Publish the span handoff the driver closes at delivery, keyed exactly
-  // as the driver demultiplexes: (vci, 7-bit descriptor tag). Aborted
+  // as the driver demultiplexes: (vci, 5-bit descriptor tag). Aborted
   // descriptors are recycled, never delivered — drop their entry instead.
   if (eop && spans_ != nullptr) {
-    const auto tag = static_cast<std::uint8_t>(pdu_tag & 0x7F);
+    const auto tag = static_cast<std::uint8_t>(pdu_tag & dpram::kDescTagMask);
     if ((extra_flags & dpram::kDescAborted) != 0) {
       spans_->rx_aborted(vci, tag);
     } else {
@@ -725,30 +741,26 @@ void RxProcessor::fire_push_batch(std::uint32_t bi) {
 
 std::uint64_t RxProcessor::purge_incomplete(sim::Duration max_age) {
   const sim::Tick now = eng_->now();
-  std::uint64_t purged = 0;
-  for (auto it = pdus_.begin(); it != pdus_.end();) {
-    RxPdu& p = it->second;
-    if (!p.complete && now >= p.started && now - p.started > max_age) {
-      if (pending_.valid && pending_.key == it->first) pending_.valid = false;
-      abort_pdu_buffers(it->first, p);
-      release_quota(p.vci, p.bufs.size());
-      key_vci_.erase(it->first);
-      it = pdus_.erase(it);
-      ++purged;
-    } else {
-      ++it;
-    }
-  }
+  const std::uint64_t purged =
+      pdus_.erase_if([this, now, max_age](std::uint64_t key, RxPdu& p) {
+        if (p.complete || now < p.started || now - p.started <= max_age) {
+          return false;
+        }
+        if (pending_.valid && pending_.key == key) pending_.valid = false;
+        abort_pdu_buffers(key, p);
+        release_quota(p.vci, p.bufs.size());
+        return true;
+      });
   return purged;
 }
 
-void RxProcessor::start_generator(std::uint16_t vci, std::vector<std::uint8_t> pdu,
+void RxProcessor::start_generator(atm::Vci vci, std::vector<std::uint8_t> pdu,
                                   std::uint64_t count, sim::Duration cell_period) {
   start_generator_multi(vci, {std::move(pdu)}, count, cell_period);
 }
 
 void RxProcessor::start_generator_multi(
-    std::uint16_t vci, const std::vector<std::vector<std::uint8_t>>& pdus,
+    atm::Vci vci, const std::vector<std::vector<std::uint8_t>>& pdus,
     std::uint64_t count, sim::Duration cell_period) {
   gen_trains_.clear();
   for (const auto& p : pdus) {

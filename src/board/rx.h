@@ -21,11 +21,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "atm/cell.h"
@@ -34,6 +31,8 @@
 #include "dpram/dpram.h"
 #include "dpram/queue.h"
 #include "fault/fault.h"
+#include "flow/openmap.h"
+#include "flow/table.h"
 #include "mem/cache.h"
 #include "obs/spans.h"
 #include "sim/engine.h"
@@ -43,11 +42,13 @@
 
 namespace osiris::board {
 
-/// High byte of the receive descriptor's flags carries a small PDU tag so
-/// the driver can demultiplex interleaved PDU buffer streams per VCI.
+/// Descriptor flag bits 3..7 carry a small PDU tag so the driver can
+/// demultiplex interleaved PDU buffer streams per VCI (only the low 8 flag
+/// bits survive the dpram round-trip; see dpram::Descriptor).
 constexpr std::uint16_t rx_desc_flags(bool eop, std::uint64_t pdu_key) {
-  return static_cast<std::uint16_t>((eop ? dpram::kDescEop : 0) |
-                                    ((pdu_key & 0x7F) << 8));
+  return static_cast<std::uint16_t>(
+      (eop ? dpram::kDescEop : 0) |
+      ((pdu_key & dpram::kDescTagMask) << dpram::kDescTagShift));
 }
 
 class RxProcessor {
@@ -119,25 +120,25 @@ class RxProcessor {
   /// consuming buffers; existing reassembly state for the VCI is
   /// discarded. Unlike unmap_vci the drop is attributed (see
   /// quarantine_drops) so the supervisor can report it.
-  void quarantine_vci(std::uint16_t vci);
+  void quarantine_vci(atm::Vci vci);
 
   /// Early demultiplexing table: incoming PDUs on `vci` take buffers from
   /// `free_id` (falling back to `fallback_free_id` when exhausted; pass -1
   /// for none) and are delivered on `recv_idx`.
-  void map_vci(std::uint16_t vci, int free_id, int fallback_free_id, int recv_idx);
-  void unmap_vci(std::uint16_t vci);
+  void map_vci(atm::Vci vci, int free_id, int fallback_free_id, int recv_idx);
+  void unmap_vci(atm::Vci vci);
 
   /// Per-VCI buffer quota override (0 restores the BoardConfig default):
   /// once `vci` holds `max_buffers` free-list buffers in incomplete
   /// reassemblies, its new PDUs are dropped (pdus_dropped_quota) instead of
   /// draining the shared pool. Overload isolation for a hot or
   /// skew-damaged VCI.
-  void set_vci_quota(std::uint16_t vci, std::uint32_t max_buffers);
+  void set_vci_quota(atm::Vci vci, std::uint32_t max_buffers);
 
   /// Free-list buffers currently held by `vci`'s in-progress reassemblies.
-  [[nodiscard]] std::uint32_t vci_buffers_held(std::uint16_t vci) const {
-    const auto it = vci_held_.find(vci);
-    return it == vci_held_.end() ? 0 : it->second;
+  [[nodiscard]] std::uint32_t vci_buffers_held(atm::Vci vci) const {
+    const VciState* st = flows_.find(vci);
+    return st == nullptr ? 0 : st->held;
   }
 
   /// Link sink: a cell arrived on `lane`.
@@ -147,13 +148,13 @@ class RxProcessor {
   /// processor synthesizes `count` copies of `pdu` on `vci`, one cell every
   /// `cell_period` (the link cell rate by default), throttled by the
   /// on-board FIFO — i.e. as fast as the host can absorb them.
-  void start_generator(std::uint16_t vci, std::vector<std::uint8_t> pdu,
+  void start_generator(atm::Vci vci, std::vector<std::uint8_t> pdu,
                        std::uint64_t count, sim::Duration cell_period);
 
   /// Multi-PDU variant: each generated "message" is the given sequence of
   /// PDUs (e.g. the IP fragments of one large UDP message), repeated
   /// `count` times.
-  void start_generator_multi(std::uint16_t vci,
+  void start_generator_multi(atm::Vci vci,
                              const std::vector<std::vector<std::uint8_t>>& pdus,
                              std::uint64_t count, sim::Duration cell_period);
   [[nodiscard]] bool generator_done() const { return !gen_active_; }
@@ -208,6 +209,14 @@ class RxProcessor {
   /// instead of re-entering the scheduler (batch-dispatch win).
   [[nodiscard]] std::uint64_t pushes_coalesced() const { return pushes_coalesced_; }
 
+  /// Early-demux flow-table internals, exported to the obs registry:
+  /// occupancy, probe lengths, rehash activity (see flow::TableStats).
+  [[nodiscard]] const flow::TableStats& flow_stats() const {
+    return flows_.stats();
+  }
+  [[nodiscard]] std::size_t flow_occupancy() const { return flows_.size(); }
+  [[nodiscard]] std::size_t flow_capacity() const { return flows_.capacity(); }
+
   /// Fraction of DMA operations that moved more than one cell payload —
   /// the §2.6 "combining probability" statistic.
   [[nodiscard]] double combine_fraction() const {
@@ -231,11 +240,29 @@ class RxProcessor {
     sim::Tick push_horizon = 0;
     bool detached = false;
   };
-  struct VciMap {
-    int free_id;
-    int fallback;
-    int recv_idx;
+  /// Everything the Rx hot path touches per VCI, consolidated into one
+  /// flow-table entry: demux ids, quarantine bit, quota override, live
+  /// held count, and the reassembly router. One bucket probe + one slab
+  /// read replaces the five separate map lookups this used to take.
+  struct VciState {
+    static constexpr std::uint32_t kMapped = 1u << 0;
+    static constexpr std::uint32_t kQuarantined = 1u << 1;
+
+    std::int32_t free_id = -1;
+    std::int32_t fallback = -1;
+    std::int32_t recv_idx = -1;
+    std::uint32_t flags = 0;
+    std::uint32_t quota = 0;  // 0 = BoardConfig default
+    std::uint32_t held = 0;   // free-list buffers held by reassemblies
+    std::unique_ptr<atm::CellRouter> router;  // created on first cell
+
+    [[nodiscard]] bool mapped() const { return (flags & kMapped) != 0; }
+    [[nodiscard]] bool quarantined() const {
+      return (flags & kQuarantined) != 0;
+    }
   };
+  static_assert(sizeof(VciState) <= 64,
+                "per-VCI hot state must stay within one cache line");
   struct PduBuf {
     std::uint32_t addr = 0;
     std::uint32_t cap = 0;
@@ -247,7 +274,7 @@ class RxProcessor {
     int recv_idx = 0;
     int free_id = 0;
     int fallback = -1;
-    std::uint16_t vci = 0;  // quota accounting
+    atm::Vci vci = 0;  // quota accounting
     sim::Tick started = 0;
     std::vector<PduBuf> bufs;
     std::uint64_t alloc_cap = 0;  // sum of buffer capacities
@@ -277,21 +304,30 @@ class RxProcessor {
     std::uint32_t next_free = kNoBatch;
   };
 
-  static std::uint64_t pdu_map_key(std::uint16_t vci, std::uint64_t pdu) {
-    return (static_cast<std::uint64_t>(vci) << 48) | (pdu & 0xFFFFFFFFFFFFull);
+  static std::uint64_t pdu_map_key(atm::Vci vci, std::uint64_t pdu) {
+    return atm::VciKey::pack(vci, pdu);
   }
 
   void accept_cell(int lane, const atm::Cell& c);
-  atm::CellRouter& router_for(std::uint16_t vci);
-  RxPdu* pdu_for(std::uint16_t vci, std::uint64_t pdu, std::uint64_t* key_out);
+  /// Entry for `vci`, or null when none exists (never inserts).
+  VciState* state_for(atm::Vci vci) { return flows_.find(vci); }
+  /// Entry for `vci`, inserting a blank one when absent. NOT for the
+  /// per-cell path: an insert may grow the slab and move entries, so no
+  /// VciState pointer obtained earlier may be used afterwards (routers
+  /// are heap-owned and stay put).
+  VciState& state_insert(atm::Vci vci);
+  /// Erases `vci`'s entry once nothing references it anymore.
+  void maybe_release(atm::Vci vci, VciState& st);
+  atm::CellRouter& router_for(VciState& st);
+  RxPdu* pdu_for(atm::Vci vci, std::uint64_t pdu, std::uint64_t* key_out);
   /// Ensures buffers cover byte range end `need`; pops from free queues.
   /// On failure sets alloc_fail_quota_ when the VCI's quota (not the pool)
   /// was the limit, so the caller counts the right drop statistic.
   bool ensure_capacity(RxPdu& p, std::uint64_t need);
   /// Effective buffer quota for `vci` (override, else config default).
-  [[nodiscard]] std::uint32_t quota_for(std::uint16_t vci) const;
+  [[nodiscard]] std::uint32_t quota_for(atm::Vci vci) const;
   /// Drops `held` buffers from `vci`'s quota count.
-  void release_quota(std::uint16_t vci, std::size_t held);
+  void release_quota(atm::Vci vci, std::size_t held);
   /// kDropIncompleteFirst: evicts the oldest incomplete reassembly sharing
   /// `keep`'s free source whose buffers are all still board-held, moving
   /// those buffers to `keep`. Returns true when something was evicted.
@@ -299,8 +335,8 @@ class RxProcessor {
   /// Pushes `p`'s still-held buffers host-ward as aborted descriptors so
   /// the driver recycles them (buffer reclaim for drops and quarantine).
   void abort_pdu_buffers(std::uint64_t key, RxPdu& p);
-  void handle_placement(std::uint16_t vci, const atm::Placement& pl);
-  void handle_completion(std::uint16_t vci, const atm::Completion& c);
+  void handle_placement(atm::Vci vci, const atm::Placement& pl);
+  void handle_completion(atm::Vci vci, const atm::Completion& c);
   void flush_pending();
   void schedule_flush_timer();
   /// DMA-writes `bytes` at PDU offset `offset`; updates fill counts.
@@ -308,7 +344,7 @@ class RxProcessor {
                  const std::vector<std::uint8_t>& bytes);
   void try_push(std::uint64_t key, RxPdu& p);
   void push_buffer(RxPdu& p, std::uint32_t idx, bool eop, std::uint64_t pdu_tag,
-                   std::uint16_t vci, sim::Tick at,
+                   atm::Vci vci, sim::Tick at,
                    std::uint16_t extra_flags = 0);
   void fire_push_batch(std::uint32_t bi);
   void step_generator();
@@ -340,14 +376,11 @@ class RxProcessor {
 
   std::vector<FreeSource> free_sources_;
   std::vector<RecvChannel> recv_channels_;
-  std::unordered_set<std::uint16_t> quarantined_;
-  std::unordered_map<std::uint16_t, VciMap> vci_map_;
-  std::unordered_map<std::uint16_t, std::uint32_t> vci_quota_;  // overrides
-  std::unordered_map<std::uint16_t, std::uint32_t> vci_held_;   // live counts
+  /// The early-demultiplexing flow table (replaces the five per-VCI maps).
+  flow::FlowTable<VciState> flows_;
   bool alloc_fail_quota_ = false;  // last ensure_capacity failure cause
-  std::unordered_map<std::uint16_t, std::unique_ptr<atm::CellRouter>> routers_;
-  std::unordered_map<std::uint64_t, RxPdu> pdus_;
-  std::unordered_map<std::uint64_t, std::uint16_t> key_vci_;
+  /// In-flight reassemblies keyed VciKey::pack(vci, router-local pdu key).
+  flow::OpenMap<RxPdu> pdus_;
   PendingDma pending_;
   static constexpr std::uint32_t kNoBatch = ~std::uint32_t{0};
   std::vector<PushBatch> push_batches_;
@@ -361,7 +394,7 @@ class RxProcessor {
 
   // Generator state.
   std::vector<std::vector<atm::Cell>> gen_trains_;  // one per fragment PDU
-  std::uint16_t gen_vci_ = 0;
+  atm::Vci gen_vci_ = 0;
   std::uint64_t gen_remaining_ = 0;  // messages left
   std::size_t gen_train_idx_ = 0;
   std::size_t gen_cell_idx_ = 0;

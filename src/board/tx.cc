@@ -28,7 +28,7 @@ struct TxProcessor::Job {
   std::uint32_t pdu_len = 0;
   std::uint32_t wire = 0;
   std::uint32_t ncells = 0;
-  std::uint16_t vci = 0;
+  atm::Vci vci = 0;
   std::uint16_t pdu_id = 0;
   // Stream cursor.
   std::size_t di = 0;
@@ -60,7 +60,7 @@ TxProcessor::~TxProcessor() = default;
 
 void TxProcessor::add_queue(int channel, const dpram::QueueLayout& lay,
                             int priority, PageAuth auth,
-                            std::vector<std::uint16_t> owned_vcis) {
+                            std::vector<atm::Vci> owned_vcis) {
   queues_.push_back(TxQueue{channel,
                             dpram::QueueReader(*ram_, lay, dpram::Side::kBoard),
                             priority, std::move(auth), std::move(owned_vcis),

@@ -54,7 +54,7 @@ class TxProcessor {
   /// enforces them).
   void add_queue(int channel, const dpram::QueueLayout& lay, int priority,
                  PageAuth auth = nullptr,
-                 std::vector<std::uint16_t> owned_vcis = {});
+                 std::vector<atm::Vci> owned_vcis = {});
 
   /// DRR weight for every attached queue of `channel` (minimum 1): a queue
   /// with weight w earns w quanta of wire-byte credit per scheduler round,
@@ -164,7 +164,7 @@ class TxProcessor {
     dpram::QueueReader reader;
     int priority;
     PageAuth auth;
-    std::vector<std::uint16_t> owned_vcis;  // empty = any (kernel queue)
+    std::vector<atm::Vci> owned_vcis;  // empty = any (kernel queue)
     std::uint16_t next_pdu_id = 0;
     bool detached = false;
     std::uint64_t bytes_consumed = 0;

@@ -97,8 +97,12 @@ Report run_schedule(const Schedule& sch, const RunnerConfig& cfg) {
   Testbed tb(chaos_node(&trace_a, &hw_a, sch.seed * 2 + 1),
              chaos_node(&trace_b, &hw_b, sch.seed * 2 + 2), cfg.threads);
 
-  const std::uint16_t vci_arq = tb.open_kernel_path();
-  const std::uint16_t vci_dgram = tb.open_kernel_path();
+  const atm::Vci vci_arq = tb.open_kernel_path();
+  const atm::Vci vci_dgram = tb.open_kernel_path();
+  // Background population: grow the flow tables to cfg.bulk_vcis mapped
+  // (idle) channels so every fault-recovery path below runs against the
+  // table shape a busy host would have.
+  for (int i = 0; i < cfg.bulk_vcis; ++i) tb.open_kernel_path();
 
   proto::StackConfig sc;
   sc.udp_checksum = true;
@@ -116,7 +120,7 @@ Report run_schedule(const Schedule& sch, const RunnerConfig& cfg) {
   arq_a.bind(vci_arq);
   arq_b.bind(vci_arq);
 
-  arq_b.set_sink([&](sim::Tick at, std::uint16_t vci,
+  arq_b.set_sink([&](sim::Tick at, atm::Vci vci,
                      std::vector<std::uint8_t>&& data) {
     if (vci == vci_arq) {
       const std::uint32_t want =

@@ -51,6 +51,13 @@ struct RunnerConfig {
   sim::Duration wd_deadline = sim::ms(3);
   sim::Duration drain_tail = sim::sec(1);
 
+  // Extra kernel-path VCIs mapped on both nodes before traffic starts
+  // (none carry traffic). Drives the receive processors' flow tables to
+  // realistic occupancy so resets, quarantines and buffer-exhaustion
+  // recovery are exercised against a grown, rehashed table rather than a
+  // handful of entries.
+  int bulk_vcis = 0;
+
   bool collect_postmortem = false;  // assemble Report::postmortem
 };
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "atm/cell.h"
 #include "fault/fault.h"
 
 namespace osiris::dpram {
@@ -65,12 +66,17 @@ class DualPortRam {
 
 /// A buffer descriptor as passed through the queues: physical address and
 /// length of one physical buffer (§2.2), the VCI it belongs to, and flags.
+///
+/// On the RAM a descriptor is still exactly kDescriptorWords 32-bit words
+/// (the push/pop PIO cost contract depends on that): word 2 packs the
+/// 24-bit VCI in its low bits and the 8 flag bits above it. Only the low
+/// 8 bits of `flags` survive a queue round-trip.
 struct Descriptor {
   std::uint32_t addr = 0;
   std::uint32_t len = 0;
-  std::uint16_t vci = 0;
-  std::uint16_t flags = 0;
-  std::uint32_t user = 0;  // opaque cookie echoed back to the host
+  atm::Vci vci = 0;          // 24 significant bits
+  std::uint16_t flags = 0;   // low 8 bits are wire-real
+  std::uint32_t user = 0;    // opaque cookie echoed back to the host
 
   friend bool operator==(const Descriptor&, const Descriptor&) = default;
 };
@@ -84,8 +90,14 @@ enum DescriptorFlags : std::uint16_t {
   // seal does not match the lap it expects at that slot. A glitched
   // (stale) read of the head word near wrap-around can otherwise expose
   // previous-lap descriptors as fresh entries.
-  kDescLapSeal = 1u << 15,
+  kDescLapSeal = 1u << 2,
 };
+
+/// Rx PDU tag carried in descriptor flag bits 3..7: distinguishes buffers
+/// of interleaved PDUs on the same VCI at the host demux (see
+/// board::rx_desc_flags / OsirisDriver::drain_step).
+constexpr std::uint32_t kDescTagShift = 3;
+constexpr std::uint32_t kDescTagMask = 0x1F;  // 5 bits
 
 constexpr std::uint32_t kDescriptorWords = 4;
 

@@ -26,7 +26,9 @@ std::optional<sim::Tick> LockedQueue::push(Side side, sim::Tick from,
   const std::uint32_t w = lay_.slot_word(head);
   ram_->write(side, w + 0, d.addr);
   ram_->write(side, w + 1, d.len);
-  ram_->write(side, w + 2, (static_cast<std::uint32_t>(d.vci) << 16) | d.flags);
+  ram_->write(side, w + 2,
+              (d.vci & atm::kMaxVci) |
+                  (static_cast<std::uint32_t>(d.flags & 0xFF) << 24));
   ram_->write(side, w + 3, d.user);
   ram_->write(side, lay_.head_word(), (head + 1) % lay_.capacity);
   return g.release;
@@ -49,8 +51,8 @@ std::optional<Descriptor> LockedQueue::pop(Side side, sim::Tick from,
   d.addr = ram_->read(side, w + 0);
   d.len = ram_->read(side, w + 1);
   const std::uint32_t vf = ram_->read(side, w + 2);
-  d.vci = static_cast<std::uint16_t>(vf >> 16);
-  d.flags = static_cast<std::uint16_t>(vf & 0xFFFF);
+  d.vci = vf & atm::kMaxVci;
+  d.flags = static_cast<std::uint16_t>(vf >> 24);
   d.user = ram_->read(side, w + 3);
   ram_->write(side, lay_.tail_word(), (tail + 1) % lay_.capacity);
   if (done != nullptr) *done = g.release;

@@ -8,8 +8,10 @@ void write_descriptor(DualPortRam& ram, Side side, const QueueLayout& lay,
   const std::uint32_t w = lay.slot_word(slot);
   ram.write(side, w + 0, d.addr);
   ram.write(side, w + 1, d.len);
+  // 24-bit VCI in the low bits, 8 flag bits above (see Descriptor docs).
   ram.write(side, w + 2,
-            (static_cast<std::uint32_t>(d.vci) << 16) | d.flags);
+            (d.vci & atm::kMaxVci) |
+                (static_cast<std::uint32_t>(d.flags & 0xFF) << 24));
   ram.write(side, w + 3, d.user);
 }
 
@@ -20,8 +22,8 @@ Descriptor read_descriptor(const DualPortRam& ram, Side side,
   d.addr = ram.read(side, w + 0);
   d.len = ram.read(side, w + 1);
   const std::uint32_t vf = ram.read(side, w + 2);
-  d.vci = static_cast<std::uint16_t>(vf >> 16);
-  d.flags = static_cast<std::uint16_t>(vf & 0xFFFF);
+  d.vci = vf & atm::kMaxVci;
+  d.flags = static_cast<std::uint16_t>(vf >> 24);
   d.user = ram.read(side, w + 3);
   return d;
 }

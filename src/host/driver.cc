@@ -203,7 +203,7 @@ sim::Tick OsirisDriver::reap_tx(sim::Tick at) {
   return t;
 }
 
-sim::Tick OsirisDriver::push_chain(sim::Tick at, std::uint16_t vci,
+sim::Tick OsirisDriver::push_chain(sim::Tick at, atm::Vci vci,
                                    const std::vector<mem::PhysBuffer>& bufs) {
   sim::Tick t = at;
   for (std::size_t i = 0; i < bufs.size(); ++i) {
@@ -257,7 +257,7 @@ sim::Tick OsirisDriver::post_raw(sim::Tick at, const dpram::Descriptor& d) {
   return t;
 }
 
-sim::Tick OsirisDriver::send(sim::Tick at, std::uint16_t vci,
+sim::Tick OsirisDriver::send(sim::Tick at, atm::Vci vci,
                              const std::vector<mem::PhysBuffer>& bufs) {
   sim::Tick t = reap_tx(maybe_resync(at));
 
@@ -351,8 +351,9 @@ void OsirisDriver::drain_step(sim::Tick at) {
     return;
   }
 
-  const auto tag = static_cast<std::uint32_t>((d->flags >> 8) & 0x7F);
-  const std::uint32_t key = (static_cast<std::uint32_t>(d->vci) << 8) | tag;
+  const auto tag = static_cast<std::uint32_t>((d->flags >> dpram::kDescTagShift) &
+                                              dpram::kDescTagMask);
+  const std::uint64_t key = atm::VciKey::pack(d->vci, tag);
 
   if ((d->flags & dpram::kDescAborted) != 0) {
     // The firmware abandoned this reassembly (cells lost upstream and the
@@ -360,10 +361,9 @@ void OsirisDriver::drain_step(sim::Tick at) {
     // accumulation already arrived under the same tag — without delivering.
     ++stale_partial_;
     std::vector<RxBuffer> give{RxBuffer{d->addr, 0, d->user}};
-    const auto ait = accum_.find(key);
-    if (ait != accum_.end()) {
-      give.insert(give.end(), ait->second.bufs.begin(), ait->second.bufs.end());
-      accum_.erase(ait);
+    if (Accum* acc = accum_.find(key); acc != nullptr) {
+      give.insert(give.end(), acc->bufs.begin(), acc->bufs.end());
+      accum_.erase(key);
     }
     t = recycle(t, give);
     eng_->schedule_at(t, [this, gen0, alive = alive_] {
@@ -372,21 +372,29 @@ void OsirisDriver::drain_step(sim::Tick at) {
     return;
   }
 
-  Accum& acc = accum_[key];
-  acc.bufs.push_back(RxBuffer{d->addr, d->len, d->user});
-  acc.bytes += d->len;
+  auto [acc, fresh] = accum_.emplace(key);
+  if (fresh) acc->seq = ++accum_seq_;
+  acc->bufs.push_back(RxBuffer{d->addr, d->len, d->user});
+  acc->bytes += d->len;
 
   if ((d->flags & dpram::kDescEop) != 0) {
-    Accum done = std::move(acc);
+    Accum done = std::move(*acc);
     accum_.erase(key);
     t = deliver(t, d->vci, tag, std::move(done));
   } else if (accum_.size() > 64) {
     // Partial PDUs that never completed (dropped upstream): reclaim the
-    // oldest to avoid leaking the buffer pool.
-    const auto oldest = accum_.begin();
+    // oldest (smallest arrival stamp) to avoid leaking the buffer pool.
+    std::uint64_t oldest_key = 0;
+    std::uint64_t oldest_seq = ~std::uint64_t{0};
+    accum_.for_each([&](std::uint64_t k, const Accum& a) {
+      if (a.seq < oldest_seq) {
+        oldest_seq = a.seq;
+        oldest_key = k;
+      }
+    });
     ++stale_partial_;
-    t = recycle(t, oldest->second.bufs);
-    accum_.erase(oldest);
+    t = recycle(t, accum_.find(oldest_key)->bufs);
+    accum_.erase(oldest_key);
   }
 
   eng_->schedule_at(t, [this, gen0, alive = alive_] {
@@ -394,7 +402,7 @@ void OsirisDriver::drain_step(sim::Tick at) {
   });
 }
 
-sim::Tick OsirisDriver::deliver(sim::Tick at, std::uint16_t vci,
+sim::Tick OsirisDriver::deliver(sim::Tick at, atm::Vci vci,
                                 std::uint32_t tag, Accum&& acc) {
   sim::Tick t = at;
   if (acc.bytes < atm::kTrailerBytes) {

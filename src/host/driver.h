@@ -33,8 +33,10 @@
 #include <string>
 #include <vector>
 
+#include "atm/cell.h"
 #include "board/tx.h"
 #include "fault/fault.h"
+#include "flow/openmap.h"
 #include "dpram/dpram.h"
 #include "dpram/queue.h"
 #include "host/interrupts.h"
@@ -63,7 +65,7 @@ struct RxBuffer {
 /// A received PDU: the chain of buffers holding wire bytes (user PDU
 /// followed by the 8-byte AAL trailer).
 struct RxPduView {
-  std::uint16_t vci = 0;
+  atm::Vci vci = 0;
   std::uint32_t wire_len = 0;
   std::uint32_t pdu_len = 0;  // wire_len - trailer
   std::vector<RxBuffer> bufs;
@@ -139,7 +141,7 @@ class OsirisDriver {
   /// Queues one PDU (a chain of physical buffers) for transmission on
   /// `vci`, starting at `at`. Returns the time the host CPU is done (the
   /// board proceeds asynchronously). Handles queue-full suspension.
-  sim::Tick send(sim::Tick at, std::uint16_t vci,
+  sim::Tick send(sim::Tick at, atm::Vci vci,
                  const std::vector<mem::PhysBuffer>& bufs);
 
   /// Returns retained receive buffers to their free pools. Each push costs
@@ -152,10 +154,10 @@ class OsirisDriver {
   /// EOP because cells were lost upstream). Returns completion time.
   sim::Tick flush_partials(sim::Tick at) {
     sim::Tick t = maybe_resync(at);
-    for (auto& [key, acc] : accum_) {
+    accum_.for_each([this, &t](std::uint64_t, Accum& acc) {
       ++stale_partial_;
       t = recycle(t, acc.bufs);
-    }
+    });
     accum_.clear();
     return t;
   }
@@ -333,12 +335,13 @@ class OsirisDriver {
     bool owned = false;   // frames allocated by attach(); detach() frees
   };
   struct PendingSend {
-    std::uint16_t vci;
+    atm::Vci vci;
     std::vector<mem::PhysBuffer> bufs;
   };
   struct Accum {
     std::vector<RxBuffer> bufs;
     std::uint32_t bytes = 0;
+    std::uint64_t seq = 0;  // arrival order, for oldest-first reclaim
   };
 
   void on_rx_interrupt(sim::Tick at);
@@ -349,12 +352,12 @@ class OsirisDriver {
   sim::Tick resync_host_state(sim::Tick at);
   void drain_step(sim::Tick at);
   void watchdog_tick();
-  sim::Tick deliver(sim::Tick at, std::uint16_t vci, std::uint32_t tag,
+  sim::Tick deliver(sim::Tick at, atm::Vci vci, std::uint32_t tag,
                     Accum&& acc);
   sim::Tick recycle(sim::Tick at, const std::vector<RxBuffer>& bufs);
   /// Reclaims completed transmit descriptors (tail watch) and unwires.
   sim::Tick reap_tx(sim::Tick at);
-  sim::Tick push_chain(sim::Tick at, std::uint16_t vci,
+  sim::Tick push_chain(sim::Tick at, atm::Vci vci,
                        const std::vector<mem::PhysBuffer>& bufs);
 
   sim::Engine* eng_;
@@ -407,8 +410,10 @@ class OsirisDriver {
   std::uint64_t board_epoch_ = 0;       // TxProcessor epoch last seen
   std::uint64_t resyncs_observed_ = 0;  // resets observed, not initiated
   std::string last_postmortem_;
-  std::vector<BufferInfo> buffers_;          // by id
-  std::map<std::uint32_t, Accum> accum_;     // (vci<<8|pdu_tag) -> partial PDU
+  std::vector<BufferInfo> buffers_;  // by id
+  /// Partial PDUs keyed atm::VciKey::pack(vci, pdu_tag).
+  flow::OpenMap<Accum> accum_;
+  std::uint64_t accum_seq_ = 0;  // monotone arrival stamp for Accum::seq
   std::deque<PendingSend> pending_sends_;
   std::deque<std::vector<mem::PhysBuffer>> inflight_tx_;  // for unwiring
   std::uint64_t tx_descs_accepted_ = 0;  // monotone; counted at send()

@@ -83,7 +83,7 @@ sim::Tick StripedLink::submit(sim::Tick from, const atm::Cell& c) {
     ++cells_corrupted_;
   }
   if (cfg_.header_err_p > 0.0 && rng_.chance(cfg_.header_err_p)) {
-    delivered.vci ^= static_cast<std::uint16_t>(1u << rng_.below(16));
+    delivered.vci ^= atm::Vci{1} << rng_.below(atm::kVciBits);
     ++cells_corrupted_;
   }
 

@@ -7,9 +7,8 @@
 namespace osiris::obs {
 
 namespace {
-constexpr std::uint32_t rx_key(std::uint16_t vci, std::uint8_t tag) {
-  return (static_cast<std::uint32_t>(vci) << 8) |
-         static_cast<std::uint32_t>(tag & 0x7F);
+constexpr std::uint64_t rx_key(atm::Vci vci, std::uint8_t tag) {
+  return atm::VciKey::pack(vci, tag);
 }
 }  // namespace
 
@@ -43,16 +42,16 @@ sim::Tick PduSpans::take_tx_enqueue(int channel) {
   return at;
 }
 
-void PduSpans::rx_pushed(std::uint16_t vci, std::uint8_t tag, sim::Tick origin,
+void PduSpans::rx_pushed(atm::Vci vci, std::uint8_t tag, sim::Tick origin,
                          sim::Tick pushed) {
   rx_pending_[rx_key(vci, tag)] = RxEntry{origin, pushed};
 }
 
-void PduSpans::rx_aborted(std::uint16_t vci, std::uint8_t tag) {
+void PduSpans::rx_aborted(atm::Vci vci, std::uint8_t tag) {
   rx_pending_.erase(rx_key(vci, tag));
 }
 
-void PduSpans::rx_delivered(std::uint16_t vci, std::uint8_t tag, sim::Tick at) {
+void PduSpans::rx_delivered(atm::Vci vci, std::uint8_t tag, sim::Tick at) {
   auto it = rx_pending_.find(rx_key(vci, tag));
   if (it == rx_pending_.end()) return;
   const RxEntry e = it->second;
@@ -76,9 +75,9 @@ void PduSpans::rx_delivered(std::uint16_t vci, std::uint8_t tag, sim::Tick at) {
   }
 }
 
-void PduSpans::enable_vci(std::uint16_t vci) { vci_e2e_.try_emplace(vci); }
+void PduSpans::enable_vci(atm::Vci vci) { vci_e2e_.try_emplace(vci); }
 
-const sim::Log2Histogram* PduSpans::vci_e2e(std::uint16_t vci) const {
+const sim::Log2Histogram* PduSpans::vci_e2e(atm::Vci vci) const {
   auto it = vci_e2e_.find(vci);
   return it == vci_e2e_.end() ? nullptr : &it->second;
 }

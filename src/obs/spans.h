@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "atm/cell.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -72,26 +73,26 @@ class PduSpans {
   /// Rx firmware pushed the EOP descriptor of PDU (vci, tag) at `pushed`;
   /// `origin` is the sender's driver-enqueue tick carried by its cells
   /// (0 if the PDU was never stamped).
-  void rx_pushed(std::uint16_t vci, std::uint8_t tag, sim::Tick origin,
+  void rx_pushed(atm::Vci vci, std::uint8_t tag, sim::Tick origin,
                  sim::Tick pushed);
 
   /// The PDU (vci, tag) was aborted before delivery; drop its entry.
-  void rx_aborted(std::uint16_t vci, std::uint8_t tag);
+  void rx_aborted(atm::Vci vci, std::uint8_t tag);
 
   /// Driver delivered PDU (vci, tag) at `at`: records deliver and, when the
   /// origin stamp survived, the end-to-end distribution (plus the per-VCI
   /// family if `vci` was enabled via enable_vci).
-  void rx_delivered(std::uint16_t vci, std::uint8_t tag, sim::Tick at);
+  void rx_delivered(atm::Vci vci, std::uint8_t tag, sim::Tick at);
 
   /// Starts a per-VCI end-to-end histogram family member for `vci`.
-  void enable_vci(std::uint16_t vci);
+  void enable_vci(atm::Vci vci);
 
   // ---- Read side -----------------------------------------------------
   [[nodiscard]] const sim::Log2Histogram& stage(Stage s) const {
     return stages_[static_cast<std::size_t>(s)];
   }
-  [[nodiscard]] const sim::Log2Histogram* vci_e2e(std::uint16_t vci) const;
-  [[nodiscard]] const std::unordered_map<std::uint16_t, sim::Log2Histogram>&
+  [[nodiscard]] const sim::Log2Histogram* vci_e2e(atm::Vci vci) const;
+  [[nodiscard]] const std::unordered_map<atm::Vci, sim::Log2Histogram>&
   vci_families() const {
     return vci_e2e_;
   }
@@ -99,7 +100,7 @@ class PduSpans {
   /// Completed end-to-end spans (bounded ring, oldest dropped) for Chrome
   /// trace-event export.
   struct Span {
-    std::uint16_t vci = 0;
+    atm::Vci vci = 0;
     std::uint8_t tag = 0;
     sim::Tick origin = 0;     // sender driver enqueue (0 = unstamped)
     sim::Tick pushed = 0;     // Rx EOP descriptor push
@@ -126,8 +127,8 @@ class PduSpans {
     sim::Tick origin = 0;
     sim::Tick pushed = 0;
   };
-  std::unordered_map<std::uint32_t, RxEntry> rx_pending_;
-  std::unordered_map<std::uint16_t, sim::Log2Histogram> vci_e2e_;
+  std::unordered_map<std::uint64_t, RxEntry> rx_pending_;
+  std::unordered_map<atm::Vci, sim::Log2Histogram> vci_e2e_;
   std::vector<Span> ring_;
   std::size_t ring_cap_ = 4096;
   std::uint64_t spans_seen_ = 0;

@@ -13,7 +13,7 @@
 namespace osiris::harness {
 
 LatencyResult ping_pong(Testbed& tb, proto::ProtoStack& sa,
-                        proto::ProtoStack& sb, std::uint16_t vci,
+                        proto::ProtoStack& sb, atm::Vci vci,
                         std::uint32_t msg_bytes, int iterations) {
   // One message per direction, reused across iterations (the test program
   // sends the same buffer repeatedly).
@@ -105,7 +105,7 @@ std::vector<std::vector<std::uint8_t>> make_udp_fragments(
 }
 
 ThroughputResult receive_throughput(Node& n, proto::ProtoStack& stack,
-                                    std::uint16_t vci, std::uint32_t msg_bytes,
+                                    atm::Vci vci, std::uint32_t msg_bytes,
                                     std::uint64_t n_msgs,
                                     const proto::StackConfig& scfg) {
   n.map_kernel_vci(vci);
@@ -144,7 +144,7 @@ ThroughputResult receive_throughput(Node& n, proto::ProtoStack& stack,
 ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
                                      proto::ProtoStack& s_tx,
                                      proto::ProtoStack& s_rx,
-                                     std::uint16_t vci, std::uint32_t msg_bytes,
+                                     atm::Vci vci, std::uint32_t msg_bytes,
                                      std::uint64_t n_msgs) {
   std::vector<std::uint8_t> payload(msg_bytes);
   for (std::uint32_t i = 0; i < msg_bytes; ++i) {

@@ -29,7 +29,7 @@ struct LatencyResult {
 /// Kernel-to-kernel ping-pong of `msg_bytes` messages over `vci`,
 /// initiated by node `a`'s stack. Echo server runs on node `b`.
 LatencyResult ping_pong(Testbed& tb, proto::ProtoStack& sa,
-                        proto::ProtoStack& sb, std::uint16_t vci,
+                        proto::ProtoStack& sb, atm::Vci vci,
                         std::uint32_t msg_bytes, int iterations);
 
 struct ThroughputResult {
@@ -50,7 +50,7 @@ std::vector<std::vector<std::uint8_t>> make_udp_fragments(
 /// Receive-side throughput in isolation (Figures 2 and 3): the board's
 /// receive processor generates messages as fast as the host absorbs them.
 ThroughputResult receive_throughput(Node& n, proto::ProtoStack& stack,
-                                    std::uint16_t vci, std::uint32_t msg_bytes,
+                                    atm::Vci vci, std::uint32_t msg_bytes,
                                     std::uint64_t n_msgs,
                                     const proto::StackConfig& scfg);
 
@@ -59,7 +59,7 @@ ThroughputResult receive_throughput(Node& n, proto::ProtoStack& stack,
 ThroughputResult transmit_throughput(Testbed& tb, Node& sender,
                                      proto::ProtoStack& s_tx,
                                      proto::ProtoStack& s_rx,
-                                     std::uint16_t vci, std::uint32_t msg_bytes,
+                                     atm::Vci vci, std::uint32_t msg_bytes,
                                      std::uint64_t n_msgs);
 
 /// Parses a `--threads N` / `--threads=N` flag from a bench or example

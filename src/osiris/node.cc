@@ -49,11 +49,11 @@ Node::Node(sim::Engine& engine, NodeConfig c)
   driver.attach(0);
 }
 
-void Node::map_kernel_vci(std::uint16_t vci) {
+void Node::map_kernel_vci(atm::Vci vci) {
   rxp.map_vci(vci, kernel_free_id, -1, kernel_recv_idx);
 }
 
-int Node::open_fbuf_path(fbuf::FbufPool& pool, std::uint16_t vci,
+int Node::open_fbuf_path(fbuf::FbufPool& pool, atm::Vci vci,
                          std::vector<fbuf::DomainId> domains) {
   if (next_fbuf_pair_ >= dpram::kPagesPerHalf) {
     throw std::runtime_error("open_fbuf_path: out of dual-port RAM pages");
@@ -128,8 +128,8 @@ void Testbed::set_threads(int threads) {
   threads_ = std::clamp(threads, 1, static_cast<int>(group.partitions()));
 }
 
-std::uint16_t Testbed::open_kernel_path() {
-  const std::uint16_t vci = next_vci_++;
+atm::Vci Testbed::open_kernel_path() {
+  const atm::Vci vci = next_vci_++;
   a.map_kernel_vci(vci);
   b.map_kernel_vci(vci);
   return vci;

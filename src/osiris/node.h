@@ -59,7 +59,7 @@ class Node {
 
   /// Maps a VCI to the kernel channel on the receive side: incoming PDUs
   /// on it use the kernel free queue and receive queue.
-  void map_kernel_vci(std::uint16_t vci);
+  void map_kernel_vci(atm::Vci vci);
 
   /// Binds the receive side of `vci` to a per-path cached fbuf pool
   /// (§3.1): creates the path in `pool` for `domains`, places its
@@ -68,7 +68,7 @@ class Node {
   /// points the VCI's early-demultiplexing entry at it, falling back to
   /// the kernel's uncached pool when the path pool runs dry. Returns the
   /// fbuf path id.
-  int open_fbuf_path(fbuf::FbufPool& pool, std::uint16_t vci,
+  int open_fbuf_path(fbuf::FbufPool& pool, atm::Vci vci,
                      std::vector<fbuf::DomainId> domains);
 
   /// Creates a protocol stack bound to the kernel driver.
@@ -118,7 +118,7 @@ class Testbed {
 
   /// Allocates a fresh VCI and maps it into both nodes' kernel channels
   /// (the x-kernel binds each path to an unused VCI, §3.1).
-  std::uint16_t open_kernel_path();
+  atm::Vci open_kernel_path();
 
   /// Sets the worker-thread count for subsequent run() calls (clamped to
   /// [1, 2]). Rejected when the two nodes share a Trace, FaultPlane or
@@ -143,7 +143,7 @@ class Testbed {
 
  private:
   int threads_ = 1;
-  std::uint16_t next_vci_ = 100;
+  atm::Vci next_vci_ = 100;
 };
 
 /// Convenience NodeConfigs for the two machines of the paper.

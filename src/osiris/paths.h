@@ -23,21 +23,21 @@ namespace osiris {
 
 class PathManager {
  public:
-  explicit PathManager(Testbed& tb, std::uint16_t first_vci = 1000)
+  explicit PathManager(Testbed& tb, atm::Vci first_vci = 1000)
       : tb_(&tb), next_vci_(first_vci) {}
 
   /// Opens a bidirectional kernel-buffered path; returns its VCI.
-  std::uint16_t open();
+  atm::Vci open();
 
   /// Opens a path whose receive side (on each node) draws from a per-path
   /// cached fbuf pool spanning `domains`. Returns its VCI.
-  std::uint16_t open_fbuf(fbuf::FbufPool& pool_a, fbuf::FbufPool& pool_b,
+  atm::Vci open_fbuf(fbuf::FbufPool& pool_a, fbuf::FbufPool& pool_b,
                           const std::vector<fbuf::DomainId>& domains);
 
   /// Unbinds the VCI on both nodes. Throws if the path is not open.
-  void close(std::uint16_t vci);
+  void close(atm::Vci vci);
 
-  [[nodiscard]] bool is_open(std::uint16_t vci) const {
+  [[nodiscard]] bool is_open(atm::Vci vci) const {
     return paths_.contains(vci);
   }
   [[nodiscard]] std::size_t open_count() const { return paths_.size(); }
@@ -48,11 +48,11 @@ class PathManager {
     bool fbuf = false;
   };
 
-  std::uint16_t alloc_vci();
+  atm::Vci alloc_vci();
 
   Testbed* tb_;
-  std::uint16_t next_vci_;
-  std::map<std::uint16_t, PathInfo> paths_;
+  atm::Vci next_vci_;
+  std::map<atm::Vci, PathInfo> paths_;
   std::uint64_t total_opened_ = 0;
 };
 

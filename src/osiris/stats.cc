@@ -154,6 +154,19 @@ void register_metrics(obs::Registry& r, Node& n, const std::string& prefix) {
   add("qos.quarantine_drops", [np] { return np->rxp.quarantine_drops(); });
   add("qos.dead_channel_drops", [np] { return np->rxp.dead_channel_drops(); });
 
+  // Early-demultiplexing flow table (per-VCI state on the Rx fast path).
+  add("flow.occupancy", [np] { return np->rxp.flow_occupancy(); });
+  add("flow.capacity", [np] { return np->rxp.flow_capacity(); });
+  add("flow.lookups", [np] { return np->rxp.flow_stats().lookups; });
+  add("flow.probed_buckets",
+      [np] { return np->rxp.flow_stats().probed_buckets; });
+  add("flow.max_probe", [np] { return np->rxp.flow_stats().max_probe; });
+  add("flow.rehashes", [np] { return np->rxp.flow_stats().rehashes; });
+  add("flow.migrated_buckets",
+      [np] { return np->rxp.flow_stats().migrated_buckets; });
+  add("flow.overflow_peak",
+      [np] { return np->rxp.flow_stats().overflow_peak; });
+
   add("host.interrupts", [np] { return np->intc.raised(); });
   add("host.pdus_received", [np] { return np->driver.pdus_received(); });
   add("host.stale_partial_pdus",

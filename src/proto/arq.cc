@@ -48,13 +48,13 @@ ArqEndpoint::~ArqEndpoint() {
 }
 
 void ArqEndpoint::attach() {
-  stack_->set_sink([this](sim::Tick at, std::uint16_t vci,
+  stack_->set_sink([this](sim::Tick at, atm::Vci vci,
                           std::vector<std::uint8_t>&& data) {
     on_data(at, vci, std::move(data));
   });
 }
 
-void ArqEndpoint::bind(std::uint16_t vci) {
+void ArqEndpoint::bind(atm::Vci vci) {
   TxState& s = tx_[vci];
   s.cur_rto = cfg_.rto;
   rx_[vci];
@@ -67,7 +67,7 @@ bool ArqEndpoint::idle() const {
   return true;
 }
 
-bool ArqEndpoint::dead(std::uint16_t vci) const {
+bool ArqEndpoint::dead(atm::Vci vci) const {
   const auto it = tx_.find(vci);
   return it != tx_.end() && it->second.dead;
 }
@@ -82,20 +82,20 @@ std::vector<mem::PhysBuffer> ArqEndpoint::arena_buffers() const {
 }
 
 std::vector<std::uint8_t> ArqEndpoint::frame(
-    std::uint8_t type, std::uint16_t vci, std::uint32_t seq, std::uint32_t ack,
+    std::uint8_t type, atm::Vci vci, std::uint32_t seq, std::uint32_t ack,
     const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> f(kArqHeader + payload.size());
   f[0] = type;
-  f[1] = static_cast<std::uint8_t>(vci >> 8);
-  f[2] = static_cast<std::uint8_t>(vci);
-  f[3] = 0;
+  f[1] = static_cast<std::uint8_t>(vci >> 16);
+  f[2] = static_cast<std::uint8_t>(vci >> 8);
+  f[3] = static_cast<std::uint8_t>(vci);
   put32(f, 4, seq);
   put32(f, 8, ack);
   std::copy(payload.begin(), payload.end(), f.begin() + kArqHeader);
   return f;
 }
 
-sim::Tick ArqEndpoint::send_frame(sim::Tick at, std::uint16_t vci,
+sim::Tick ArqEndpoint::send_frame(sim::Tick at, atm::Vci vci,
                                   const std::vector<std::uint8_t>& framed) {
   host::OsirisDriver& drv = stack_->driver();
   sim::Tick t = at;
@@ -127,12 +127,12 @@ sim::Tick ArqEndpoint::send_frame(sim::Tick at, std::uint16_t vci,
   return stack_->send(t, vci, m);
 }
 
-sim::Tick ArqEndpoint::send_ack(sim::Tick at, std::uint16_t vci) {
+sim::Tick ArqEndpoint::send_ack(sim::Tick at, atm::Vci vci) {
   ++acks_sent_;
   return send_frame(at, vci, frame(kTypeAck, vci, 0, rx_[vci].expect, {}));
 }
 
-void ArqEndpoint::arm_timer(std::uint16_t vci, TxState& s, sim::Tick at) {
+void ArqEndpoint::arm_timer(atm::Vci vci, TxState& s, sim::Tick at) {
   // One live timer per VCI: re-arming cancels the previous one in the
   // engine, so dead generations are dropped at the queue instead of firing
   // as guarded no-ops.
@@ -142,7 +142,7 @@ void ArqEndpoint::arm_timer(std::uint16_t vci, TxState& s, sim::Tick at) {
                                     [this, vci] { on_timeout(vci); });
 }
 
-void ArqEndpoint::on_timeout(std::uint16_t vci) {
+void ArqEndpoint::on_timeout(atm::Vci vci) {
   TxState& s = tx_[vci];
   s.timer_armed = false;  // the armed timer just fired
   if (s.dead || s.window.empty()) return;
@@ -213,7 +213,7 @@ void ArqEndpoint::resync_kick() {
   }
 }
 
-void ArqEndpoint::give_up(std::uint16_t /*vci*/, TxState& s) {
+void ArqEndpoint::give_up(atm::Vci /*vci*/, TxState& s) {
   // Terminal: the peer (or the path) is gone beyond what retransmission
   // can fix. Everything pending is dropped and further sends are refused,
   // so the event queue drains instead of backing off forever.
@@ -225,7 +225,7 @@ void ArqEndpoint::give_up(std::uint16_t /*vci*/, TxState& s) {
   s.dead = true;
 }
 
-sim::Tick ArqEndpoint::pump(std::uint16_t vci, TxState& s, sim::Tick at) {
+sim::Tick ArqEndpoint::pump(atm::Vci vci, TxState& s, sim::Tick at) {
   sim::Tick t = at;
   while (!s.queue.empty() && s.window.size() < cfg_.window && !s.dead) {
     std::vector<std::uint8_t> payload = std::move(s.queue.front());
@@ -239,7 +239,7 @@ sim::Tick ArqEndpoint::pump(std::uint16_t vci, TxState& s, sim::Tick at) {
   return t;
 }
 
-sim::Tick ArqEndpoint::send(sim::Tick at, std::uint16_t vci,
+sim::Tick ArqEndpoint::send(sim::Tick at, atm::Vci vci,
                             std::vector<std::uint8_t> payload) {
   const auto it = tx_.find(vci);
   if (it == tx_.end()) {
@@ -256,7 +256,7 @@ sim::Tick ArqEndpoint::send(sim::Tick at, std::uint16_t vci,
   return pump(vci, s, at);
 }
 
-void ArqEndpoint::handle_ack(std::uint16_t vci, TxState& s, std::uint32_t ackno,
+void ArqEndpoint::handle_ack(atm::Vci vci, TxState& s, std::uint32_t ackno,
                              sim::Tick at) {
   const std::uint32_t advance = ackno - s.base;  // mod 2^32
   if (advance == 0 || advance > s.window.size()) return;  // stale or absurd
@@ -273,7 +273,7 @@ void ArqEndpoint::handle_ack(std::uint16_t vci, TxState& s, std::uint32_t ackno,
   }
 }
 
-void ArqEndpoint::on_data(sim::Tick at, std::uint16_t vci,
+void ArqEndpoint::on_data(sim::Tick at, atm::Vci vci,
                           std::vector<std::uint8_t>&& data) {
   const auto txit = tx_.find(vci);
   if (txit == tx_.end()) {
@@ -286,8 +286,9 @@ void ArqEndpoint::on_data(sim::Tick at, std::uint16_t vci,
     return;
   }
   const std::uint8_t type = data[0];
-  const auto evci = static_cast<std::uint16_t>(
-      (static_cast<std::uint16_t>(data[1]) << 8) | data[2]);
+  const auto evci = static_cast<atm::Vci>(
+      (static_cast<atm::Vci>(data[1]) << 16) |
+      (static_cast<atm::Vci>(data[2]) << 8) | data[3]);
   if (evci != vci) {
     // A corrupted receive descriptor steered this frame to the wrong
     // channel; treating it as ours would corrupt both sequence spaces.

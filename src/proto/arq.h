@@ -27,6 +27,7 @@
 #include <map>
 #include <vector>
 
+#include "atm/cell.h"
 #include "host/machine.h"
 #include "mem/paging.h"
 #include "proto/message.h"
@@ -68,21 +69,21 @@ class ArqEndpoint {
 
   /// Marks `vci` reliable: sends are framed and retransmitted, receives
   /// are reordered and deduplicated. Unbound VCIs pass through.
-  void bind(std::uint16_t vci);
+  void bind(atm::Vci vci);
 
   void set_sink(Sink s) { sink_ = std::move(s); }
 
   /// Queues `payload` for reliable delivery on a bound `vci` (transmits
   /// immediately when the window allows), or passes it straight to the
   /// stack on an unbound one. Returns when the sending CPU is free.
-  sim::Tick send(sim::Tick at, std::uint16_t vci,
+  sim::Tick send(sim::Tick at, atm::Vci vci,
                  std::vector<std::uint8_t> payload);
 
   /// No frame is unacknowledged or waiting for window space anywhere.
   [[nodiscard]] bool idle() const;
 
   /// True once `vci` exhausted its retry budget; its traffic is dropped.
-  [[nodiscard]] bool dead(std::uint16_t vci) const;
+  [[nodiscard]] bool dead(atm::Vci vci) const;
 
   /// Physical buffers of the outgoing-frame arena (ADC authorization).
   [[nodiscard]] std::vector<mem::PhysBuffer> arena_buffers() const;
@@ -127,22 +128,22 @@ class ArqEndpoint {
     std::map<std::uint32_t, std::vector<std::uint8_t>> ooo;
   };
 
-  void on_data(sim::Tick at, std::uint16_t vci,
+  void on_data(sim::Tick at, atm::Vci vci,
                std::vector<std::uint8_t>&& data);
-  void handle_ack(std::uint16_t vci, TxState& s, std::uint32_t ackno,
+  void handle_ack(atm::Vci vci, TxState& s, std::uint32_t ackno,
                   sim::Tick at);
   /// Transmits queued payloads while the window has room.
-  sim::Tick pump(std::uint16_t vci, TxState& s, sim::Tick at);
-  sim::Tick send_frame(sim::Tick at, std::uint16_t vci,
+  sim::Tick pump(atm::Vci vci, TxState& s, sim::Tick at);
+  sim::Tick send_frame(sim::Tick at, atm::Vci vci,
                        const std::vector<std::uint8_t>& framed);
-  sim::Tick send_ack(sim::Tick at, std::uint16_t vci);
-  void arm_timer(std::uint16_t vci, TxState& s, sim::Tick at);
-  void on_timeout(std::uint16_t vci);
+  sim::Tick send_ack(sim::Tick at, atm::Vci vci);
+  void arm_timer(atm::Vci vci, TxState& s, sim::Tick at);
+  void on_timeout(atm::Vci vci);
   /// Driver reset hook: see the comment block in arq.cc.
   void on_driver_reset(sim::Tick at);
   void resync_kick();
-  void give_up(std::uint16_t vci, TxState& s);
-  std::vector<std::uint8_t> frame(std::uint8_t type, std::uint16_t vci,
+  void give_up(atm::Vci vci, TxState& s);
+  std::vector<std::uint8_t> frame(std::uint8_t type, atm::Vci vci,
                                   std::uint32_t seq, std::uint32_t ack,
                                   const std::vector<std::uint8_t>& payload);
 
@@ -168,8 +169,8 @@ class ArqEndpoint {
   std::vector<Slot> slots_;
   std::size_t next_slot_ = 0;
 
-  std::map<std::uint16_t, TxState> tx_;
-  std::map<std::uint16_t, RxState> rx_;
+  std::map<atm::Vci, TxState> tx_;
+  std::map<atm::Vci, RxState> rx_;
 
   int reset_hook_token_ = -1;
   sim::TimerHandle resync_timer_;

@@ -15,7 +15,7 @@ RpcEndpoint::RpcEndpoint(sim::Engine& eng, ProtoStack& stack,
   for (std::size_t i = 0; i < kSlots; ++i) {
     slots_.push_back(space_->alloc(kSlotBytes));
   }
-  stack_->set_sink([this](sim::Tick at, std::uint16_t vci,
+  stack_->set_sink([this](sim::Tick at, atm::Vci vci,
                           std::vector<std::uint8_t>&& data) {
     on_data(at, vci, std::move(data));
   });
@@ -35,13 +35,13 @@ void RpcEndpoint::serve(Handler h) { handler_ = std::move(h); }
 void RpcEndpoint::use_arq(ArqEndpoint& arq) {
   arq_ = &arq;
   arq.attach();  // the ARQ layer owns the stack's sink from here on
-  arq.set_sink([this](sim::Tick at, std::uint16_t vci,
+  arq.set_sink([this](sim::Tick at, atm::Vci vci,
                       std::vector<std::uint8_t>&& data) {
     on_data(at, vci, std::move(data));
   });
 }
 
-sim::Tick RpcEndpoint::send_framed(sim::Tick at, std::uint16_t vci,
+sim::Tick RpcEndpoint::send_framed(sim::Tick at, atm::Vci vci,
                                    std::uint32_t id, bool response,
                                    const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> framed(kRpcHeader + payload.size());
@@ -67,7 +67,7 @@ sim::Tick RpcEndpoint::send_framed(sim::Tick at, std::uint16_t vci,
   return stack_->send(at, vci, m);
 }
 
-sim::Tick RpcEndpoint::call(sim::Tick at, std::uint16_t vci,
+sim::Tick RpcEndpoint::call(sim::Tick at, atm::Vci vci,
                             std::vector<std::uint8_t> request, Callback cb,
                             sim::Duration timeout, RpcRetryPolicy retry) {
   const std::uint32_t id = next_id_++;
@@ -111,7 +111,7 @@ void RpcEndpoint::schedule_timeout(std::uint32_t id, sim::Tick deadline) {
   });
 }
 
-void RpcEndpoint::on_data(sim::Tick at, std::uint16_t vci,
+void RpcEndpoint::on_data(sim::Tick at, atm::Vci vci,
                           std::vector<std::uint8_t>&& data) {
   if (data.size() < kRpcHeader) {
     ++stray_;

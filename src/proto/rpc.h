@@ -73,7 +73,7 @@ class RpcEndpoint {
   /// once `timeout` (grown by `retry.backoff` per attempt) has expired
   /// `retry.retries + 1` times, with nullopt. A retry re-sends the request
   /// with the same id, so a duplicate response is recognized and dropped.
-  sim::Tick call(sim::Tick at, std::uint16_t vci,
+  sim::Tick call(sim::Tick at, atm::Vci vci,
                  std::vector<std::uint8_t> request, Callback cb,
                  sim::Duration timeout = sim::ms(100),
                  RpcRetryPolicy retry = {});
@@ -90,16 +90,16 @@ class RpcEndpoint {
   struct Pending {
     Callback cb;
     sim::TimerHandle timer;  // cancelled when the response arrives
-    std::uint16_t vci = 0;
+    atm::Vci vci = 0;
     std::vector<std::uint8_t> request;  // kept while retries remain
     std::uint32_t retries_left = 0;
     double backoff = 2.0;
     sim::Duration cur_timeout = 0;
   };
 
-  void on_data(sim::Tick at, std::uint16_t vci,
+  void on_data(sim::Tick at, atm::Vci vci,
                std::vector<std::uint8_t>&& data);
-  sim::Tick send_framed(sim::Tick at, std::uint16_t vci, std::uint32_t id,
+  sim::Tick send_framed(sim::Tick at, atm::Vci vci, std::uint32_t id,
                         bool response, const std::vector<std::uint8_t>& payload);
   void schedule_timeout(std::uint32_t id, sim::Tick deadline);
 

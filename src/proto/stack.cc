@@ -130,7 +130,7 @@ sim::Tick ProtoStack::checksum_cost(sim::Tick at, const mem::AccessCost& c,
                      c.mem_words});
 }
 
-sim::Tick ProtoStack::send(sim::Tick at, std::uint16_t vci, const Message& payload) {
+sim::Tick ProtoStack::send(sim::Tick at, atm::Vci vci, const Message& payload) {
   if (cfg_.mode == StackMode::kRawAtm) {
     const auto sc = payload.scatter();
     bufs_per_pdu_.add(static_cast<double>(sc.size()));
@@ -234,7 +234,7 @@ sim::Tick ProtoStack::on_pdu(sim::Tick at, host::RxPduView& pdu) {
   return t;
 }
 
-sim::Tick ProtoStack::deliver_udp(sim::Tick at, std::uint16_t vci, Reassembly&& r) {
+sim::Tick ProtoStack::deliver_udp(sim::Tick at, atm::Vci vci, Reassembly&& r) {
   sim::Tick t = cpu_->exec(at, host::Work{mc_->proto_udp, 0});
 
   auto assemble = [&r]() {

@@ -44,7 +44,7 @@ class ProtoStack {
  public:
   /// Delivered user data: arrival-completion time, VCI, payload bytes.
   using Sink =
-      std::function<void(sim::Tick at, std::uint16_t vci,
+      std::function<void(sim::Tick at, atm::Vci vci,
                          std::vector<std::uint8_t>&& data)>;
 
   ProtoStack(sim::Engine& eng, const host::MachineConfig& mc, host::HostCpu& cpu,
@@ -78,7 +78,7 @@ class ProtoStack {
   void set_sink(Sink s) { sink_ = std::move(s); }
 
   /// Sends `payload` on `vci`. Returns the time the sending CPU is free.
-  sim::Tick send(sim::Tick at, std::uint16_t vci, const Message& payload);
+  sim::Tick send(sim::Tick at, atm::Vci vci, const Message& payload);
 
   /// The driver this stack sits on (e.g. for tx-completion watermarks).
   [[nodiscard]] host::OsirisDriver& driver() { return *drv_; }
@@ -115,7 +115,7 @@ class ProtoStack {
 
   sim::Tick on_pdu(sim::Tick at, host::RxPduView& pdu);
   void on_driver_reset();
-  sim::Tick deliver_udp(sim::Tick at, std::uint16_t vci, Reassembly&& r);
+  sim::Tick deliver_udp(sim::Tick at, atm::Vci vci, Reassembly&& r);
   sim::Tick checksum_cost(sim::Tick at, const mem::AccessCost& c,
                           std::uint64_t bytes);
   /// Prepends a header, via the arena when configured.

@@ -101,7 +101,7 @@ TEST(Adc, LatencyMatchesKernelPathWithinMargin) {
     Testbed tb(make_3000_600_config(), make_3000_600_config());
     proto::StackConfig sc;
     sc.mode = proto::StackMode::kRawAtm;
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     auto sa = tb.a.make_stack(sc);
     auto sb = tb.b.make_stack(sc);
     const auto data = pattern(1024, 5);

@@ -46,7 +46,7 @@ TEST(Adc2, UnauthorizedReceiveBufferIsSkippedWithViolation) {
   }
 
   std::uint64_t delivered = 0;
-  cb.set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {
+  cb.set_sink([&](sim::Tick, atm::Vci, std::vector<std::uint8_t>&&) {
     ++delivered;
   });
   bool violation = false;
@@ -76,7 +76,7 @@ TEST(Adc2, UdpStackOverAdcWithChecksum) {
   adc::Adc cb(deps_of(tb.b), 1, {961}, 1, sc);
   const auto want = pattern(30000, 3);  // multi-fragment
   std::uint64_t ok = 0;
-  cb.set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
+  cb.set_sink([&](sim::Tick, atm::Vci, std::vector<std::uint8_t>&& d) {
     EXPECT_EQ(d, want);
     ++ok;
   });
@@ -96,22 +96,22 @@ TEST(Adc2, ThreeChannelsShareTheBoardWithoutCrosstalk) {
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
   std::vector<std::unique_ptr<adc::Adc>> tx_chs, rx_chs;
-  std::map<std::uint16_t, std::vector<std::uint8_t>> got;
+  std::map<atm::Vci, std::vector<std::uint8_t>> got;
   for (int i = 0; i < 3; ++i) {
-    const auto vci = static_cast<std::uint16_t>(970 + i);
+    const auto vci = static_cast<atm::Vci>(970 + i);
     tx_chs.push_back(
         std::make_unique<adc::Adc>(deps_of(tb.a), i + 1, std::vector{vci}, i, sc));
     rx_chs.push_back(
         std::make_unique<adc::Adc>(deps_of(tb.b), i + 1, std::vector{vci}, i, sc));
     rx_chs.back()->set_sink(
-        [&got](sim::Tick, std::uint16_t v, std::vector<std::uint8_t>&& d) {
+        [&got](sim::Tick, atm::Vci v, std::vector<std::uint8_t>&& d) {
           got[v] = std::move(d);
         });
   }
   sim::Tick t = 0;
-  std::map<std::uint16_t, std::vector<std::uint8_t>> sent;
+  std::map<atm::Vci, std::vector<std::uint8_t>> sent;
   for (int i = 0; i < 3; ++i) {
-    const auto vci = static_cast<std::uint16_t>(970 + i);
+    const auto vci = static_cast<atm::Vci>(970 + i);
     const auto data = pattern(3000 + static_cast<std::size_t>(i) * 1111,
                               static_cast<std::uint8_t>(i));
     proto::Message m = proto::Message::from_payload(tx_chs[static_cast<std::size_t>(i)]->space(), data);

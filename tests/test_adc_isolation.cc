@@ -61,9 +61,9 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
     const auto vci = static_cast<std::uint16_t>(800 + pair);
     GoodTenant t;
     t.tx = std::make_unique<adc::Adc>(deps_of(tb.a), pair,
-                                      std::vector<std::uint16_t>{vci}, 1, sc);
+                                      std::vector<atm::Vci>{vci}, 1, sc);
     t.rx = std::make_unique<adc::Adc>(deps_of(tb.b), pair,
-                                      std::vector<std::uint16_t>{vci}, 1, sc);
+                                      std::vector<atm::Vci>{vci}, 1, sc);
     good.emplace(pair, std::move(t));
   }
   for (auto& [pair, t] : good) {
@@ -88,7 +88,7 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
   adversary.arm(fault::Point::kAdcGarbageDescriptor,
                 {1.0, 0, ~0ull});  // every "send" posts garbage
   auto attacker = std::make_unique<adc::Adc>(
-      deps_of(tb.a), 3, std::vector<std::uint16_t>{810}, 3, sc);  // higher prio
+      deps_of(tb.a), 3, std::vector<atm::Vci>{810}, 3, sc);  // higher prio
   attacker->set_fault_plane(&adversary);
   adc::AdcSupervisor::Budget tight;
   tight.max_violations = 4;
@@ -98,9 +98,9 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
   fault::FaultPlane crasher(0xDEAD);
   crasher.arm(fault::Point::kAdcAppDeath, {0.0, 3, 1});  // dies on send #3
   auto dier = std::make_unique<adc::Adc>(deps_of(tb.a), 4,
-                                         std::vector<std::uint16_t>{811}, 1, sc);
+                                         std::vector<atm::Vci>{811}, 1, sc);
   auto dier_rx = std::make_unique<adc::Adc>(
-      deps_of(tb.b), 4, std::vector<std::uint16_t>{811}, 1, sc);
+      deps_of(tb.b), 4, std::vector<atm::Vci>{811}, 1, sc);
   dier->set_fault_plane(&crasher);
   sup.watch(*dier, tight);
 
@@ -111,9 +111,9 @@ TEST(AdcIsolation, ChaosSoakAdversariesBesideWellBehaved) {
   fault::FaultPlane poisoner(0xF01);
   poisoner.arm(fault::Point::kAdcFreeListPoison, {1.0, 0, 64});
   auto poison_tx = std::make_unique<adc::Adc>(
-      deps_of(tb.a), 5, std::vector<std::uint16_t>{812}, 1, sc);
+      deps_of(tb.a), 5, std::vector<atm::Vci>{812}, 1, sc);
   auto poison_rx = std::make_unique<adc::Adc>(
-      deps_of(tb.b), 5, std::vector<std::uint16_t>{812}, 1, sc);
+      deps_of(tb.b), 5, std::vector<atm::Vci>{812}, 1, sc);
   poison_rx->set_fault_plane(&poisoner);
   sup_b.watch(*poison_rx, tight);
 

@@ -108,9 +108,9 @@ TEST(AdcLifecycle, OpenTrafficCloseReopenRestoresBaseline) {
 
   auto run_once = [&](int round) {
     auto ca = std::make_unique<adc::Adc>(deps_of(tb.a), 4,
-                                         std::vector<std::uint16_t>{704}, 1, sc);
+                                         std::vector<atm::Vci>{704}, 1, sc);
     auto cb = std::make_unique<adc::Adc>(deps_of(tb.b), 4,
-                                         std::vector<std::uint16_t>{704}, 1, sc);
+                                         std::vector<atm::Vci>{704}, 1, sc);
     std::uint64_t got = 0;
     cb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
       EXPECT_EQ(d, data) << "round " << round;
@@ -206,9 +206,9 @@ TEST(AdcLifecycle, CloseMidTrafficLeavesOtherChannelsUnharmed) {
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
   auto dying_tx = std::make_unique<adc::Adc>(
-      deps_of(tb.a), 5, std::vector<std::uint16_t>{710}, 1, sc);
+      deps_of(tb.a), 5, std::vector<atm::Vci>{710}, 1, sc);
   auto dying_rx = std::make_unique<adc::Adc>(
-      deps_of(tb.b), 5, std::vector<std::uint16_t>{710}, 1, sc);
+      deps_of(tb.b), 5, std::vector<atm::Vci>{710}, 1, sc);
   adc::Adc good_tx(deps_of(tb.a), 6, {711}, 1, sc);
   adc::Adc good_rx(deps_of(tb.b), 6, {711}, 1, sc);
 

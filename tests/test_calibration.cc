@@ -44,7 +44,7 @@ TEST_P(Table1Test, RoundTripNearPaper) {
   const auto p = GetParam();
   NodeConfig c = p.alpha ? make_3000_600_config() : make_5000_200_config();
   Testbed tb(c, p.alpha ? make_3000_600_config() : make_5000_200_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.mode = p.udp ? proto::StackMode::kUdpIp : proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);
@@ -112,7 +112,7 @@ TEST(Calibration, Fig4TransmitPlateau) {
   // Paper: ~325 Mbps, limited by single-cell DMA TURBOchannel overhead.
   auto run = [](NodeConfig sender_cfg) {
     Testbed tb(std::move(sender_cfg), make_3000_600_config());
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     auto sa = tb.a.make_stack(proto::StackConfig{});
     auto sb = tb.b.make_stack(proto::StackConfig{});
     return harness::transmit_throughput(tb, tb.a, *sa, *sb, vci, 64 * 1024, 40)

@@ -115,6 +115,32 @@ TEST(ChaosRunner, SeedSweepCleanAndFingerprintsMatchAcrossThreads) {
   }
 }
 
+TEST(ChaosRunner, OverloadFaultsAtTenThousandVcisStayDeterministic) {
+  // Buffer exhaustion and tenant bursts against a flow table populated
+  // with 10^4 mapped VCIs: recovery must stay violation-free and the
+  // fingerprint bit-identical between serial and 2-thread runs, proving
+  // the table's growth/rehash machinery is schedule-deterministic.
+  GenOptions gopt;
+  gopt.horizon = sim::ms(12);
+  gopt.eligible = {fault::Point::kRxBufferExhausted,
+                   fault::Point::kTenantBurst};
+  RunnerConfig cfg = quick_config(1);
+  cfg.bulk_vcis = 10000;
+  for (std::uint64_t seed = 3; seed <= 4; ++seed) {
+    const Schedule s = generate(seed, gopt);
+    const Report serial = run_schedule(s, cfg);
+    EXPECT_TRUE(serial.ok())
+        << "seed " << seed << ": "
+        << (serial.violations.empty() ? "" : serial.violations[0]);
+    RunnerConfig threaded_cfg = cfg;
+    threaded_cfg.threads = 2;
+    const Report threaded = run_schedule(s, threaded_cfg);
+    EXPECT_TRUE(threaded.ok()) << "seed " << seed;
+    EXPECT_EQ(serial.fingerprint, threaded.fingerprint)
+        << "seed " << seed << " diverged between 1 and 2 worker threads";
+  }
+}
+
 TEST(ChaosRunner, WatchdogResetConvergesAndRecoveryIsMeasured) {
   // One deterministic transmit-processor wedge on the ARQ sender's board.
   // The watchdog must reset the adaptor, the ARQ session must

@@ -21,7 +21,7 @@ TEST(DoubleCellTx, DataIntegrityAcrossSizesAndAlignments) {
   NodeConfig ca = make_3000_600_config();
   ca.board.double_cell_dma_tx = true;
   Testbed tb(std::move(ca), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   std::vector<std::vector<std::uint8_t>> got;
@@ -46,7 +46,7 @@ TEST(DoubleCellTx, FewerLargerDmaReads) {
     NodeConfig ca = make_3000_600_config();
     ca.board.double_cell_dma_tx = dbl;
     Testbed tb(std::move(ca), make_3000_600_config());
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     auto sa = tb.a.make_stack(proto::StackConfig{});
     auto sb = tb.b.make_stack(proto::StackConfig{});
     proto::Message m = proto::Message::from_payload(tb.a.kernel_space,
@@ -70,7 +70,7 @@ TEST(DoubleCellTx, ThroughputOrderingMatchesPaperPrediction) {
     NodeConfig ca = make_3000_600_config();
     ca.board.double_cell_dma_tx = dbl;
     Testbed tb(std::move(ca), make_3000_600_config());
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     auto sa = tb.a.make_stack(proto::StackConfig{});
     auto sb = tb.b.make_stack(proto::StackConfig{});
     return harness::transmit_throughput(tb, tb.a, *sa, *sb, vci, 64 * 1024, 25)
@@ -91,7 +91,7 @@ TEST(DoubleCellTx, SkewDoesNotBreakDoubleCellTransmit) {
   ca.board.double_cell_dma_tx = true;
   ca.link = link::skewed_config(25.0, 5);
   Testbed tb(std::move(ca), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   std::uint64_t ok = 0;

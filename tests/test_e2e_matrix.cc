@@ -42,7 +42,7 @@ TEST_P(E2EMatrix, PayloadIntegrity) {
   ca.board.reassembly = c.strategy;
   cb.board.reassembly = c.strategy;
   Testbed tb(std::move(ca), std::move(cb));
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = c.checksum;
   auto sa = tb.a.make_stack(sc);
@@ -113,7 +113,7 @@ TEST_P(E2ESkewMatrix, PayloadIntegrityUnderSkew) {
   cb.board.reassembly = c.strategy;
   ca.link = link::skewed_config(35.0, 0xC0FFEE + c.bytes);
   Testbed tb(std::move(ca), std::move(cb));
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = c.checksum;
   auto sa = tb.a.make_stack(sc);

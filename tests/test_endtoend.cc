@@ -31,7 +31,7 @@ TEST_P(SkewE2E, IntegrityUnderSkew) {
   ca.link = link::skewed_config(skew, 17);
   cb.link = link::skewed_config(skew, 18);
   Testbed tb(std::move(ca), std::move(cb));
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
 
@@ -66,7 +66,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(EndToEnd, MixedMachinePairWorks) {
   Testbed tb(make_5000_200_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   std::uint64_t n = 0;
@@ -81,7 +81,7 @@ TEST(EndToEnd, MixedMachinePairWorks) {
 
 TEST(EndToEnd, PingPongHarnessConverges) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);
@@ -124,7 +124,7 @@ TEST(EndToEnd, InterruptsBatchUnderBursts) {
 
 TEST(EndToEnd, TransmitThroughputHarness) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   const auto r =

@@ -275,7 +275,7 @@ std::uint64_t mixed_run_hash() {
   cb.faults = &fp;
 
   Testbed tb(ca, cb);
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = true;
   auto sa = tb.a.make_stack(sc);

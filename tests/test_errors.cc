@@ -32,7 +32,7 @@ TEST(Errors, PayloadCorruptionCaughtByChecksumNotMisdeliveredAsStale) {
   proto::StackConfig sc;
   sc.udp_checksum = true;
   Net net(std::move(ca), make_3000_600_config(), sc);
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::uint64_t ok = 0, escapes = 0;
   const auto want = pattern(8000, 1);
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
@@ -60,7 +60,7 @@ TEST(Errors, HeaderCorruptionDropsCellsAtTheBoard) {
   NodeConfig ca = make_3000_600_config();
   ca.link.header_err_p = 1.0;
   Net net(std::move(ca), make_3000_600_config(), proto::StackConfig{});
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::uint64_t delivered = 0;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {
     ++delivered;
@@ -85,7 +85,7 @@ TEST(Errors, CellLossLeavesIncompletePdusAndGcReclaims) {
   proto::StackConfig sc;
   sc.udp_checksum = true;
   Net net(std::move(ca), std::move(cb), sc);
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::uint64_t delivered = 0;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
     EXPECT_EQ(d, pattern(d.size(), 3));
@@ -117,7 +117,7 @@ TEST(Errors, LossyBurstsDoNotPoisonLaterTraffic) {
   proto::StackConfig sc;
   sc.udp_checksum = true;
   Net net(std::move(ca), std::move(cb), sc);
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::uint64_t delivered = 0;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {
     ++delivered;
@@ -149,7 +149,7 @@ TEST(Errors, QuadStrategyIsFragileUnderLossAsPaperImplies) {
   proto::StackConfig sc;
   sc.udp_checksum = true;
   Net net(std::move(ca), make_3000_600_config(), sc);
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::uint64_t delivered = 0;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
     EXPECT_EQ(d, pattern(d.size(), 6)) << "checksum must shield the app";

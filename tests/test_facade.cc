@@ -12,7 +12,7 @@ namespace {
 TEST(Paths, OpenBindsBothEnds) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
   PathManager pm(tb);
-  const std::uint16_t vci = pm.open();
+  const atm::Vci vci = pm.open();
   EXPECT_TRUE(pm.is_open(vci));
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
@@ -29,7 +29,7 @@ TEST(Paths, HundredsOfPathsAreCheap) {
   // "potentially hundreds of paths (connections) on a given host" (§3.1).
   Testbed tb(make_3000_600_config(), make_3000_600_config());
   PathManager pm(tb);
-  std::vector<std::uint16_t> vcis;
+  std::vector<atm::Vci> vcis;
   for (int i = 0; i < 400; ++i) vcis.push_back(pm.open());
   EXPECT_EQ(pm.open_count(), 400u);
   // All distinct.
@@ -50,7 +50,7 @@ TEST(Paths, HundredsOfPathsAreCheap) {
 TEST(Paths, CloseUnbindsAndTrafficIsDropped) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
   PathManager pm(tb);
-  const std::uint16_t vci = pm.open();
+  const atm::Vci vci = pm.open();
   pm.close(vci);
   EXPECT_FALSE(pm.is_open(vci));
   EXPECT_THROW(pm.close(vci), std::invalid_argument);
@@ -88,7 +88,7 @@ TEST(Paths, VciReuseAfterCloseWorks) {
 
 TEST(Stats, SnapshotReflectsTraffic) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   sb->set_sink([](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {});
@@ -121,7 +121,7 @@ TEST(Stats, DpramAccessesPerPduAreSmall) {
   // reaping; a receive is ~2 pops + recycles: tens of accesses, not
   // hundreds.
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   sb->set_sink([](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {});
@@ -139,7 +139,7 @@ TEST(Stats, DpramAccessesPerPduAreSmall) {
 
 struct RpcNet {
   Testbed tb{make_3000_600_config(), make_3000_600_config()};
-  std::uint16_t vci;
+  atm::Vci vci;
   std::unique_ptr<proto::ProtoStack> sa, sb;
   std::unique_ptr<proto::RpcEndpoint> client, server;
 

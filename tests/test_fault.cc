@@ -313,7 +313,7 @@ struct FaultNet {
   sim::Trace trace{2048};
   fault::FaultPlane fp{0xFA177};
   Testbed tb;
-  std::uint16_t vci;
+  atm::Vci vci;
   std::unique_ptr<proto::ProtoStack> sa, sb;
   std::vector<std::vector<std::uint8_t>> received;
 

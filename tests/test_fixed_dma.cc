@@ -167,7 +167,7 @@ TEST(FixedDma, UdpStackToleratesEndPaddingButCatchesMidStreamGarble) {
     NodeConfig ca = fixed_cfg();
     NodeConfig cb = make_3000_600_config();
     Testbed tb(std::move(ca), std::move(cb));
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     proto::StackConfig sc;
     sc.udp_checksum = true;
     auto sa = tb.a.make_stack(sc);

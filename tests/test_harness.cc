@@ -49,7 +49,7 @@ TEST(Harness, FragmentCountMatchesMtuArithmetic) {
 
 TEST(Harness, PingPongIterationsAndStability) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);
@@ -64,7 +64,7 @@ TEST(Harness, PingPongIterationsAndStability) {
 TEST(Harness, LatencyMonotonicInMessageSize) {
   auto rtt = [](std::uint32_t bytes) {
     Testbed tb(make_3000_600_config(), make_3000_600_config());
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     proto::StackConfig sc;
     sc.mode = proto::StackMode::kRawAtm;
     auto sa = tb.a.make_stack(sc);
@@ -95,7 +95,7 @@ TEST(Harness, ThroughputScalesWithMessageSizeThenPlateaus) {
 
 TEST(Harness, TransmitThroughputConservesMessages) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   const auto r =

@@ -18,7 +18,7 @@ struct Capture {
   std::vector<Arrival> arrivals;
 };
 
-std::vector<atm::Cell> make_cells(std::uint32_t pdu_len, std::uint16_t vci = 1) {
+std::vector<atm::Cell> make_cells(std::uint32_t pdu_len, atm::Vci vci = 1) {
   std::vector<std::uint8_t> pdu(pdu_len, 0x5A);
   auto cells = atm::segment(pdu, vci, 0);
   for (auto& c : cells) atm::seal(c);

@@ -119,7 +119,7 @@ TEST(Misc, SummaryOfFormatStatsOnQuietNode) {
 TEST(Misc, TrailerOnlyPduRoundTrip) {
   // Zero-byte user PDU: one trailer-only cell end to end.
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
   auto sa = tb.a.make_stack(sc);

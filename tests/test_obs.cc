@@ -200,7 +200,7 @@ TEST(PduSpans, PingPongStampsEveryStage) {
   ca.spans = &spans_a;
   cb.spans = &spans_b;
   Testbed tb(ca, cb);
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   spans_b.enable_vci(vci);
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
@@ -250,7 +250,7 @@ TEST(PduSpans, ArqRetransmissionsKeepLedgerConsistent) {
   cb.board.reassembly = "seq";
   cb.spans = &spans_b;
   Testbed tb(ca, cb);
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
 
@@ -334,7 +334,7 @@ TEST(ChromeTrace, ExportsInstantsAndSpans) {
 
 TEST(Audit, CleanRunBalances) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   auto sa = tb.a.make_stack(sc);
   auto sb = tb.b.make_stack(sc);
@@ -345,7 +345,7 @@ TEST(Audit, CleanRunBalances) {
 
 TEST(Audit, NodeStatsRegistryRendersWholeNode) {
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   auto sa = tb.a.make_stack(sc);
   auto sb = tb.b.make_stack(sc);

@@ -248,7 +248,7 @@ WorkloadOut run_testbed_workload(int threads, std::uint32_t msg_bytes,
   tb.b.rxp.start_generator_multi(701, frags, n_msgs, 0);
   tb.run();
 
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   const harness::LatencyResult lat =
       harness::ping_pong(tb, *sa, *sb, vci, 512, pp_iters);
 
@@ -317,7 +317,7 @@ TEST(ParallelEquivalence, ShardedSpansAndMetricsUnderTwoThreads) {
     sc.mode = proto::StackMode::kRawAtm;
     auto sa = tb.a.make_stack(sc);
     auto sb = tb.b.make_stack(sc);
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     harness::ping_pong(tb, *sa, *sb, vci, 2048, 12);
 
     // Aggregate the two shards by name: counts sum, histograms merge.

@@ -62,7 +62,7 @@ TEST(Message, ScatterCountsPhysicalBuffers) {
 
 TEST(Stack, UdpRoundTripSmall) {
   Net net{proto::StackConfig{}};
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::vector<std::uint8_t> got;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
     got = std::move(d);
@@ -78,7 +78,7 @@ TEST(Stack, UdpRoundTripFragmented) {
   proto::StackConfig sc;
   sc.ip_mtu = 4096 + proto::kIpHeader;  // force fragmentation
   Net net{sc};
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::vector<std::uint8_t> got;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
     got = std::move(d);
@@ -96,7 +96,7 @@ TEST(Stack, ChecksumVerifiesCleanPath) {
   proto::StackConfig sc;
   sc.udp_checksum = true;
   Net net{sc};
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::vector<std::uint8_t> got;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
     got = std::move(d);
@@ -115,7 +115,7 @@ TEST(Stack, ChecksumCatchesWireCorruption) {
   NodeConfig ca = make_3000_600_config();
   ca.link.payload_err_p = 1.0;  // corrupt every cell a->b
   Net net{sc, std::move(ca)};
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::uint64_t delivered = 0;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) {
     ++delivered;
@@ -132,7 +132,7 @@ TEST(Stack, RawAtmRoundTrip) {
   proto::StackConfig sc;
   sc.mode = proto::StackMode::kRawAtm;
   Net net{sc};
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::vector<std::uint8_t> got;
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&& d) {
     got = std::move(d);
@@ -146,7 +146,7 @@ TEST(Stack, RawAtmRoundTrip) {
 
 TEST(Stack, BidirectionalTraffic) {
   Net net{proto::StackConfig{}};
-  const std::uint16_t vci = net.tb.open_kernel_path();
+  const atm::Vci vci = net.tb.open_kernel_path();
   std::uint64_t at_a = 0, at_b = 0;
   net.sa->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) { ++at_a; });
   net.sb->set_sink([&](sim::Tick, std::uint16_t, std::vector<std::uint8_t>&&) { ++at_b; });

@@ -42,12 +42,12 @@ struct Tenant {
   std::unique_ptr<adc::Adc> tx, rx;
   std::vector<sim::Tick> deliveries;
 
-  Tenant(Testbed& tb, int pair, std::uint16_t vci, int priority,
+  Tenant(Testbed& tb, int pair, atm::Vci vci, int priority,
          const proto::StackConfig& sc) {
     tx = std::make_unique<adc::Adc>(deps_of(tb.a), pair,
-                                    std::vector<std::uint16_t>{vci}, priority, sc);
+                                    std::vector<atm::Vci>{vci}, priority, sc);
     rx = std::make_unique<adc::Adc>(deps_of(tb.b), pair,
-                                    std::vector<std::uint16_t>{vci}, priority, sc);
+                                    std::vector<atm::Vci>{vci}, priority, sc);
     rx->set_sink([this](sim::Tick at, std::uint16_t,
                         std::vector<std::uint8_t>&&) {
       deliveries.push_back(at);
@@ -308,7 +308,7 @@ TEST(Qos, QuarantineReclaimsSchedulerAndLimiterState) {
   fault::FaultPlane hostile(0xEB11);
   hostile.arm(fault::Point::kAdcGarbageDescriptor, {.probability = 1.0});
   auto bad = std::make_unique<adc::Adc>(deps_of(tb.a), 3,
-                                        std::vector<std::uint16_t>{930}, 1, sc);
+                                        std::vector<atm::Vci>{930}, 1, sc);
   bad->set_fault_plane(&hostile);
   adc::AdcSupervisor::Budget b;
   b.max_violations = 4;

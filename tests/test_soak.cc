@@ -89,7 +89,7 @@ TEST(Soak, LongDuplexRunConservesEverything) {
   NodeConfig cb = make_5000_200_config();
   ca.link = link::skewed_config(8.0, 3);
   Testbed tb(std::move(ca), std::move(cb));
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = true;
   auto sa = tb.a.make_stack(sc);

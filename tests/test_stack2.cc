@@ -26,7 +26,7 @@ class MtuSweep : public ::testing::TestWithParam<MtuCase> {};
 TEST_P(MtuSweep, IntegrityAcrossFragmentationRegimes) {
   const auto [mtu, msg, cksum] = GetParam();
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.ip_mtu = mtu;
   sc.udp_checksum = cksum;
@@ -63,7 +63,7 @@ TEST(Stack2, ExtremeFragmentationOverloadShedsAtTheBoard) {
   // tiny PDUs faster than it can recycle buffers: the board sheds load
   // (§3.1) and the message never completes — by design, not by accident.
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.ip_mtu = proto::kIpHeader + 1;
   auto sa = tb.a.make_stack(sc);
@@ -92,7 +92,7 @@ TEST(Stack2, HeaderArenaProducesIdenticalBytes) {
   // not what they say).
   auto run = [](bool arena) {
     Testbed tb(make_3000_600_config(), make_3000_600_config());
-    const std::uint16_t vci = tb.open_kernel_path();
+    const atm::Vci vci = tb.open_kernel_path();
     proto::StackConfig sc;
     sc.udp_checksum = true;
     auto sa = tb.a.make_stack(sc);
@@ -118,7 +118,7 @@ TEST(Stack2, HeaderArenaSlotsReusedSafelyAcrossDrainedSends) {
   // The ring cycles across many sends, as long as reuse respects the
   // registered-memory discipline (a slot is free once its PDU has left).
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.ip_mtu = 1024 + proto::kIpHeader;  // 40 fragments per message
   sc.udp_checksum = true;
@@ -144,7 +144,7 @@ TEST(Stack2, HeaderArenaOverrunCorruptsInFlightHeaders) {
   // delivered — but messages are lost. Registered memory demands the
   // discipline, exactly as on RDMA hardware.
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.ip_mtu = 1024 + proto::kIpHeader;
   sc.udp_checksum = true;
@@ -166,7 +166,7 @@ TEST(Stack2, HeaderArenaOverrunCorruptsInFlightHeaders) {
 
 TEST(Stack2, BuffersPerPduStatisticTracksScatter) {
   Testbed tb(make_5000_200_config(), make_5000_200_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   auto sa = tb.a.make_stack(sc);
   auto sb = tb.b.make_stack(sc);
@@ -184,7 +184,7 @@ TEST(Stack2, InterleavedMessagesOnOneVciReassembleById) {
   // Two multi-fragment messages sent back to back share the VCI; distinct
   // IP ids keep their fragments separate.
   Testbed tb(make_3000_600_config(), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.ip_mtu = 2048 + proto::kIpHeader;
   auto sa = tb.a.make_stack(sc);

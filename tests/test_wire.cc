@@ -12,7 +12,7 @@
 namespace osiris::atm {
 namespace {
 
-Cell make_cell(std::uint16_t vci, std::uint16_t pdu_id, std::uint16_t seq,
+Cell make_cell(atm::Vci vci, std::uint16_t pdu_id, std::uint16_t seq,
                std::uint8_t flags, std::uint8_t len) {
   Cell c;
   c.vci = vci;
@@ -123,7 +123,7 @@ TEST(WireLink, ByteAccurateModeCleanLinkIsLossless) {
   NodeConfig ca = make_3000_600_config();
   ca.link.wire_ber = 1e-12;  // engages the codec path, negligible errors
   Testbed tb(std::move(ca), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   auto sa = tb.a.make_stack(proto::StackConfig{});
   auto sb = tb.b.make_stack(proto::StackConfig{});
   std::vector<std::uint8_t> want(20000);
@@ -147,7 +147,7 @@ TEST(WireLink, BitErrorRateSplitsIntoHecDropsAndChecksumFailures) {
   ca.link.wire_ber = 2e-4;  // ~0.08 flips/cell
   ca.link.seed = 13;
   Testbed tb(std::move(ca), make_3000_600_config());
-  const std::uint16_t vci = tb.open_kernel_path();
+  const atm::Vci vci = tb.open_kernel_path();
   proto::StackConfig sc;
   sc.udp_checksum = true;
   auto sa = tb.a.make_stack(sc);

@@ -153,9 +153,11 @@ def load_floors(path):
                 raise ValueError("%s:%d: want 5 tab-separated columns, got %d"
                                  % (path, lineno, len(parts)))
             bench, field, floor, slack, kind = parts
-            if kind not in ("perf", "quality"):
-                raise ValueError("%s:%d: kind must be perf|quality, got %r"
-                                 % (path, lineno, kind))
+            if kind not in ("perf", "quality",
+                            "perf_ceiling", "quality_ceiling"):
+                raise ValueError(
+                    "%s:%d: kind must be perf|quality|perf_ceiling|"
+                    "quality_ceiling, got %r" % (path, lineno, kind))
             floors.append({
                 "bench": bench,
                 "field": field,
@@ -184,21 +186,23 @@ def check_floors(files, floors):
     failures = 0
     for fl in floors:
         tag = "%s.%s" % (fl["bench"], fl["field"])
-        if fl["kind"] == "perf" and sanitized:
-            print("floor SKIP %-32s (perf floor, OSIRIS_SANITIZE set)" % tag)
+        ceiling = fl["kind"].endswith("_ceiling")
+        if fl["kind"].startswith("perf") and sanitized:
+            print("floor SKIP %-32s (perf gate, OSIRIS_SANITIZE set)" % tag)
             continue
         data = data_by_bench.get(fl["bench"])
         value = data.get(fl["field"]) if isinstance(data, dict) else None
         cut = fl["floor"] * fl["slack"]
+        rel = "<=" if ceiling else ">="
         if not isinstance(value, (int, float)):
-            print("floor FAIL %-32s missing (want >= %g)" % (tag, cut))
+            print("floor FAIL %-32s missing (want %s %g)" % (tag, rel, cut))
             failures += 1
-        elif value < cut:
-            print("floor FAIL %-32s %g < %g (floor %g x slack %g)"
-                  % (tag, value, cut, fl["floor"], fl["slack"]))
+        elif (value > cut) if ceiling else (value < cut):
+            print("floor FAIL %-32s %g not %s %g (bound %g x slack %g)"
+                  % (tag, value, rel, cut, fl["floor"], fl["slack"]))
             failures += 1
         else:
-            print("floor ok   %-32s %g >= %g" % (tag, value, cut))
+            print("floor ok   %-32s %g %s %g" % (tag, value, rel, cut))
     return failures
 
 
@@ -367,20 +371,22 @@ def _gate_bullets(data, floors):
     """Quality-gate bullets: measured value vs its floor."""
     rows = []
     for fl in floors:
-        if fl["kind"] != "quality":
+        if not fl["kind"].startswith("quality"):
             continue
+        ceiling = fl["kind"].endswith("_ceiling")
         value = None
         if isinstance(data.get(fl["bench"]), dict):
             value = data[fl["bench"]].get(fl["field"])
         cut = fl["floor"] * fl["slack"]
-        ok = isinstance(value, (int, float)) and value >= cut
+        ok = isinstance(value, (int, float)) and \
+            (value <= cut if ceiling else value >= cut)
         rows.append(
             '<li><span style="color:%s;font-weight:bold">%s</span> '
-            "%s.%s = %s (gate &ge; %g)</li>"
+            "%s.%s = %s (gate %s %g)</li>"
             % ("#059669" if ok else "#dc2626", "PASS" if ok else "FAIL",
                html_escape(fl["bench"]), html_escape(fl["field"]),
                "%.4g" % value if isinstance(value, (int, float)) else "missing",
-               cut))
+               "&le;" if ceiling else "&ge;", cut))
     return "<ul>%s</ul>" % "".join(rows) if rows else ""
 
 
@@ -435,6 +441,31 @@ def write_dashboard(path, files, rows, history_path, floors):
             parts.append("<h3>Per-stage medians</h3>")
             parts.append(_svg_bar_chart(sorted(stages.items()), "&#181;s",
                                         color="#059669"))
+
+    demux = data_by_bench.get("demux", {})
+    sweep = [r for r in demux.get("sweep", [])
+             if isinstance(r, dict) and
+             isinstance(r.get("flow_ns_per_cell"), (int, float))]
+    if sweep:
+        parts.append("<h2>Demultiplexing scaling (latest run)</h2>")
+        items = [("%g VCIs" % r.get("vcis", 0), r["flow_ns_per_cell"])
+                 for r in sweep]
+        parts.append(_svg_bar_chart(items, "ns/cell"))
+        base = [("%g VCIs" % r.get("vcis", 0), r["maps_ns_per_cell"])
+                for r in sweep
+                if isinstance(r.get("maps_ns_per_cell"), (int, float))]
+        if base:
+            parts.append("<h3>Five-map baseline (pre-consolidation)</h3>")
+            parts.append(_svg_bar_chart(base, "ns/cell", color="#dc2626"))
+        bullet = []
+        for key, label in (("demux_ns_per_cell", "ns/cell @10^4"),
+                           ("demux_flatness", "flatness (max/min)"),
+                           ("demux_speedup_1e4", "speedup @10^4")):
+            v = demux.get(key)
+            if isinstance(v, (int, float)):
+                bullet.append("<li>%s = %.3g</li>" % (label, v))
+        if bullet:
+            parts.append("<ul>%s</ul>" % "".join(bullet))
 
     if floors:
         parts.append("<h2>Quality gates</h2>")
