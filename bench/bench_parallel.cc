@@ -1,5 +1,5 @@
 // Parallel conservative DES: 1-thread vs 2-thread runs of the same
-// partitioned testbed workload (DESIGN.md §9).
+// partitioned testbed workload (DESIGN.md §9 and §14).
 //
 // The workload is fig2/fig3-shaped: both nodes run the board's
 // fictitious-PDU receive generator flat out (node A the DECstation
@@ -38,7 +38,8 @@ struct RunOut {
   double wall_seconds = 0;
   std::uint64_t events = 0;
   std::uint64_t hash = 0;      // per-node stats, order a then b
-  std::uint64_t rounds = 0;    // barrier rounds (thread-count invariant)
+  std::uint64_t rounds = 0;    // fused fallback rounds (timing-dependent
+                               // at >=2 threads: reported, never compared)
   std::uint64_t remote = 0;    // envelopes across partitions
   double rtt_us_mean = 0;
   sim::EngineGroup::PhaseProfile prof;  // where the worker time went
@@ -109,6 +110,20 @@ RunOut run_workload(int threads) {
   return out;
 }
 
+/// Sum of every phase the worker loop accounts for, in ns.
+double profile_total(const sim::EngineGroup::PhaseProfile& p) {
+  return static_cast<double>(p.drain_ns.sum() + p.dispatch_ns.sum() +
+                             p.stall_ns.sum() + p.barrier_ns.sum());
+}
+
+/// Fraction of worker time not spent doing work: retry-backoff stall plus
+/// blocked at the fused barrier. This is the number floors.tsv caps.
+double stall_fraction(const sim::EngineGroup::PhaseProfile& p) {
+  const double total = profile_total(p);
+  if (total <= 0) return 0;
+  return static_cast<double>(p.stall_ns.sum() + p.barrier_ns.sum()) / total;
+}
+
 /// Worker-phase breakdown: total time per phase plus the barrier-stall
 /// distribution — the direct answer to "where does 2-thread overhead go".
 void emit_phase_profile(benchjson::Writer& w,
@@ -116,11 +131,22 @@ void emit_phase_profile(benchjson::Writer& w,
   w.open_object("phase_ns");
   w.field("drain_sum", p.drain_ns.sum());
   w.field("dispatch_sum", p.dispatch_ns.sum());
+  w.field("stall_sum", p.stall_ns.sum());
   w.field("barrier_sum", p.barrier_ns.sum());
   w.field("drain_p50", p.drain_ns.quantile(0.50));
   w.field("dispatch_p50", p.dispatch_ns.quantile(0.50));
+  w.field("stall_p50", p.stall_ns.quantile(0.50));
   w.field("barrier_p50", p.barrier_ns.quantile(0.50));
   w.field("barrier_p99", p.barrier_ns.quantile(0.99));
+  w.field("barrier_spins", p.barrier_spins.sum());
+  w.field("barrier_yields", p.barrier_yields.sum());
+  w.close_object();
+  const double total = profile_total(p);
+  w.open_object("phase_share");
+  w.field("dispatch", total > 0 ? p.dispatch_ns.sum() / total : 0.0);
+  w.field("drain", total > 0 ? p.drain_ns.sum() / total : 0.0);
+  w.field("stall", total > 0 ? p.stall_ns.sum() / total : 0.0);
+  w.field("barrier", total > 0 ? p.barrier_ns.sum() / total : 0.0);
   w.close_object();
 }
 
@@ -142,10 +168,14 @@ int main(int argc, char** argv) {
   const double eps2 = parallel.wall_seconds > 0
                           ? static_cast<double>(parallel.events) / parallel.wall_seconds
                           : 0;
+  // Dispatch order (the hash) and event count are the determinism
+  // contract. Fused-round and overflow counts are not: they depend on how
+  // the OS interleaved the workers, so comparing them would make the gate
+  // flaky without making it stricter.
   const bool identical = serial.hash == parallel.hash &&
-                         serial.events == parallel.events &&
-                         serial.rounds == parallel.rounds;
+                         serial.events == parallel.events;
   const double speedup = eps1 > 0 ? eps2 / eps1 : 0;
+  const double stall = stall_fraction(parallel.prof);
 
   std::printf("threads=1: %.3fs  %llu events  %.0f ev/s  rtt %.1f us\n",
               serial.wall_seconds,
@@ -162,15 +192,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(serial.remote));
   {
     const sim::EngineGroup::PhaseProfile& pp = parallel.prof;
-    const double total = static_cast<double>(
-        pp.drain_ns.sum() + pp.dispatch_ns.sum() + pp.barrier_ns.sum());
+    const double total = profile_total(pp);
     if (total > 0) {
       std::printf("worker time (threads=%d): dispatch %.0f%%  drain %.0f%%  "
-                  "barrier stall %.0f%%\n",
+                  "retry stall %.0f%%  barrier %.0f%%  (stall fraction %.2f, "
+                  "%llu spins / %llu yields)\n",
                   max_threads,
                   100.0 * static_cast<double>(pp.dispatch_ns.sum()) / total,
                   100.0 * static_cast<double>(pp.drain_ns.sum()) / total,
-                  100.0 * static_cast<double>(pp.barrier_ns.sum()) / total);
+                  100.0 * static_cast<double>(pp.stall_ns.sum()) / total,
+                  100.0 * static_cast<double>(pp.barrier_ns.sum()) / total,
+                  stall,
+                  static_cast<unsigned long long>(pp.barrier_spins.sum()),
+                  static_cast<unsigned long long>(pp.barrier_yields.sum()));
     }
   }
 
@@ -196,6 +230,7 @@ int main(int argc, char** argv) {
                          static_cast<std::uint64_t>(max_threads));
   w.field("identical", identical);
   w.field("speedup", speedup);
+  w.field("barrier_stall_fraction", stall);
   w.close_object();
   w.dump("parallel");
 
@@ -203,11 +238,21 @@ int main(int argc, char** argv) {
     std::puts("FAIL: parallel run diverged from the serial run");
     return 1;
   }
-  // The >= 1.3x acceptance bar presumes two real cores; on a single-core
-  // host the barrier protocol can only time-slice, so record but don't gate.
-  if (cores >= 2 && max_threads >= 2 && speedup < 1.3) {
-    std::puts("FAIL: 2-thread speedup below the 1.3x floor on a multicore host");
-    return 1;
+  // The >= 1.3x / <= 0.3-stall acceptance bars presume two real cores; on
+  // a single-core host the workers can only time-slice (stall is all
+  // scheduler wait), so record but don't gate. floors.tsv applies the same
+  // gates through the *_mc kinds, with the same core-count condition.
+  if (cores >= 2 && max_threads >= 2) {
+    if (speedup < 1.3) {
+      std::puts(
+          "FAIL: 2-thread speedup below the 1.3x floor on a multicore host");
+      return 1;
+    }
+    if (stall > 0.3) {
+      std::puts(
+          "FAIL: worker stall fraction above 0.3 on a multicore host");
+      return 1;
+    }
   }
   return 0;
 }

@@ -6,6 +6,14 @@ set -eu
 cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# Multi-core-only gates (the *_mc kinds in bench/floors.tsv: parallel
+# speedup and barrier-stall) need at least two real cores to be
+# meaningful; export the detected count so bench_trend.py can decide
+# instead of skipping them unconditionally.
+OSIRIS_CI_CORES="$(nproc 2>/dev/null || echo 1)"
+export OSIRIS_CI_CORES
+echo "ci host cores: $OSIRIS_CI_CORES"
+
 echo "== plain build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -48,10 +56,13 @@ echo "== perf trend table + per-bench floors =="
 # benches — serial and parallel — are visible in a single CI artifact.
 # --floors then gates on bench/floors.tsv: engine events/sec (perf floor,
 # skipped under OSIRIS_SANITIZE), the demux flow-table gates (single-probe
-# speedup floor plus ns/cell and flatness ceilings), and the QoS quality
+# speedup floor plus ns/cell and flatness ceilings), the QoS quality
 # floors — 10x-incast Jain fairness and aggregate-goodput retention —
-# which apply to every build flavor.  --html renders the accumulated history as a self-contained
-# SVG dashboard artifact; it never affects gating.
+# which apply to every build flavor, and on >=2-core hosts
+# (OSIRIS_CI_CORES above) the parallel gates: 2-thread speedup >= 1.3x
+# and worker stall fraction <= 0.3.  --html renders the accumulated
+# history as a self-contained SVG dashboard artifact; it never affects
+# gating.
 python3 tools/bench_trend.py build/bench --append build/bench_trend.tsv \
   --html build/bench_trend.html --floors bench/floors.tsv
 [ -s build/bench_trend.html ] || { echo "missing bench_trend.html" >&2; exit 1; }
@@ -68,12 +79,15 @@ echo "== chaos sweep under ASan/UBSan =="
 ./build-asan/tools/chaos_sweep --seeds 8 --repro-out build/chaos_repro.txt
 
 echo "== sanitized build (thread) =="
-# ThreadSanitizer pass over the partitioned-engine tests: the barrier and
-# SPSC-ring protocol must be clean under TSan, not just correct by argument.
-# Only the parallel suite runs here — TSan's ABI slows the full matrix far
-# beyond CI budget, and the data-race surface is confined to sim::EngineGroup.
+# ThreadSanitizer pass over the partitioned-engine and chaos tests: the
+# EOT/fused-barrier and SPSC-ring protocol must be clean under TSan, not
+# just correct by argument, and the chaos runner's threaded sweeps drive
+# the same machinery through a much richer workload. Only these two
+# suites run here — TSan's ABI slows the full matrix far beyond CI
+# budget, and the data-race surface is confined to sim::EngineGroup.
 cmake -B build-tsan -S . -DOSIRIS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_parallel_des
+cmake --build build-tsan -j "$JOBS" --target test_parallel_des --target test_chaos
 ./build-tsan/tests/test_parallel_des
+./build-tsan/tests/test_chaos
 
 echo "== ci.sh: all green =="

@@ -106,12 +106,12 @@ class Node {
 
 /// Two nodes with their boards linked back-to-back.
 ///
-/// Each node is one partition of an EngineGroup (DESIGN.md §9): node `a`
-/// runs on partition 0, node `b` on partition 1, and the two StripedLinks
-/// deliver through cross-partition channels whose lookahead is the link's
-/// minimum cell latency. run() executes the conservative round protocol on
-/// `threads` OS threads; dispatch order — and therefore every stat and
-/// trace — is identical for any thread count.
+/// Each node is one partition of an EngineGroup (DESIGN.md §9 and §14):
+/// node `a` runs on partition 0, node `b` on partition 1, and the two
+/// StripedLinks deliver through cross-partition channels whose lookahead
+/// is the link's minimum cell latency. run() executes the asynchronous
+/// EOT protocol on `threads` OS threads; dispatch order — and therefore
+/// every stat and trace — is identical for any thread count.
 class Testbed {
  public:
   Testbed(NodeConfig ca, NodeConfig cb, int threads = 1);

@@ -259,6 +259,14 @@ class Engine {
   /// Advances now() to `deadline` even if the queue drains earlier.
   Tick run_until(Tick deadline);
 
+  /// Advances now() to `t` without dispatching anything (no-op when `t` is
+  /// in the past). The partitioned group uses it to equalize the partition
+  /// clocks once a parallel run drains, so follow-up scheduling against
+  /// any partition sees one consistent time.
+  void advance_to(Tick t) {
+    if (t > now_) now_ = t;
+  }
+
   /// Fires the single earliest event. Returns false if the queue is empty.
   bool step();
 

@@ -58,6 +58,22 @@ class SpscRing {
     return true;
   }
 
+  /// Consumer-side batch pop: hands every currently-visible element to
+  /// `consume` (as an rvalue) and publishes the freed slots with a single
+  /// tail store, instead of one release store per element — the async
+  /// drain path empties whole bursts per call. Returns the count popped.
+  template <typename F>
+  std::size_t drain(F&& consume) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    for (std::size_t i = t; i != h; ++i) consume(std::move(slots_[i & mask_]));
+    if (h != t) {
+      head_cache_ = h;
+      tail_.store(h, std::memory_order_release);
+    }
+    return h - t;
+  }
+
   /// Consumer-side emptiness check (exact only while the producer is
   /// quiesced, which is how the barrier protocol uses it).
   [[nodiscard]] bool empty() const {

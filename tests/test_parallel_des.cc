@@ -1,11 +1,14 @@
-// Parallel conservative DES (DESIGN.md §9): serial-vs-parallel equivalence
-// on fig2/fig3-shaped workloads, lookahead edge cases, batch dispatch, and
-// the raw EngineGroup machinery. Also the binary ci.sh runs under
-// ThreadSanitizer: every cross-thread handoff in the group protocol is
-// exercised here.
+// Parallel conservative DES (DESIGN.md §9 and §14): serial-vs-parallel
+// equivalence on fig2/fig3-shaped workloads, EOT monotonicity and
+// skip-ahead behavior of the async protocol, lookahead edge cases, batch
+// dispatch, and the raw EngineGroup machinery. Also the binary ci.sh runs
+// under ThreadSanitizer: every cross-thread handoff in the group protocol
+// is exercised here.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -108,9 +111,10 @@ TEST(EngineGroup, ScheduleRemoteEnforcesLookahead) {
 TEST(EngineGroup, CrossPartitionOrderingIsConservative) {
   // Partition 0 sends a burst; partition 1 has local events interleaved
   // between the arrival times. The dispatch order on partition 1 must be
-  // globally (tick, import-order) sorted regardless of thread count, and
-  // the windowed protocol must take multiple rounds (horizon stall: a
-  // partition never runs past N + W - 1 even with an empty neighbor).
+  // globally (tick, import-order) sorted regardless of thread count: the
+  // consumer never runs past min(inbound EOT) - 1, and imports merge at
+  // exactly the tick they carry. (Fused-round counts are timing-dependent
+  // at two threads, so only dispatch order is compared.)
   for (const int threads : {1, 2}) {
     sim::EngineGroup g(2);
     g.connect(0, 1, 50);
@@ -127,15 +131,91 @@ TEST(EngineGroup, CrossPartitionOrderingIsConservative) {
     for (std::size_t i = 1; i < order.size(); ++i) {
       EXPECT_LT(order[i - 1], order[i]) << "threads=" << threads;
     }
-    EXPECT_GT(g.stats().rounds, 1u);
+    EXPECT_GE(g.stats().rounds, 1u);  // at least the priming round ran
     EXPECT_EQ(g.stats().remote_events, 8u);
+  }
+}
+
+TEST(EngineGroup, EotIsMonotoneUnderCancelledTimers) {
+  // The published EOT must never move backwards, even when far-future
+  // timers are retracted mid-run: a cancelled tombstone must not let the
+  // idle null-message (min of local next event and horizon) dip below a
+  // value already promised to the consumer.
+  for (const int threads : {1, 2}) {
+    sim::EngineGroup g(2);
+    g.connect(0, 1, 25);
+    sim::Engine& src = g.partition(0);
+    auto wd1 = src.schedule_timer_at(5'000, [] { ADD_FAILURE(); });
+    auto wd2 = src.schedule_timer_at(9'000, [] { ADD_FAILURE(); });
+    // Sampled on partition 0's owner thread, the only EOT writer.
+    std::vector<sim::Tick> samples;
+    int delivered = 0;
+    for (int i = 0; i < 12; ++i) {
+      const sim::Tick at = 100 + 40 * static_cast<sim::Tick>(i);
+      src.schedule_at(at, [&g, &samples, at] {
+        samples.push_back(g.eot(0, 1));
+        g.schedule_remote(0, 1, at + 25, [] {});
+      });
+    }
+    g.partition(1).schedule_at(600, [&delivered] { ++delivered; });
+    src.schedule_at(460, [&] {
+      src.cancel(wd1);  // retract while idle EOT may be tracking them
+      src.cancel(wd2);
+    });
+    g.run(threads);
+    ASSERT_EQ(samples.size(), 12u) << "threads=" << threads;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      EXPECT_LE(samples[i - 1], samples[i]) << "threads=" << threads;
+    }
+    EXPECT_EQ(delivered, 1) << "threads=" << threads;
+    EXPECT_EQ(g.stats().remote_events, 12u) << "threads=" << threads;
+    // After the run the channel promise covers everything that happened.
+    EXPECT_GE(g.eot(0, 1), g.now()) << "threads=" << threads;
+  }
+}
+
+TEST(EngineGroup, SkipAheadCrossesEmptyStretchesInFewRounds) {
+  // Events live millions of ticks apart with lookahead 1 — the worst case
+  // for lookahead-sized windows, which would need ~1e6 rounds per gap.
+  // The fused round's skip-ahead must jump each channel's EOT straight
+  // past the global next event, so the whole run costs a handful of
+  // rounds. Far-future watchdogs are armed on both partitions and
+  // retracted by the last real event: cancelled tombstones must neither
+  // fire nor stall the jump target.
+  for (const int threads : {1, 2}) {
+    sim::EngineGroup g(2);
+    g.connect(0, 1, 1);
+    g.connect(1, 0, 1);
+    sim::Engine& a = g.partition(0);
+    sim::Engine& b = g.partition(1);
+    auto wd_a = a.schedule_timer_at(50'000'000, [] { ADD_FAILURE(); });
+    auto wd_b = b.schedule_timer_at(50'000'000, [] { ADD_FAILURE(); });
+    int got = 0;
+    for (int i = 1; i <= 3; ++i) {
+      const sim::Tick at = 1'000'000 * static_cast<sim::Tick>(i);
+      a.schedule_at(at, [&g, &got, at] {
+        g.schedule_remote(0, 1, at + 1, [&got] { ++got; });
+      });
+    }
+    a.schedule_at(3'000'000, [&a, &wd_a] { a.cancel(wd_a); });
+    b.schedule_at(3'000'001, [&b, &wd_b] { b.cancel(wd_b); });
+    g.run(threads);
+    EXPECT_EQ(got, 3) << "threads=" << threads;
+    EXPECT_EQ(g.now(), 3'000'001u) << "threads=" << threads;
+    // Serial execution has a deterministic round count; threaded runs can
+    // only add rounds, and even those stay far below the ~3e6 a
+    // window-per-lookahead protocol would need.
+    EXPECT_LT(g.stats().rounds, 64u) << "threads=" << threads;
   }
 }
 
 TEST(EngineGroup, RingOverflowSpillsAndDelivers) {
   // One source event exports far more envelopes than the SPSC ring holds;
-  // the overflow list must hand the excess over at the barrier, in order.
-  constexpr int kExports = 3000;  // ring capacity is 1024
+  // the producer-side spill must cap the published EOT at the earliest
+  // spilled tick and feed everything back — in order — as the ring drains.
+  // Serial (one worker, no concurrent consumer) so the spill is
+  // deterministic: 3000 pushes inside one dispatch against a 1024 ring.
+  constexpr int kExports = 3000;
   sim::EngineGroup g(2);
   g.connect(0, 1, 10);
   int delivered = 0;
@@ -150,10 +230,41 @@ TEST(EngineGroup, RingOverflowSpillsAndDelivers) {
       });
     }
   });
-  g.run(2);
+  g.run(1);
   EXPECT_EQ(delivered, kExports);
   EXPECT_EQ(g.stats().remote_events, static_cast<std::uint64_t>(kExports));
   EXPECT_GT(g.stats().ring_overflows, 0u);
+}
+
+TEST(EngineGroup, RingOverflowDuringAsyncDrainDelivers) {
+  // The same burst with a live consumer thread: the consumer drains the
+  // ring asynchronously while the producer is still spilling and
+  // re-flushing, so envelopes arrive through an arbitrary ring/overflow
+  // interleaving. Delivery must still be complete and in canonical
+  // (tick, seq) order. How much actually spills depends on scheduling, so
+  // the spill count is reported, not asserted.
+  constexpr int kExports = 3000;
+  sim::EngineGroup g(2);
+  g.connect(0, 1, 10);
+  int delivered = 0;
+  sim::Tick last = 0;
+  for (int burst = 0; burst < 3; ++burst) {
+    g.partition(0).schedule_at(1 + burst, [&g, &delivered, &last, burst] {
+      for (int i = 0; i < kExports; ++i) {
+        const sim::Tick at =
+            11 + static_cast<sim::Tick>(burst) + 3 * static_cast<sim::Tick>(i);
+        g.schedule_remote(0, 1, at, [&delivered, &last, at] {
+          EXPECT_GE(at, last);
+          last = at;
+          ++delivered;
+        });
+      }
+    });
+  }
+  g.run(2);
+  EXPECT_EQ(delivered, 3 * kExports);
+  EXPECT_EQ(g.stats().remote_events,
+            static_cast<std::uint64_t>(3 * kExports));
 }
 
 TEST(EngineGroup, RepeatedRunsReuseTheGroup) {
@@ -213,7 +324,6 @@ struct WorkloadOut {
   std::uint64_t trace_hash_a = 0;
   std::uint64_t trace_hash_b = 0;
   std::uint64_t dispatched = 0;
-  std::uint64_t rounds = 0;
   double rtt_us = 0;
 };
 
@@ -272,7 +382,6 @@ WorkloadOut run_testbed_workload(int threads, std::uint32_t msg_bytes,
   out.trace_hash_a = trace_hash(ta);
   out.trace_hash_b = trace_hash(tbb);
   out.dispatched = tb.dispatched();
-  out.rounds = tb.group.stats().rounds;
   out.rtt_us = lat.rtt_us_mean;
   EXPECT_EQ(bytes_a, static_cast<std::uint64_t>(msg_bytes) * n_msgs);
   EXPECT_EQ(bytes_b, static_cast<std::uint64_t>(msg_bytes) * n_msgs);
@@ -280,16 +389,85 @@ WorkloadOut run_testbed_workload(int threads, std::uint32_t msg_bytes,
 }
 
 TEST(ParallelEquivalence, Fig2Fig3WorkloadBitIdenticalAcrossThreadCounts) {
+  // Simulation-visible state — stats, per-node traces, dispatch counts,
+  // measured RTTs — must be bit-identical. Fused-round and spill counts
+  // are deliberately absent: they describe how the OS interleaved the
+  // workers, not what the simulation computed.
   const WorkloadOut serial = run_testbed_workload(1, 8 * 1024, 12, 8);
   const WorkloadOut parallel = run_testbed_workload(2, 8 * 1024, 12, 8);
   EXPECT_EQ(serial.stats_hash, parallel.stats_hash);
   EXPECT_EQ(serial.trace_hash_a, parallel.trace_hash_a);
   EXPECT_EQ(serial.trace_hash_b, parallel.trace_hash_b);
   EXPECT_EQ(serial.dispatched, parallel.dispatched);
-  EXPECT_EQ(serial.rounds, parallel.rounds);
   EXPECT_EQ(serial.rtt_us, parallel.rtt_us);
   EXPECT_GT(serial.dispatched, 3000u);  // the workload is non-trivial
-  EXPECT_GT(serial.rounds, 1u);         // and actually round-synchronized
+}
+
+// Four partitions in a ring (both directions), cascading remote traffic:
+// every dispatch is logged as (tick, tag) on the owning worker's thread,
+// and the concatenated logs are hashed. The Testbed tops out at two
+// partitions, so this is where >2-thread schedules get their equivalence
+// coverage.
+std::uint64_t four_partition_fingerprint(int threads) {
+  constexpr std::size_t kParts = 4;
+  sim::EngineGroup g(kParts);
+  for (std::size_t p = 0; p < kParts; ++p) {
+    g.connect(p, (p + 1) % kParts, 7);
+    g.connect(p, (p + 3) % kParts, 13);
+  }
+  // Thread-confined: logs[p] is touched only by partition p's events.
+  std::array<std::vector<std::pair<sim::Tick, std::uint64_t>>, kParts> logs;
+  // Each arrival logs itself, then forwards clockwise (always) and
+  // counter-clockwise (on a tag-derived subset) until its hop budget is
+  // spent. Runs on the destination's thread, so the re-send is a legal
+  // single-producer push on the destination's outbound channels.
+  std::function<void(std::size_t, sim::Tick, std::uint64_t, int)> arrive =
+      [&](std::size_t p, sim::Tick at, std::uint64_t tag, int hops) {
+        logs[p].push_back({at, tag});
+        if (hops == 0) return;
+        const std::size_t cw = (p + 1) % kParts;
+        const sim::Tick t_cw = at + 7 + tag % 5;
+        g.schedule_remote(p, cw, t_cw, [&arrive, cw, t_cw, tag, hops] {
+          arrive(cw, t_cw, tag * 31 + 1, hops - 1);
+        });
+        if (tag % 3 == 0) {
+          const std::size_t ccw = (p + 3) % kParts;
+          const sim::Tick t_ccw = at + 13;
+          g.schedule_remote(p, ccw, t_ccw, [&arrive, ccw, t_ccw, tag, hops] {
+            arrive(ccw, t_ccw, tag * 31 + 2, hops - 1);
+          });
+        }
+      };
+  for (std::size_t p = 0; p < kParts; ++p) {
+    for (int k = 0; k < 10; ++k) {
+      const sim::Tick at = 20 + 15 * static_cast<sim::Tick>(k) +
+                           static_cast<sim::Tick>(p);
+      const std::uint64_t tag = 1000 + 100 * p + static_cast<std::uint64_t>(k);
+      g.partition(p).schedule_at(at, [&arrive, p, at, tag] {
+        arrive(p, at, tag, 3);
+      });
+    }
+  }
+  g.run(threads);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < kParts; ++p) {
+    for (const auto& [at, tag] : logs[p]) {
+      h = fnv(h, at);
+      h = fnv(h, tag);
+    }
+    total += logs[p].size();
+  }
+  EXPECT_GT(total, 40u * 4u) << "threads=" << threads;  // cascades fired
+  return fnv(h, total);
+}
+
+TEST(ParallelEquivalence, FourPartitionsBitIdenticalUpToFourThreads) {
+  const std::uint64_t serial = four_partition_fingerprint(1);
+  for (const int threads : {2, 3, 4}) {
+    EXPECT_EQ(serial, four_partition_fingerprint(threads))
+        << "threads=" << threads;
+  }
 }
 
 TEST(ParallelEquivalence, RunIsDeterministicPerThreadCount) {
